@@ -1,0 +1,45 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper's evaluation
+(see EXPERIMENTS.md for the mapping).  The generated SoCs and flow reports
+are session-scoped so the expensive objects are built once per benchmark run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.flow import OnlineUntestableFlow
+from repro.soc.config import SoCConfig
+from repro.soc.soc_builder import build_soc
+
+
+@pytest.fixture(scope="session")
+def date13_soc():
+    """The paper's case-study configuration (synthetic e200z0-class core)."""
+    return build_soc(SoCConfig.date13())
+
+
+@pytest.fixture(scope="session")
+def date13_report(date13_soc):
+    return OnlineUntestableFlow(date13_soc).run()
+
+
+@pytest.fixture(scope="session")
+def small_soc():
+    return build_soc(SoCConfig.small())
+
+
+@pytest.fixture(scope="session")
+def small_report(small_soc):
+    return OnlineUntestableFlow(small_soc).run()
+
+
+@pytest.fixture(scope="session")
+def tiny_soc():
+    return build_soc(SoCConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def tiny_report(tiny_soc):
+    return OnlineUntestableFlow(tiny_soc).run()

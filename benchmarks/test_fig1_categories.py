@@ -1,0 +1,35 @@
+"""Experiment ``fig1`` — the fault-category containment of Fig. 1.
+
+Fig. 1 of the paper draws the on-line fault universe as nested sets:
+structurally untestable ⊆ functionally untestable ⊆ on-line functionally
+untestable ⊆ the whole fault universe, with the on-line detectable faults as
+the complement.  This benchmark computes concrete instances of those sets for
+the small core and checks the containment chain plus the strictness of each
+inclusion (every category adds faults).
+"""
+
+from repro.core.classification import build_fault_universe
+
+
+def test_fig1_category_containment(small_soc, small_report, benchmark):
+    universe = benchmark.pedantic(
+        lambda: build_fault_universe(
+            small_soc.cpu,
+            functional_constraints={"scan_enable": 0, "irq": 0},
+            online_untestable=small_report.online_untestable),
+        rounds=3, iterations=1, warmup_rounds=0)
+
+    counts = universe.counts()
+    print()
+    print("Fig. 1 fault categories (small core):")
+    for name, value in counts.items():
+        print(f"  {name:34s} {value:8,}")
+
+    assert universe.containment_holds()
+    # The inclusions are strict on this design: each category adds faults.
+    assert counts["structurally_untestable"] < counts["functionally_untestable"]
+    assert counts["functionally_untestable"] < counts["online_functionally_untestable"]
+    assert counts["online_functionally_untestable"] < counts["all"]
+    # The complement partitions the universe.
+    assert (counts["online_functionally_untestable"] + counts["online_detectable"]
+            == counts["all"])

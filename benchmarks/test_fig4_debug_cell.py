@@ -1,0 +1,84 @@
+"""Experiment ``fig4`` — the debug flip-flop analysis of Fig. 4.
+
+Fig. 4 shows a flip-flop whose value can be overridden by an external
+debugger through a Debug Enable (DE) / Debug Input (DI) mux, and whose value
+is exported on a Debug Output (DO).  In the field the debugger is gone:
+
+* DE is held at 0, so DE stuck-at-0 and the DI stuck-at faults become on-line
+  functionally untestable (unused control logic, §3.2.1);
+* DO is left floating, so the faults of the logic that only feeds it become
+  untestable by lack of observability (§3.2.2);
+* DE stuck-at-1 — which would let the debug path corrupt the mission value —
+  and the functional pins stay in the fault list.
+"""
+
+from repro.core.debug_control import identify_debug_control_untestable
+from repro.core.debug_observe import identify_debug_observe_untestable
+from repro.faults.fault import SA0, SA1, StuckAtFault
+from repro.netlist.builder import NetlistBuilder
+
+
+def build_fig4_cell():
+    b = NetlistBuilder("fig4_debug_cell")
+    b.add_input("fi")
+    b.add_input("di")
+    b.add_input("de")
+    b.add_input("clk")
+    fo = b.add_output("fo")
+    do = b.add_output("do")
+    b.cell("DBGFF", {"D": "fi", "DI": "di", "DE": "de", "CK": "clk", "Q": fo},
+           name="u_dbgff")
+    b.buf(fo, output=do, name="u_do_buf")
+    netlist = b.build()
+    netlist.annotations["debug_interface"] = {
+        "control_inputs": {"di": 0, "de": 0},
+        "observation_outputs": ["do"],
+    }
+    return netlist
+
+
+def test_fig4_unused_control_logic(benchmark):
+    netlist = build_fig4_cell()
+    result = benchmark.pedantic(
+        lambda: identify_debug_control_untestable(netlist),
+        rounds=5, iterations=1, warmup_rounds=0)
+    new = result.newly_untestable
+
+    print()
+    print("Fig. 4 — §3.2.1 faults (unused debug control logic):")
+    for fault in sorted(new):
+        print(f"  {fault}")
+
+    assert StuckAtFault("u_dbgff/DE", SA0) in new
+    assert StuckAtFault("u_dbgff/DI", SA0) in new
+    assert StuckAtFault("u_dbgff/DI", SA1) in new
+    assert StuckAtFault("de", SA0) in new
+    assert StuckAtFault("di", SA0) in new
+    # The dangerous DE stuck-at-1 and the mission pins survive.
+    assert StuckAtFault("u_dbgff/DE", SA1) not in new
+    assert StuckAtFault("u_dbgff/D", SA0) not in new
+    assert StuckAtFault("u_dbgff/D", SA1) not in new
+
+
+def test_fig4_unused_observation_logic(benchmark):
+    netlist = build_fig4_cell()
+    result = benchmark.pedantic(
+        lambda: identify_debug_observe_untestable(netlist),
+        rounds=5, iterations=1, warmup_rounds=0)
+    new = result.newly_untestable
+
+    print()
+    print("Fig. 4 — §3.2.2 faults (unused debug observation logic):")
+    for fault in sorted(new):
+        print(f"  {fault}")
+
+    assert result.floated_ports == ["do"]
+    # The DO buffer and port lose every fault.
+    assert StuckAtFault("u_do_buf/A", SA0) in new
+    assert StuckAtFault("u_do_buf/A", SA1) in new
+    assert StuckAtFault("u_do_buf/Y", SA0) in new
+    assert StuckAtFault("u_do_buf/Y", SA1) in new
+    assert StuckAtFault("do", SA0) in new
+    # The flip-flop itself stays observable through FO.
+    assert StuckAtFault("u_dbgff/Q", SA0) not in new
+    assert StuckAtFault("u_dbgff/Q", SA1) not in new

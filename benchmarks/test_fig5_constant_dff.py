@@ -1,0 +1,56 @@
+"""Experiment ``fig5`` — the constant-value DFF analysis of Fig. 5.
+
+Fig. 5 shows a D flip-flop with an active-low reset whose value is constant
+at '0' during the whole mission (an address register bit frozen by the memory
+map).  The structural analysis of the tied flip-flop "returns only 2 testable
+faults, stuck-at-1 on D and stuck-at-1 on Q" — every other stuck-at fault of
+the cell is on-line functionally untestable.
+"""
+
+from repro.atpg.engine import StructuralUntestabilityEngine
+from repro.faults.fault import SA0, SA1, StuckAtFault
+from repro.faults.faultlist import generate_fault_list
+from repro.netlist.builder import NetlistBuilder
+
+
+def build_fig5_cell():
+    b = NetlistBuilder("fig5_constant_dff")
+    b.add_input("d")
+    b.add_input("clk")
+    b.add_input("rst_n")
+    q = b.add_output("q")
+    b.cell("DFFR", {"D": "d", "CK": "clk", "RN": "rst_n", "Q": q}, name="u_ff")
+    return b.build()
+
+
+def test_fig5_constant_dff(benchmark):
+    netlist = build_fig5_cell()
+    # The register holds a frozen address bit: tie its input and output to 0
+    # (paper §3.3, step 4.a).
+    netlist.net("d").tied = 0
+    netlist.net("q").tied = 0
+
+    def classify():
+        engine = StructuralUntestabilityEngine(netlist)
+        cell_faults = [f for f in generate_fault_list(netlist).faults()
+                       if f.instance_name == "u_ff"]
+        return cell_faults, engine.classify(cell_faults)
+
+    cell_faults, report = benchmark.pedantic(classify, rounds=5, iterations=1,
+                                             warmup_rounds=0)
+    untestable = set(report.untestable)
+    testable = [f for f in cell_faults if f not in untestable]
+
+    print()
+    print("Fig. 5 — faults of the frozen DFF:")
+    for fault in sorted(cell_faults):
+        status = "untestable" if fault in untestable else "TESTABLE"
+        print(f"  {str(fault):24s} {status}")
+
+    # Exactly the two stuck-at-1 faults on D and Q remain testable.
+    assert set(testable) == {StuckAtFault("u_ff/D", SA1), StuckAtFault("u_ff/Q", SA1)}
+    # Both stuck-at-0 faults and the clock/reset pin faults are untestable.
+    assert StuckAtFault("u_ff/D", SA0) in untestable
+    assert StuckAtFault("u_ff/Q", SA0) in untestable
+    assert StuckAtFault("u_ff/RN", SA0) in untestable
+    assert StuckAtFault("u_ff/RN", SA1) in untestable

@@ -1,0 +1,88 @@
+"""Experiment ``fig6`` — tie propagation into downstream logic (Fig. 6).
+
+Fig. 6 illustrates why §3.3 ties the *output* of the frozen address-register
+flip-flops as well as their input: the constant then propagates into the
+connected address-manipulation logic (branch adders, comparators), where the
+structural analysis can identify further on-line functionally untestable
+faults that would otherwise be missed when the tool stops at flip-flop
+boundaries.
+
+The benchmark builds an address register feeding an adder cone and counts the
+untestable faults found with and without tieing the flip-flop outputs.
+"""
+
+from repro.core.memory_analysis import identify_memory_map_untestable
+from repro.memory.memory_map import MemoryMap, MemoryRegion
+from repro.netlist.builder import NetlistBuilder
+from repro.soc.generators import ripple_adder
+
+
+WIDTH = 8
+
+
+def build_fig6_circuit():
+    """An 8-bit address register whose value feeds a branch-target adder."""
+    b = NetlistBuilder("fig6_address_cone")
+    clk = b.add_input("clk")
+    rst = b.add_input("rst_n")
+    d = b.add_input_bus("d", WIDTH)
+    offset = b.add_input_bus("offset", WIDTH)
+    target = b.add_output_bus("target", WIDTH)
+
+    q_nets = []
+    for i in range(WIDTH):
+        q = b.dff(d[i], clk, reset_n=rst, name=f"addr_ff{i}")
+        q_nets.append(q)
+    total, _ = ripple_adder(b, q_nets, offset, prefix="branch_adder")
+    for i in range(WIDTH):
+        b.buf(total[i], output=target[i])
+
+    netlist = b.build()
+    netlist.annotations["address_registers"] = [{
+        "name": "addr",
+        "ff_instances": [f"addr_ff{i}" for i in range(WIDTH)],
+        "q_nets": q_nets,
+        "address_bits": list(range(WIDTH)),
+    }]
+    return netlist
+
+
+# Only the low 3 address bits are ever used: bits 3..7 are frozen at 0.
+MEMORY_MAP = MemoryMap(WIDTH, [MemoryRegion("ram", 0, 8)])
+
+
+def test_fig6_tie_propagation(benchmark):
+    netlist = build_fig6_circuit()
+
+    full = benchmark.pedantic(
+        lambda: identify_memory_map_untestable(netlist, memory_map=MEMORY_MAP,
+                                               tie_flop_outputs=True),
+        rounds=5, iterations=1, warmup_rounds=0)
+    stop_at_ff = identify_memory_map_untestable(netlist, memory_map=MEMORY_MAP,
+                                                tie_flop_outputs=False)
+
+    def adder_faults(result):
+        faults = set()
+        for fault in result.newly_untestable:
+            name = fault.instance_name
+            if name and netlist.instances[name].cell.name == "FA":
+                faults.add(fault)
+        return faults
+
+    adder_faults_full = adder_faults(full)
+    adder_faults_stop = adder_faults(stop_at_ff)
+
+    print()
+    print("Fig. 6 — effect of tieing the register outputs:")
+    print(f"  frozen address bits                : {sorted(full.constant_bits)}")
+    print(f"  untestable faults (inputs only)    : {len(stop_at_ff.newly_untestable)}")
+    print(f"  untestable faults (inputs+outputs) : {len(full.newly_untestable)}")
+    print(f"  ... of which inside the adder      : "
+          f"{len(adder_faults_stop)} -> {len(adder_faults_full)}")
+
+    assert set(full.constant_bits) == set(range(3, WIDTH))
+    # Tieing the outputs reaches strictly more faults, specifically inside the
+    # downstream address-manipulation logic (the branch adder).
+    assert stop_at_ff.newly_untestable < full.newly_untestable
+    assert len(adder_faults_full) > len(adder_faults_stop)
+    assert adder_faults_full

@@ -1,0 +1,54 @@
+"""Experiment ``runtime`` — analysis cost (§4).
+
+The paper stresses that, once the circuit has been manipulated, the
+structural analysis is essentially free: "the modified circuit is analyzed by
+Tetramax in less than 1 second", while the engineering effort lives in the
+identification of the untestability sources.  This benchmark measures the
+same quantities for the pure-Python engine on the full-size synthetic core:
+
+* the tied-value classification of the manipulated (debug-tied) circuit,
+* the complete four-source identification flow,
+* and the scan-chain tracing step alone.
+"""
+
+from repro.atpg.engine import StructuralUntestabilityEngine
+from repro.core.flow import OnlineUntestableFlow
+from repro.core.scan_analysis import identify_scan_untestable
+from repro.faults.faultlist import generate_fault_list
+from repro.manipulation.tie import tie_port
+
+
+def test_runtime_engine_on_manipulated_circuit(date13_soc, benchmark):
+    """Classification time of the debug-tied circuit (the paper's < 1 s step)."""
+    manipulated = date13_soc.cpu.clone("debug_tied")
+    for port, value in date13_soc.debug_interface.control_inputs.items():
+        tie_port(manipulated, port, value)
+    faults = generate_fault_list(manipulated).faults()
+
+    def classify():
+        return StructuralUntestabilityEngine(manipulated).classify(faults)
+
+    report = benchmark.pedantic(classify, rounds=3, iterations=1, warmup_rounds=0)
+    print()
+    print(f"Engine classification of {len(faults):,} faults on the manipulated "
+          f"circuit: {report.runtime_seconds:.2f}s, "
+          f"{len(report.untestable):,} untestable")
+    assert report.runtime_seconds < 60.0
+    assert report.untestable
+
+
+def test_runtime_full_flow(date13_soc, benchmark):
+    report = benchmark.pedantic(lambda: OnlineUntestableFlow(date13_soc).run(),
+                                rounds=3, iterations=1, warmup_rounds=0)
+    total = sum(report.runtimes.values())
+    print()
+    print("Per-phase runtime of the full flow (date13 core):")
+    for phase, seconds in report.runtimes.items():
+        print(f"  {phase:16s} {seconds:7.2f}s")
+    print(f"  {'total':16s} {total:7.2f}s")
+    assert total < 120.0
+
+
+def test_runtime_scan_tracing(date13_soc, benchmark):
+    result = benchmark(identify_scan_untestable, date13_soc.cpu)
+    assert result.counts()["cells"] == date13_soc.scan.total_cells

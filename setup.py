@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The project is fully described by ``pyproject.toml``; this file exists so
+that editable installs keep working in offline environments where the
+``wheel`` package is unavailable (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,23 @@
+"""repro — reproduction of Bernardi et al., "On-line Functionally Untestable
+Fault Identification in Embedded Processor Cores", DATE 2013.
+
+The package is organised as a set of substrates (netlist, simulation, faults,
+ATPG, scan, debug, memory, manipulation, soc, sbst) plus the paper's primary
+contribution in :mod:`repro.core` — identification of on-line functionally
+untestable (OLFU) stuck-at faults via circuit manipulation followed by
+structural-untestability analysis.
+
+Quickstart::
+
+    from repro.soc import build_soc, SoCConfig
+    from repro.core import OnlineUntestableFlow
+
+    soc = build_soc(SoCConfig.small())
+    flow = OnlineUntestableFlow(soc)
+    report = flow.run()
+    print(report.to_table())
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,41 @@
+"""Combinational ATPG and structural-untestability analysis.
+
+This package plays the role of the commercial ATPG tool (Synopsys TetraMax)
+in the paper's flow: it classifies stuck-at faults of the combinational view
+of a netlist into detected / untestable-due-to-tied-value / redundant /
+abandoned classes.  The on-line untestability identification in
+:mod:`repro.core` manipulates the circuit (ties, floating outputs) and then
+calls this engine, exactly as the paper does with TetraMax.
+"""
+
+from repro.atpg.d_algebra import DValue, FIVE_D, FIVE_DBAR, FIVE_ONE, FIVE_X, FIVE_ZERO
+from repro.atpg.implication import (
+    ImplicationEngine,
+    implied_constants,
+    sequential_implied_constants,
+)
+from repro.atpg.podem import Podem, PodemResult, PodemStatus
+from repro.atpg.tie_analysis import TieAnalysis, TieAnalysisResult
+from repro.atpg.random_patterns import random_pattern_detection
+from repro.atpg.engine import AtpgEffort, StructuralUntestabilityEngine, UntestabilityReport
+
+__all__ = [
+    "DValue",
+    "FIVE_ZERO",
+    "FIVE_ONE",
+    "FIVE_X",
+    "FIVE_D",
+    "FIVE_DBAR",
+    "ImplicationEngine",
+    "implied_constants",
+    "sequential_implied_constants",
+    "Podem",
+    "PodemResult",
+    "PodemStatus",
+    "TieAnalysis",
+    "TieAnalysisResult",
+    "random_pattern_detection",
+    "AtpgEffort",
+    "StructuralUntestabilityEngine",
+    "UntestabilityReport",
+]

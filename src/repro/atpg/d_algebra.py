@@ -1,0 +1,72 @@
+"""Five-valued D-calculus built on top of the cell library's 3-valued models.
+
+A five-valued value is represented as a pair ``(good, faulty)`` where each
+component is one of ``LOGIC_0 / LOGIC_1 / LOGIC_X``:
+
+* ``(0, 0)`` → 0, ``(1, 1)`` → 1, ``(X, X)`` → X,
+* ``(1, 0)`` → D  (good machine 1, faulty machine 0),
+* ``(0, 1)`` → D̄.
+
+Because every cell model in :mod:`repro.netlist.cells` is a pure 3-valued
+function, five-valued evaluation is simply componentwise evaluation on the
+good and faulty parts — no per-cell D tables are needed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Tuple
+
+from repro.netlist.cells import Cell, LOGIC_0, LOGIC_1, LOGIC_X
+
+DValue = Tuple[int, int]
+
+FIVE_ZERO: DValue = (LOGIC_0, LOGIC_0)
+FIVE_ONE: DValue = (LOGIC_1, LOGIC_1)
+FIVE_X: DValue = (LOGIC_X, LOGIC_X)
+FIVE_D: DValue = (LOGIC_1, LOGIC_0)
+FIVE_DBAR: DValue = (LOGIC_0, LOGIC_1)
+
+
+def is_faulted(value: DValue) -> bool:
+    """True for D or D̄ (good and faulty machines differ and are definite)."""
+    good, faulty = value
+    return good != LOGIC_X and faulty != LOGIC_X and good != faulty
+
+
+def is_definite(value: DValue) -> bool:
+    """True when both components are non-X."""
+    return value[0] != LOGIC_X and value[1] != LOGIC_X
+
+
+def is_unknown(value: DValue) -> bool:
+    return value[0] == LOGIC_X or value[1] == LOGIC_X
+
+
+def from_logic(value: int) -> DValue:
+    """Lift a 3-valued value into the D-calculus (good == faulty)."""
+    return (value, value)
+
+
+def label(value: DValue) -> str:
+    """Human-readable label: 0, 1, X, D, D' or g/f for partially-known values."""
+    if value == FIVE_ZERO:
+        return "0"
+    if value == FIVE_ONE:
+        return "1"
+    if value == FIVE_D:
+        return "D"
+    if value == FIVE_DBAR:
+        return "D'"
+    if value == FIVE_X:
+        return "X"
+    names = {LOGIC_0: "0", LOGIC_1: "1", LOGIC_X: "X"}
+    return f"{names[value[0]]}/{names[value[1]]}"
+
+
+def evaluate_cell(cell: Cell, inputs: Mapping[str, DValue]) -> Dict[str, DValue]:
+    """Evaluate a cell over five-valued inputs componentwise."""
+    good_in = {pin: v[0] for pin, v in inputs.items()}
+    faulty_in = {pin: v[1] for pin, v in inputs.items()}
+    good_out = cell.evaluate(good_in)
+    faulty_out = cell.evaluate(faulty_in)
+    return {pin: (good_out[pin], faulty_out[pin]) for pin in good_out}

@@ -1,0 +1,133 @@
+"""The structural-untestability engine — this package's stand-in for TetraMax.
+
+The engine classifies a fault list against a (possibly manipulated) netlist
+in up to three phases, selected by :class:`AtpgEffort`:
+
+1. **TIE** — tied-value analysis (:class:`repro.atpg.tie_analysis.TieAnalysis`):
+   linear-time, sound identification of UT/UB/UO faults.  This is the phase
+   the paper's flow relies on ("untestable due to tied value - UT").
+2. **RANDOM** — a burst of bit-parallel random patterns marks easily
+   detectable faults DT, shrinking the population the expensive phase sees.
+3. **FULL** — PODEM on every remaining unclassified fault: proves redundancy
+   (UU), finds a test (DT), or gives up (AU) at the backtrack limit.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, List, Optional
+
+from repro.atpg.implication import ImplicationEngine
+from repro.atpg.podem import Podem, PodemStatus
+from repro.atpg.random_patterns import random_pattern_detection
+from repro.atpg.tie_analysis import TieAnalysis
+from repro.faults.categories import FaultClass
+from repro.faults.fault import StuckAtFault
+from repro.faults.faultlist import FaultList
+from repro.netlist.module import Netlist
+
+
+class AtpgEffort(str, Enum):
+    """How much work the engine spends per fault."""
+
+    TIE = "tie"
+    RANDOM = "random"
+    FULL = "full"
+
+
+@dataclass
+class UntestabilityReport:
+    """Classification outcome for one engine run."""
+
+    effort: AtpgEffort
+    classifications: Dict[StuckAtFault, FaultClass] = field(default_factory=dict)
+    runtime_seconds: float = 0.0
+    phase_runtimes: Dict[str, float] = field(default_factory=dict)
+
+    def with_class(self, *classes: FaultClass) -> List[StuckAtFault]:
+        wanted = set(classes)
+        return [f for f, c in self.classifications.items() if c in wanted]
+
+    @property
+    def untestable(self) -> List[StuckAtFault]:
+        return [f for f, c in self.classifications.items() if c.is_untestable]
+
+    @property
+    def detected(self) -> List[StuckAtFault]:
+        return [f for f, c in self.classifications.items() if c.is_detected]
+
+    def counts(self) -> Dict[str, int]:
+        result: Dict[str, int] = {}
+        for cls in self.classifications.values():
+            result[cls.value] = result.get(cls.value, 0) + 1
+        return result
+
+
+class StructuralUntestabilityEngine:
+    """Classifies stuck-at faults of a netlist (TetraMax-style)."""
+
+    def __init__(self, netlist: Netlist,
+                 effort: AtpgEffort = AtpgEffort.TIE,
+                 random_patterns: int = 256,
+                 backtrack_limit: int = 200,
+                 seed: int = 2013) -> None:
+        self.netlist = netlist
+        self.effort = effort
+        self.random_patterns = random_patterns
+        self.backtrack_limit = backtrack_limit
+        self.seed = seed
+        self.implication = ImplicationEngine(netlist)
+
+    def classify(self, faults: Iterable[StuckAtFault]) -> UntestabilityReport:
+        """Classify the given faults; unclassified faults are omitted from the
+        report at TIE effort and reported NC/AU/DT at higher efforts."""
+        fault_list = list(faults)
+        report = UntestabilityReport(effort=self.effort)
+        start = time.perf_counter()
+
+        # Phase 1: tied-value analysis.
+        phase_start = time.perf_counter()
+        tie = TieAnalysis(self.netlist, self.implication)
+        tie_result = tie.run(fault_list)
+        report.classifications.update(tie_result.classifications)
+        report.phase_runtimes["tie"] = time.perf_counter() - phase_start
+
+        remaining = [f for f in fault_list if f not in report.classifications]
+
+        if self.effort in (AtpgEffort.RANDOM, AtpgEffort.FULL) and remaining:
+            phase_start = time.perf_counter()
+            detected = random_pattern_detection(
+                self.netlist, remaining,
+                n_patterns=self.random_patterns, seed=self.seed)
+            for fault in detected:
+                report.classifications[fault] = FaultClass.DT
+            remaining = [f for f in remaining if f not in detected]
+            report.phase_runtimes["random"] = time.perf_counter() - phase_start
+
+        if self.effort is AtpgEffort.FULL and remaining:
+            phase_start = time.perf_counter()
+            podem = Podem(self.netlist, backtrack_limit=self.backtrack_limit)
+            for fault in remaining:
+                result = podem.generate(fault)
+                if result.status is PodemStatus.DETECTED:
+                    report.classifications[fault] = FaultClass.DT
+                elif result.status is PodemStatus.UNTESTABLE:
+                    report.classifications[fault] = FaultClass.UU
+                else:
+                    report.classifications[fault] = FaultClass.AU
+            report.phase_runtimes["podem"] = time.perf_counter() - phase_start
+
+        report.runtime_seconds = time.perf_counter() - start
+        return report
+
+    def classify_fault_list(self, fault_list: FaultList,
+                            only_unclassified: bool = True) -> UntestabilityReport:
+        """Classify a :class:`FaultList` in place and return the report."""
+        faults = (fault_list.unclassified() if only_unclassified
+                  else fault_list.faults())
+        report = self.classify(faults)
+        for fault, cls in report.classifications.items():
+            fault_list.classify(fault, cls)
+        return report

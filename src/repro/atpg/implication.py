@@ -1,0 +1,217 @@
+"""Forward implication / constant propagation.
+
+The heart of the paper's identification method is propagating the constants
+introduced by circuit manipulation (tied debug inputs, tied address-register
+bits) through the combinational logic and asking which lines end up with a
+solid value during the whole mission ("untestable due to tied value" in
+TetraMax terms).  :func:`implied_constants` performs that propagation; the
+:class:`ImplicationEngine` additionally answers controllability questions
+(which lines can still be set to 0 and to 1 from the free inputs) using a
+conservative but sound analysis.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Set, Tuple
+
+from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
+from repro.netlist.module import Netlist
+from repro.simulation.simulator import CombinationalSimulator
+
+
+def implied_constants(netlist: Netlist,
+                      extra_constants: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+    """Net values implied by tied nets (and optional extra constants).
+
+    Every free primary input and flip-flop output is X; tied nets take their
+    tie value; the three-valued simulation then yields, for every net, either
+    a definite constant (the net holds that value under *every* input
+    combination) or X.  Only the definite entries are returned.
+    """
+    sim = CombinationalSimulator(netlist)
+    overrides = dict(extra_constants) if extra_constants else None
+    values = sim.evaluate({}, state=None, overrides=overrides)
+    return {net: v for net, v in values.items() if v != LOGIC_X}
+
+
+def sequential_implied_constants(netlist: Netlist,
+                                 extra_constants: Optional[Mapping[str, int]] = None,
+                                 max_iterations: int = 50) -> Dict[str, int]:
+    """Constants implied through flip-flops (mission steady-state values).
+
+    Iterates combinational constant propagation with a sequential step: a
+    flip-flop whose next-state function evaluates to a definite value under
+    the current constants (e.g. an asynchronous reset held active by a tied
+    pin, or a capture mux whose selected leg is constant) holds that value
+    for the whole mission, so its output net joins the constant set.  The
+    fixpoint is what a commercial tool reports as "tied" lines after the
+    paper's circuit-manipulation step, including whole debug blocks that are
+    frozen behind a tied reset or enable.
+    """
+    sim = CombinationalSimulator(netlist)
+    state_constants: Dict[str, int] = dict(extra_constants) if extra_constants else {}
+
+    values: Dict[str, int] = {}
+    for _ in range(max_iterations):
+        values = sim.evaluate({}, state=None, overrides=state_constants or None)
+        changed = False
+        for inst in netlist.sequential_instances():
+            pin_values = {
+                pin.port: (values[pin.net.name] if pin.net is not None else LOGIC_X)
+                for pin in inst.input_pins()
+            }
+            next_value = inst.cell.evaluate(pin_values).get("__next__", LOGIC_X)
+            if next_value == LOGIC_X:
+                continue
+            for out_pin in inst.output_pins():
+                net = out_pin.net
+                if net is None or net.tied is not None:
+                    continue
+                if state_constants.get(net.name) != next_value:
+                    state_constants[net.name] = next_value
+                    changed = True
+        if not changed:
+            break
+
+    values = sim.evaluate({}, state=None, overrides=state_constants or None)
+    return {net: v for net, v in values.items() if v != LOGIC_X}
+
+
+class ImplicationEngine:
+    """Constant propagation plus simple controllability reasoning.
+
+    The engine pre-computes the constants implied by the netlist's tied nets.
+    It exposes:
+
+    * :meth:`constant_of` — the implied mission-mode constant of a net;
+    * :meth:`can_take` — whether a net can (conservatively) still take a
+      given logic value by some assignment of the free inputs;
+    * :meth:`propagation_blocked` — whether a fault effect on a given net is
+      structurally prevented from passing through a specific load gate
+      because a side input is held at a controlling constant.
+    """
+
+    # Controlling values per cell family: an input at this value forces the
+    # output regardless of the other inputs.
+    _CONTROLLING = {
+        "AND": LOGIC_0, "NAND": LOGIC_0,
+        "OR": LOGIC_1, "NOR": LOGIC_1,
+    }
+
+    def __init__(self, netlist: Netlist,
+                 extra_constants: Optional[Mapping[str, int]] = None,
+                 through_sequential: bool = True) -> None:
+        self.netlist = netlist
+        if through_sequential:
+            self.constants = sequential_implied_constants(netlist, extra_constants)
+        else:
+            self.constants = implied_constants(netlist, extra_constants)
+
+    def constant_of(self, net_name: str) -> Optional[int]:
+        """The implied constant of a net, or None if the net can still toggle."""
+        return self.constants.get(net_name)
+
+    def can_take(self, net_name: str, value: int) -> bool:
+        """Conservatively: can the net take ``value`` for some free-input assignment?
+
+        A net with an implied constant can only take that constant; any other
+        net is assumed (optimistically for testability, conservatively for
+        untestability claims) to be able to take both values.
+        """
+        constant = self.constants.get(net_name)
+        if constant is None:
+            return True
+        return constant == value
+
+    @staticmethod
+    def _cell_family(cell_name: str) -> str:
+        return cell_name.rstrip("0123456789")
+
+    def propagation_blocked(self, through_instance, from_pin_port: str) -> bool:
+        """True if a fault effect entering ``through_instance`` at pin
+        ``from_pin_port`` can never influence the instance output.
+
+        Sound (never claims "blocked" wrongly) but incomplete: it only checks
+        side inputs held at controlling constants for simple gate families
+        and select/enable constants for multiplexers and scan/debug cells.
+        """
+        cell = through_instance.cell
+        family = self._cell_family(cell.name)
+
+        side_values: Dict[str, Optional[int]] = {}
+        for pin in through_instance.input_pins():
+            if pin.port == from_pin_port:
+                continue
+            net = pin.net
+            side_values[pin.port] = self.constants.get(net.name) if net else None
+
+        if family in self._CONTROLLING:
+            controlling = self._CONTROLLING[family]
+            return any(v == controlling for v in side_values.values())
+
+        if cell.name == "MUX2":
+            sel = side_values.get("S")
+            if from_pin_port == "D0" and sel == LOGIC_1:
+                return True
+            if from_pin_port == "D1" and sel == LOGIC_0:
+                return True
+            if from_pin_port == "S":
+                d0 = side_values.get("D0")
+                d1 = side_values.get("D1")
+                return d0 is not None and d0 == d1
+            return False
+
+        if cell.name in ("AO21", "AOI21"):
+            # Y = (A&B)|C  (possibly inverted)
+            if from_pin_port in ("A", "B"):
+                other = "B" if from_pin_port == "A" else "A"
+                return side_values.get(other) == LOGIC_0 or side_values.get("C") == LOGIC_1
+            if from_pin_port == "C":
+                return (side_values.get("A") == LOGIC_1
+                        and side_values.get("B") == LOGIC_1)
+            return False
+
+        if cell.name in ("OA21", "OAI21"):
+            # Y = (A|B)&C (possibly inverted)
+            if from_pin_port in ("A", "B"):
+                other = "B" if from_pin_port == "A" else "A"
+                return side_values.get(other) == LOGIC_1 or side_values.get("C") == LOGIC_0
+            if from_pin_port == "C":
+                return (side_values.get("A") == LOGIC_0
+                        and side_values.get("B") == LOGIC_0)
+            return False
+
+        if cell.sequential:
+            # Propagation through a flip-flop's data path is blocked when the
+            # capture mux constantly selects the other leg (e.g. SE tied to 0
+            # blocks SI; DE tied to 0 blocks DI; reset held active blocks D).
+            reset_pin = cell.role_pin("reset")
+            if reset_pin and side_values.get(reset_pin) == cell.role_value("reset_active"):
+                return True
+            se_pin = cell.role_pin("scan_enable")
+            se_active = cell.role_value("scan_enable_active")
+            if se_pin:
+                se_const = (self.constants.get(through_instance.pin(se_pin).net.name)
+                            if through_instance.pin(se_pin).net else None)
+                if from_pin_port == cell.role_pin("scan_in"):
+                    if se_const is not None and se_const != se_active:
+                        return True
+                if from_pin_port == cell.role_pin("data"):
+                    if se_const is not None and se_const == se_active:
+                        return True
+            de_pin = cell.role_pin("debug_enable")
+            de_active = cell.role_value("debug_enable_active")
+            if de_pin:
+                de_const = (self.constants.get(through_instance.pin(de_pin).net.name)
+                            if through_instance.pin(de_pin).net else None)
+                if from_pin_port == cell.role_pin("debug_in"):
+                    if de_const is not None and de_const != de_active:
+                        return True
+                if from_pin_port == cell.role_pin("data"):
+                    if de_const is not None and de_const == de_active:
+                        return True
+            return False
+
+        # XOR/XNOR, BUF, INV, adders: a definite change on one input always
+        # changes (or may change) the output — never blocked by constants.
+        return False

@@ -1,0 +1,372 @@
+"""PODEM test-pattern generation / redundancy proof for single stuck-at faults.
+
+The generator works on the combinational (full-DFT) view of a netlist:
+
+* controllable points — primary-input nets and sequential-cell output nets
+  that are not tied by circuit manipulation;
+* observation points — observable output ports plus sequential-cell input
+  nets.
+
+A fault for which the decision space is exhausted without finding a test is
+*structurally untestable* (class ``UU``); exceeding the backtrack limit gives
+``AU`` (abandoned).  This mirrors the role TetraMax plays in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.atpg.d_algebra import (
+    DValue,
+    FIVE_X,
+    from_logic,
+    is_definite,
+    is_faulted,
+    evaluate_cell,
+)
+from repro.faults.fault import StuckAtFault
+from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
+from repro.netlist.module import Instance, Netlist, Pin
+from repro.netlist.traversal import topological_instances
+
+
+class PodemStatus(Enum):
+    DETECTED = "detected"
+    UNTESTABLE = "untestable"
+    ABORTED = "aborted"
+
+
+@dataclass
+class PodemResult:
+    status: PodemStatus
+    fault: StuckAtFault
+    pattern: Dict[str, int] = field(default_factory=dict)
+    backtracks: int = 0
+    decisions: int = 0
+
+
+# Gate families used by the backtrace heuristic: (controlling value, inversion).
+_FAMILY_PROPS = {
+    "AND": (LOGIC_0, False),
+    "NAND": (LOGIC_0, True),
+    "OR": (LOGIC_1, False),
+    "NOR": (LOGIC_1, True),
+    "BUF": (None, False),
+    "INV": (None, True),
+}
+
+
+def _family(cell_name: str) -> str:
+    return cell_name.rstrip("0123456789")
+
+
+class Podem:
+    """Single-fault PODEM ATPG on the combinational view of a netlist.
+
+    The view is constant-aware: flip-flop outputs frozen by the circuit
+    manipulation (directly tied, or held by a tied reset/enable — see
+    :func:`repro.atpg.implication.sequential_implied_constants`) are treated
+    as constants rather than controllable points, and flip-flop inputs whose
+    capture path is blocked by such constants are not observation points.
+    This keeps PODEM's verdicts consistent with the tied-value analysis the
+    identification flow is built on.
+    """
+
+    def __init__(self, netlist: Netlist, backtrack_limit: int = 200,
+                 implication: Optional["ImplicationEngine"] = None) -> None:
+        from repro.atpg.implication import ImplicationEngine
+
+        self.netlist = netlist
+        self.backtrack_limit = backtrack_limit
+        self.order = topological_instances(netlist)
+        self.implication = implication or ImplicationEngine(netlist)
+
+        # Flip-flop output nets frozen to a mission constant.
+        self.fixed_state: Dict[str, int] = {}
+        for inst in netlist.sequential_instances():
+            for pin in inst.output_pins():
+                if pin.net is None:
+                    continue
+                constant = self.implication.constant_of(pin.net.name)
+                if constant is not None and pin.net.tied is None:
+                    self.fixed_state[pin.net.name] = constant
+
+        self.controllable: Set[str] = set()
+        for port in netlist.input_ports():
+            if netlist.net(port).tied is None:
+                self.controllable.add(port)
+        for inst in netlist.sequential_instances():
+            for pin in inst.output_pins():
+                if (pin.net is not None and pin.net.tied is None
+                        and pin.net.name not in self.fixed_state):
+                    self.controllable.add(pin.net.name)
+
+        self.observation: Set[str] = set(netlist.observable_output_ports())
+        for inst in netlist.sequential_instances():
+            for pin in inst.input_pins():
+                if pin.net is None:
+                    continue
+                if self.implication.propagation_blocked(inst, pin.port):
+                    continue
+                self.observation.add(pin.net.name)
+
+    # ------------------------------------------------------------------ #
+    # five-valued simulation with fault injection
+    # ------------------------------------------------------------------ #
+    def _simulate(self, assignments: Dict[str, int],
+                  fault: StuckAtFault) -> Dict[str, DValue]:
+        values: Dict[str, DValue] = {}
+        for name, net in self.netlist.nets.items():
+            if net.tied is not None:
+                values[name] = from_logic(net.tied)
+            elif name in self.fixed_state:
+                values[name] = from_logic(self.fixed_state[name])
+            elif name in assignments:
+                values[name] = from_logic(assignments[name])
+            else:
+                values[name] = FIVE_X
+
+        stem_net: Optional[str] = None
+        branch_pin: Optional[Pin] = None
+        if fault.is_port_fault:
+            stem_net = fault.site if fault.site in self.netlist.nets else None
+        else:
+            pin = self.netlist.pin_by_name(fault.site)
+            if pin.net is not None:
+                if pin.is_output:
+                    stem_net = pin.net.name
+                else:
+                    branch_pin = pin
+
+        def inject_stem(net_name: str) -> None:
+            good = values[net_name][0]
+            values[net_name] = (good, fault.value)
+
+        if stem_net is not None:
+            inject_stem(stem_net)
+
+        for inst in self.order:
+            pin_values: Dict[str, DValue] = {}
+            for pin in inst.input_pins():
+                value = values[pin.net.name] if pin.net is not None else FIVE_X
+                if branch_pin is not None and pin is branch_pin:
+                    value = (value[0], fault.value)
+                pin_values[pin.port] = value
+            outputs = evaluate_cell(inst.cell, pin_values)
+            for out_pin in inst.output_pins():
+                if out_pin.net is None:
+                    continue
+                net = out_pin.net
+                if net.tied is not None:
+                    continue
+                values[net.name] = outputs.get(out_pin.port, FIVE_X)
+                if stem_net is not None and net.name == stem_net:
+                    inject_stem(net.name)
+        return values
+
+    # ------------------------------------------------------------------ #
+    # PODEM machinery
+    # ------------------------------------------------------------------ #
+    def _fault_excitation_net(self, fault: StuckAtFault) -> Optional[str]:
+        """Net whose good value must be the opposite of the stuck value."""
+        if fault.is_port_fault:
+            return fault.site if fault.site in self.netlist.nets else None
+        pin = self.netlist.pin_by_name(fault.site)
+        return pin.net.name if pin.net is not None else None
+
+    def _detected(self, values: Dict[str, DValue]) -> bool:
+        return any(is_faulted(values[n]) for n in self.observation if n in values)
+
+    def _branch_pin(self, fault: StuckAtFault) -> Optional[Pin]:
+        """The faulted instance input pin, for branch (input-pin) faults."""
+        if fault.is_port_fault:
+            return None
+        pin = self.netlist.pin_by_name(fault.site)
+        return pin if (pin.net is not None and pin.is_input) else None
+
+    def _d_frontier(self, values: Dict[str, DValue],
+                    fault: StuckAtFault) -> List[Instance]:
+        branch_pin = self._branch_pin(fault)
+        frontier = []
+        for inst in self.order:
+            out_ok = False
+            for out_pin in inst.output_pins():
+                if out_pin.net is None:
+                    continue
+                v = values[out_pin.net.name]
+                if not is_faulted(v) and not is_definite(v):
+                    out_ok = True
+            if not out_ok:
+                continue
+            for pin in inst.input_pins():
+                if pin.net is None:
+                    continue
+                pin_value = values[pin.net.name]
+                if branch_pin is not None and pin is branch_pin:
+                    # A branch fault perturbs the pin, not the net: the pin is
+                    # effectively faulted once its net carries the opposite of
+                    # the stuck value.
+                    pin_value = (pin_value[0], fault.value)
+                if is_faulted(pin_value):
+                    frontier.append(inst)
+                    break
+        return frontier
+
+    def _x_path_exists(self, values: Dict[str, DValue],
+                       frontier: List[Instance]) -> bool:
+        """Is there a path of X-valued nets from the D-frontier to an observation point?"""
+        if not frontier:
+            return False
+        work: List[str] = []
+        seen: Set[str] = set()
+        for inst in frontier:
+            for pin in inst.output_pins():
+                if pin.net is not None:
+                    work.append(pin.net.name)
+        while work:
+            net_name = work.pop()
+            if net_name in seen:
+                continue
+            seen.add(net_name)
+            value = values.get(net_name, FIVE_X)
+            if is_definite(value) and not is_faulted(value):
+                continue
+            if net_name in self.observation:
+                return True
+            net = self.netlist.nets[net_name]
+            for load in net.loads:
+                for out_pin in load.instance.output_pins():
+                    if out_pin.net is not None:
+                        work.append(out_pin.net.name)
+        return False
+
+    def _objective(self, fault: StuckAtFault, values: Dict[str, DValue],
+                   frontier: List[Instance]) -> Optional[Tuple[str, int]]:
+        """Return (net, value) to pursue next, or None at a dead end."""
+        excite_net = self._fault_excitation_net(fault)
+        if excite_net is None:
+            return None
+        good = values[excite_net][0]
+        wanted = LOGIC_1 - fault.value
+        if good == LOGIC_X:
+            return (excite_net, wanted)
+        if good == fault.value:
+            return None  # cannot excite under current assignments
+        # Fault excited: advance the D-frontier.
+        for inst in frontier:
+            family = _family(inst.cell.name)
+            controlling, _ = _FAMILY_PROPS.get(family, (None, False))
+            non_controlling = (LOGIC_1 - controlling) if controlling is not None else LOGIC_1
+            for pin in inst.input_pins():
+                if pin.net is None:
+                    continue
+                if values[pin.net.name][0] == LOGIC_X:
+                    return (pin.net.name, non_controlling)
+        return None
+
+    def _backtrace(self, net_name: str, value: int,
+                   values: Dict[str, DValue]) -> Optional[Tuple[str, int]]:
+        """Walk backwards from an objective to an unassigned controllable net."""
+        current_net = net_name
+        current_value = value
+        for _ in range(len(self.netlist.nets) + len(self.netlist.instances) + 1):
+            if current_net in self.controllable:
+                # Assignable as long as the good machine has not fixed it yet
+                # (the faulty component may already be pinned at a fault site).
+                if values[current_net][0] == LOGIC_X:
+                    return (current_net, current_value)
+                return None
+            net = self.netlist.nets.get(current_net)
+            if net is None or net.driver is None:
+                return None
+            inst = net.driver.instance
+            if inst.is_sequential:
+                return None
+            family = _family(inst.cell.name)
+            controlling, inversion = _FAMILY_PROPS.get(family, (None, False))
+            target = (LOGIC_1 - current_value) if inversion else current_value
+
+            chosen: Optional[Pin] = None
+            for pin in inst.input_pins():
+                if pin.net is not None and values[pin.net.name][0] == LOGIC_X:
+                    chosen = pin
+                    break
+            if chosen is None:
+                return None
+            current_net = chosen.net.name
+            current_value = target
+        return None
+
+    # ------------------------------------------------------------------ #
+    # public API
+    # ------------------------------------------------------------------ #
+    def generate(self, fault: StuckAtFault) -> PodemResult:
+        """Attempt to generate a test for ``fault``."""
+        excite_net = self._fault_excitation_net(fault)
+        if excite_net is None:
+            # A fault on an unconnected pin can never be excited or observed.
+            return PodemResult(PodemStatus.UNTESTABLE, fault)
+        tied = self.netlist.nets[excite_net].tied
+        if tied is not None and tied == fault.value:
+            return PodemResult(PodemStatus.UNTESTABLE, fault)
+
+        assignments: Dict[str, int] = {}
+        # Decision stack entries: (net, value, alternative_tried)
+        stack: List[List] = []
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            values = self._simulate(assignments, fault)
+            if self._detected(values):
+                return PodemResult(PodemStatus.DETECTED, fault,
+                                   pattern=dict(assignments),
+                                   backtracks=backtracks, decisions=decisions)
+
+            frontier = self._d_frontier(values, fault)
+            excited = values[excite_net][0] == LOGIC_1 - fault.value
+            dead_end = False
+            objective = None
+
+            if excited and not frontier:
+                # The fault is excited but its effect can no longer advance
+                # (every gate it reaches already has a definite output).
+                dead_end = True
+            elif excited and frontier and not self._x_path_exists(values, frontier):
+                dead_end = True
+            else:
+                objective = self._objective(fault, values, frontier)
+                if objective is None:
+                    dead_end = True
+
+            if not dead_end:
+                assert objective is not None
+                pi = self._backtrace(objective[0], objective[1], values)
+                if pi is None:
+                    dead_end = True
+                else:
+                    net, val = pi
+                    assignments[net] = val
+                    stack.append([net, val, False])
+                    decisions += 1
+                    continue
+
+            # Backtrack.
+            while stack:
+                net, val, tried = stack[-1]
+                if not tried:
+                    stack[-1][2] = True
+                    assignments[net] = LOGIC_1 - val
+                    backtracks += 1
+                    break
+                stack.pop()
+                assignments.pop(net, None)
+            else:
+                return PodemResult(PodemStatus.UNTESTABLE, fault,
+                                   backtracks=backtracks, decisions=decisions)
+
+            if backtracks > self.backtrack_limit:
+                return PodemResult(PodemStatus.ABORTED, fault,
+                                   backtracks=backtracks, decisions=decisions)

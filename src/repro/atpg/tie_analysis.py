@@ -1,0 +1,242 @@
+"""Tied-value untestability analysis ("UT" classification).
+
+This is the work-horse of the paper's methodology: after the circuit
+manipulation step ties debug inputs / constant address bits to fixed values
+(and/or floats debug-only outputs), this analysis finds every stuck-at fault
+that has become untestable because of those constants:
+
+* **UT** — the fault site is held at the stuck value by an implied constant,
+  so the fault can never be excited;
+* **UB** — the fault can be excited, but every propagation path towards an
+  observation point passes through a gate whose side input is held at a
+  controlling constant (or through a capture mux whose select is tied the
+  wrong way), so the effect can never advance;
+* **UO** — the fault effect can only ever reach output ports that have been
+  disconnected (left floating), so it can never be observed.
+
+The analysis is *sound*: every fault it reports is genuinely untestable in
+the manipulated circuit.  It is deliberately not complete — faults requiring
+a full redundancy proof are left to PODEM (see
+:class:`repro.atpg.engine.StructuralUntestabilityEngine`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.atpg.implication import ImplicationEngine
+from repro.faults.categories import FaultClass
+from repro.faults.fault import StuckAtFault
+from repro.netlist.cells import LOGIC_X
+from repro.netlist.module import Netlist, Pin
+
+
+@dataclass
+class TieAnalysisResult:
+    """Outcome of a tied-value analysis over a set of faults."""
+
+    unexcitable: Set[StuckAtFault] = field(default_factory=set)       # UT
+    propagation_blocked: Set[StuckAtFault] = field(default_factory=set)  # UB
+    unobservable: Set[StuckAtFault] = field(default_factory=set)      # UO
+    classifications: Dict[StuckAtFault, FaultClass] = field(default_factory=dict)
+
+    @property
+    def untestable(self) -> Set[StuckAtFault]:
+        return self.unexcitable | self.propagation_blocked | self.unobservable
+
+    def count(self) -> int:
+        return len(self.untestable)
+
+
+class TieAnalysis:
+    """Classifies faults made untestable by tied nets and floating outputs."""
+
+    def __init__(self, netlist: Netlist,
+                 engine: Optional[ImplicationEngine] = None) -> None:
+        self.netlist = netlist
+        self.engine = engine or ImplicationEngine(netlist)
+        self._observe_cache: Dict[str, bool] = {}
+        self._reach_cache: Dict[str, bool] = {}
+
+    # ------------------------------------------------------------------ #
+    # observability predicates
+    # ------------------------------------------------------------------ #
+    def _net_observable(self, net_name: str) -> bool:
+        """Can a value change on this net reach an observation point, given
+        the implied constants?  Observation points are observable output
+        ports and sequential-cell inputs whose capture path is not blocked.
+        """
+        cached = self._observe_cache.get(net_name)
+        if cached is not None:
+            return cached
+        # Mark as False first to terminate on (unexpected) cycles.
+        self._observe_cache[net_name] = False
+        net = self.netlist.nets[net_name]
+        result = False
+        if net.is_output_port and net_name not in self.netlist.unobservable_ports:
+            result = True
+        else:
+            for pin in net.loads:
+                inst = pin.instance
+                if self.engine.propagation_blocked(inst, pin.port):
+                    continue
+                if inst.is_sequential:
+                    result = True
+                    break
+                advanced = False
+                for out_pin in inst.output_pins():
+                    if out_pin.net is not None and self._net_observable(out_pin.net.name):
+                        advanced = True
+                        break
+                if advanced:
+                    result = True
+                    break
+        self._observe_cache[net_name] = result
+        return result
+
+    def _net_reaches_any_observation(self, net_name: str) -> bool:
+        """Pure structural reachability to *any* observation point, ignoring
+        constants but honouring floating (unobservable) output ports.
+        Used to distinguish UO (nothing observable is even reachable)
+        from UB (reachable but blocked by constants)."""
+        cached = self._reach_cache.get(net_name)
+        if cached is not None:
+            return cached
+        self._reach_cache[net_name] = False
+        net = self.netlist.nets[net_name]
+        result = False
+        if net.is_output_port and net_name not in self.netlist.unobservable_ports:
+            result = True
+        else:
+            for pin in net.loads:
+                inst = pin.instance
+                if inst.is_sequential:
+                    result = True
+                    break
+                for out_pin in inst.output_pins():
+                    if out_pin.net is not None and self._net_reaches_any_observation(out_pin.net.name):
+                        result = True
+                        break
+                if result:
+                    break
+        self._reach_cache[net_name] = result
+        return result
+
+    # ------------------------------------------------------------------ #
+    # per-fault classification
+    # ------------------------------------------------------------------ #
+    def classify_fault(self, fault: StuckAtFault) -> Optional[FaultClass]:
+        """Return UT/UB/UO if the fault is provably untestable, else None."""
+        if fault.is_port_fault:
+            net_name = fault.site if fault.site in self.netlist.nets else None
+            if net_name is None:
+                return FaultClass.UO
+            constant = self.engine.constant_of(net_name)
+            if constant is not None and constant == fault.value:
+                return FaultClass.UT
+            net = self.netlist.nets[net_name]
+            if net.is_output_port:
+                if net_name in self.netlist.unobservable_ports:
+                    return FaultClass.UO
+                return None
+            return self._observability_class(net_name)
+
+        pin = self.netlist.pin_by_name(fault.site)
+        if pin.net is None:
+            return FaultClass.UO
+        net_name = pin.net.name
+
+        constant = self.engine.constant_of(net_name)
+        if constant is not None and constant == fault.value:
+            return FaultClass.UT
+
+        if pin.is_output:
+            return self._observability_class(net_name)
+
+        # Branch fault on an instance input: the effect must first pass
+        # through this instance, then reach an observation point.
+        inst = pin.instance
+        if self.engine.propagation_blocked(inst, pin.port):
+            return FaultClass.UB
+        if inst.is_sequential:
+            return self._sequential_branch_class(inst, pin, fault)
+        observable = False
+        reachable = False
+        for out_pin in inst.output_pins():
+            if out_pin.net is None:
+                continue
+            if self._net_observable(out_pin.net.name):
+                observable = True
+            if self._net_reaches_any_observation(out_pin.net.name):
+                reachable = True
+        if observable:
+            return None
+        return FaultClass.UB if reachable else FaultClass.UO
+
+    def _sequential_branch_class(self, inst, pin, fault: StuckAtFault
+                                 ) -> Optional[FaultClass]:
+        """Classification of a fault on a flip-flop input pin.
+
+        In the DFT view a value captured into a flip-flop is observable, so
+        such faults are normally testable (None).  The exception — and the
+        crux of Fig. 5 in the paper — is a flip-flop whose mission value is an
+        implied constant: a fault on its clock, reset or data-select pins that
+        cannot make the stored value differ from that constant can never be
+        observed (e.g. a stuck clock on a register frozen at 0).
+        """
+        q_constants = []
+        for out_pin in inst.output_pins():
+            if out_pin.net is None:
+                continue
+            constant = self.engine.constant_of(out_pin.net.name)
+            if constant is None:
+                return None  # the state still moves: the fault is capturable
+            q_constants.append(constant)
+        if not q_constants:
+            return FaultClass.UO
+
+        if pin.port == inst.cell.role_pin("clock"):
+            # A stuck clock stops the register from updating: it keeps holding
+            # its mission constant, so the fault can never be observed.
+            return FaultClass.UB
+
+        pin_values = {}
+        for in_pin in inst.input_pins():
+            if in_pin is pin:
+                pin_values[in_pin.port] = fault.value
+            elif in_pin.net is not None:
+                value = self.engine.constant_of(in_pin.net.name)
+                pin_values[in_pin.port] = value if value is not None else LOGIC_X
+            else:
+                pin_values[in_pin.port] = LOGIC_X
+        faulty_next = inst.cell.evaluate(pin_values).get("__next__", LOGIC_X)
+        if faulty_next != LOGIC_X and faulty_next == q_constants[0]:
+            # Even with the fault present the register keeps its mission
+            # constant, so the fault can never produce a visible effect.
+            return FaultClass.UB
+        return None
+
+    def _observability_class(self, net_name: str) -> Optional[FaultClass]:
+        if self._net_observable(net_name):
+            return None
+        if self._net_reaches_any_observation(net_name):
+            return FaultClass.UB
+        return FaultClass.UO
+
+    # ------------------------------------------------------------------ #
+    def run(self, faults: Iterable[StuckAtFault]) -> TieAnalysisResult:
+        """Classify every fault in ``faults``."""
+        result = TieAnalysisResult()
+        for fault in faults:
+            cls = self.classify_fault(fault)
+            if cls is None:
+                continue
+            result.classifications[fault] = cls
+            if cls is FaultClass.UT:
+                result.unexcitable.add(fault)
+            elif cls is FaultClass.UB:
+                result.propagation_blocked.add(fault)
+            elif cls is FaultClass.UO:
+                result.unobservable.add(fault)
+        return result

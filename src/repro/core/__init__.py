@@ -1,0 +1,43 @@
+"""On-line functionally untestable fault identification (the paper's contribution).
+
+The flow mirrors §3 of the paper:
+
+1. :mod:`repro.core.scan_analysis` — prune the scan-chain faults found by
+   tracing every chain (§3.1);
+2. :mod:`repro.core.debug_control` — tie the debug control inputs to their
+   mission constants and let the structural engine classify the faults that
+   become untestable (§3.2.1);
+3. :mod:`repro.core.debug_observe` — float the debug-only observation buses
+   and collect the faults that lose their last observation point (§3.2.2);
+4. :mod:`repro.core.memory_analysis` — freeze the address bits the mission
+   memory map can never toggle and collect the resulting untestable faults
+   (§3.3);
+5. :mod:`repro.core.flow` — orchestrate the above and produce the Table-I
+   style summary.
+"""
+
+from repro.core.classification import FaultUniverse, build_fault_universe
+from repro.core.scan_analysis import ScanAnalysisResult, identify_scan_untestable
+from repro.core.debug_control import DebugControlResult, identify_debug_control_untestable
+from repro.core.debug_observe import DebugObserveResult, identify_debug_observe_untestable
+from repro.core.memory_analysis import MemoryMapResult, identify_memory_map_untestable
+from repro.core.flow import FlowConfig, OnlineUntestableFlow, OnlineUntestableReport
+from repro.core.report import render_summary_table, render_source_details
+
+__all__ = [
+    "FaultUniverse",
+    "build_fault_universe",
+    "ScanAnalysisResult",
+    "identify_scan_untestable",
+    "DebugControlResult",
+    "identify_debug_control_untestable",
+    "DebugObserveResult",
+    "identify_debug_observe_untestable",
+    "MemoryMapResult",
+    "identify_memory_map_untestable",
+    "FlowConfig",
+    "OnlineUntestableFlow",
+    "OnlineUntestableReport",
+    "render_summary_table",
+    "render_source_details",
+]

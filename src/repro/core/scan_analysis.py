@@ -1,0 +1,158 @@
+"""Scan-chain on-line untestable fault identification (paper §3.1).
+
+The scan chain is never exercised in the field, so:
+
+* stuck-at-0 and stuck-at-1 on every scan cell's serial input ``SI`` are
+  untestable;
+* the stuck-at fault holding the scan enable ``SE`` at its *functional-mode*
+  value is untestable (only the fault forcing the scan mode — stuck-at-1 for
+  an active-high SE — still matters, because it corrupts mission behaviour);
+* every fault on the dedicated buffers/inverters of the serial path (between
+  cells and towards the scan-out pin) is untestable, as are the faults on the
+  scan-in / scan-out ports themselves and the functional-value stuck-at on
+  the scan-enable port.
+
+Identification is a direct structural prune driven by the scan-chain tracer —
+no ATPG run is required — exactly as in the paper's flow.  The companion
+helper :func:`verify_scan_faults_with_engine` reproduces the paper's sanity
+check (tie SE to the functional value and confirm the same faults come back
+classified "untestable due to tied value" by the structural engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.atpg.engine import AtpgEffort, StructuralUntestabilityEngine
+from repro.faults.fault import SA0, SA1, StuckAtFault
+from repro.netlist.cells import LOGIC_0, LOGIC_1
+from repro.netlist.module import Netlist
+from repro.scan.chain_tracer import ScanChain, trace_scan_chains
+
+
+@dataclass
+class ScanAnalysisResult:
+    """Scan-related on-line functionally untestable faults."""
+
+    chains: List[ScanChain] = field(default_factory=list)
+    serial_input_faults: Set[StuckAtFault] = field(default_factory=set)
+    scan_enable_faults: Set[StuckAtFault] = field(default_factory=set)
+    path_faults: Set[StuckAtFault] = field(default_factory=set)
+    port_faults: Set[StuckAtFault] = field(default_factory=set)
+
+    @property
+    def untestable(self) -> Set[StuckAtFault]:
+        return (self.serial_input_faults | self.scan_enable_faults
+                | self.path_faults | self.port_faults)
+
+    def counts(self) -> Dict[str, int]:
+        return {
+            "chains": len(self.chains),
+            "cells": sum(c.length for c in self.chains),
+            "serial_input": len(self.serial_input_faults),
+            "scan_enable": len(self.scan_enable_faults),
+            "path": len(self.path_faults),
+            "ports": len(self.port_faults),
+            "total": len(self.untestable),
+        }
+
+
+def _functional_se_value(cell) -> int:
+    """The scan-enable value that keeps the cell in functional mode."""
+    active = cell.role_value("scan_enable_active")
+    if active is None:
+        active = LOGIC_1
+    return LOGIC_0 if active == LOGIC_1 else LOGIC_1
+
+
+def identify_scan_untestable(netlist: Netlist,
+                             scan_in_ports: Optional[Sequence[str]] = None,
+                             include_clock_pins: bool = False) -> ScanAnalysisResult:
+    """Trace the scan chains and prune the §3.1 fault population."""
+    chains = trace_scan_chains(netlist, scan_in_ports)
+    result = ScanAnalysisResult(chains=chains)
+
+    scan_enable_nets: Set[str] = set()
+
+    for chain in chains:
+        for cell_name in chain.cells:
+            inst = netlist.instance(cell_name)
+            cell = inst.cell
+
+            si_pin = cell.role_pin("scan_in")
+            if si_pin is not None:
+                site = inst.pin(si_pin).name
+                result.serial_input_faults.add(StuckAtFault(site, SA0))
+                result.serial_input_faults.add(StuckAtFault(site, SA1))
+
+            se_pin = cell.role_pin("scan_enable")
+            if se_pin is not None:
+                site = inst.pin(se_pin).name
+                functional_value = _functional_se_value(cell)
+                result.scan_enable_faults.add(StuckAtFault(site, functional_value))
+                se_net = inst.pin(se_pin).net
+                if se_net is not None:
+                    scan_enable_nets.add(se_net.name)
+
+            if include_clock_pins:
+                ck_pin = cell.role_pin("clock")
+                if ck_pin is not None:
+                    site = inst.pin(ck_pin).name
+                    result.path_faults.add(StuckAtFault(site, SA0))
+                    result.path_faults.add(StuckAtFault(site, SA1))
+
+        for inst_name in chain.path_instances:
+            inst = netlist.instance(inst_name)
+            for pin in inst.pins.values():
+                if pin.net is None:
+                    continue
+                result.path_faults.add(StuckAtFault(pin.name, SA0))
+                result.path_faults.add(StuckAtFault(pin.name, SA1))
+
+        result.port_faults.add(StuckAtFault(chain.scan_in_port, SA0))
+        result.port_faults.add(StuckAtFault(chain.scan_in_port, SA1))
+        if chain.scan_out_port is not None:
+            result.port_faults.add(StuckAtFault(chain.scan_out_port, SA0))
+            result.port_faults.add(StuckAtFault(chain.scan_out_port, SA1))
+
+    # The scan-enable distribution: the port (and any net dedicated to SE)
+    # stuck at the functional value is untestable.
+    for net_name in scan_enable_nets:
+        net = netlist.nets[net_name]
+        if net.is_input_port:
+            result.port_faults.add(StuckAtFault(net_name, LOGIC_0))
+
+    return result
+
+
+def verify_scan_faults_with_engine(netlist: Netlist,
+                                   result: ScanAnalysisResult,
+                                   sample: Optional[Iterable[StuckAtFault]] = None
+                                   ) -> Dict[StuckAtFault, bool]:
+    """Cross-check pruned scan faults against the structural engine.
+
+    Ties every scan-enable net to its functional value on a clone of the
+    netlist, runs the tied-value analysis and reports, per checked fault,
+    whether the engine agrees it is untestable.  This mirrors the TetraMax
+    experiment described in §4 of the paper.
+    """
+    clone = netlist.clone(f"{netlist.name}_se_tied")
+    for chain in result.chains:
+        for cell_name in chain.cells:
+            inst = clone.instance(cell_name)
+            se_pin = inst.cell.role_pin("scan_enable")
+            if se_pin is None:
+                continue
+            se_net = inst.pin(se_pin).net
+            if se_net is not None:
+                se_net.tied = _functional_se_value(inst.cell)
+
+    engine = StructuralUntestabilityEngine(clone, effort=AtpgEffort.TIE)
+    to_check = list(sample) if sample is not None else sorted(result.serial_input_faults)
+    report = engine.classify(to_check)
+    agreement: Dict[StuckAtFault, bool] = {}
+    for fault in to_check:
+        cls = report.classifications.get(fault)
+        agreement[fault] = bool(cls is not None and cls.is_untestable)
+    return agreement

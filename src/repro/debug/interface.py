@@ -1,0 +1,96 @@
+"""Debug-interface specification and discovery.
+
+The paper distinguishes the *control* side of the debug interface (signals an
+external debugger drives into the CPU — tied to their mission-mode constants
+once the debugger is gone, §3.2.1) from the *observation* side (buses the CPU
+drives out purely for the debugger's benefit — left floating in the field,
+§3.2.2).  :class:`DebugInterface` captures both sides plus the mission-mode
+constant of every control input.
+
+Discovery follows the paper's §4 workflow: the CPU generator annotates its
+debug ports directly (the normal path), and — mirroring the manual analysis
+on the industrial SoC — :func:`find_quiescent_inputs` shortlists suspect
+control inputs from functional toggle-activity data collected while running
+the SBST suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.netlist.module import Netlist
+
+
+@dataclass
+class DebugInterface:
+    """Debug ports of a CPU core and their mission-mode configuration."""
+
+    #: control input port -> constant logic value it holds in the field
+    control_inputs: Dict[str, int] = field(default_factory=dict)
+    #: output ports only ever read by the external debugger
+    observation_outputs: List[str] = field(default_factory=list)
+
+    @property
+    def control_count(self) -> int:
+        return len(self.control_inputs)
+
+    @property
+    def observation_count(self) -> int:
+        return len(self.observation_outputs)
+
+    def validate_against(self, netlist: Netlist) -> List[str]:
+        """Return problems (missing ports, wrong directions); empty = clean."""
+        problems = []
+        for port in self.control_inputs:
+            if port not in netlist.ports:
+                problems.append(f"control input {port!r} not a port of {netlist.name!r}")
+            elif netlist.ports[port] != "input":
+                problems.append(f"control input {port!r} is not an input port")
+        for port in self.observation_outputs:
+            if port not in netlist.ports:
+                problems.append(f"observation output {port!r} not a port of {netlist.name!r}")
+            elif netlist.ports[port] != "output":
+                problems.append(f"observation output {port!r} is not an output port")
+        return problems
+
+
+def discover_debug_interface(netlist: Netlist) -> Optional[DebugInterface]:
+    """Read the debug interface the CPU generator annotated on the netlist."""
+    spec = netlist.annotations.get("debug_interface")
+    if spec is None:
+        return None
+    if isinstance(spec, DebugInterface):
+        return spec
+    return DebugInterface(
+        control_inputs=dict(spec.get("control_inputs", {})),
+        observation_outputs=list(spec.get("observation_outputs", [])),
+    )
+
+
+def find_quiescent_inputs(netlist: Netlist,
+                          toggle_activity: Mapping[str, int],
+                          exclude: Sequence[str] = ("clk", "clock", "reset", "rst"),
+                          ) -> List[str]:
+    """Input ports that never toggled while the functional test suite ran.
+
+    ``toggle_activity`` maps net names to toggle counts (see
+    :class:`repro.sbst.monitor.ToggleMonitor`).  Clock/reset-style ports are
+    excluded by name, as are scan ports (always quiescent in mission mode but
+    handled by the dedicated scan analysis).
+    """
+    scan_info = netlist.annotations.get("scan_insertion", {})
+    scan_ports = set(scan_info.get("scan_in_ports", []))
+    scan_ports.update(scan_info.get("scan_out_ports", []))
+    scan_ports.add(scan_info.get("scan_enable_port", ""))
+
+    quiescent = []
+    for port in netlist.input_ports():
+        lowered = port.lower()
+        if any(token in lowered for token in exclude):
+            continue
+        if port in scan_ports:
+            continue
+        if toggle_activity.get(port, 0) == 0:
+            quiescent.append(port)
+    return quiescent

@@ -1,0 +1,68 @@
+"""Standalone JTAG TAP controller netlist generator.
+
+Used by the full-SoC examples and tests: the same 16-state IEEE 1149.1 FSM
+that :mod:`repro.soc.debug_logic` embeds in the CPU, packaged as its own
+module with TCK/TMS/TDI/TRSTN inputs, a configurable instruction register and
+TDO output.  In the mission configuration every one of these pins is pulled
+to a constant, which is why the entire block contributes on-line functionally
+untestable faults.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.module import Netlist
+from repro.soc.debug_logic import _TAP_STATES, _tap_next_state
+from repro.soc.generators import shift_register, synthesize_function
+
+
+def build_jtag_tap(ir_length: int = 4, dr_length: int = 8,
+                   name: str = "jtag_tap") -> Netlist:
+    """Generate a TAP controller with an IR of ``ir_length`` bits and a
+    single data register of ``dr_length`` bits."""
+    if ir_length < 1 or dr_length < 1:
+        raise ValueError("ir_length and dr_length must be positive")
+
+    b = NetlistBuilder(name)
+    tck = b.add_input("tck")
+    tms = b.add_input("tms")
+    tdi = b.add_input("tdi")
+    trstn = b.add_input("trstn")
+    tdo = b.add_output("tdo")
+    state_ports = b.add_output_bus("tap_state", 4)
+
+    state_q = [b.new_net(f"tap_q{i}") for i in range(4)]
+    fsm_inputs = state_q + [tms]
+    for bit in range(4):
+        def truth(code: int, output_bit: int = bit) -> int:
+            return (_tap_next_state(code & 0xF, (code >> 4) & 1) >> output_bit) & 1
+
+        next_bit = synthesize_function(b, fsm_inputs, truth, prefix=f"tapns{bit}")
+        b.dff(next_bit, tck, q=state_q[bit], reset_n=trstn, name=f"tap_ff{bit}")
+        b.buf(state_q[bit], output=state_ports[bit])
+
+    def in_state(target: str) -> str:
+        code = _TAP_STATES[target]
+        bits = [state_q[i] if (code >> i) & 1 else b.inv(state_q[i]) for i in range(4)]
+        return b.and_(*bits)
+
+    shift_ir = in_state("SHIFT_IR")
+    shift_dr = in_state("SHIFT_DR")
+
+    ir_bits = shift_register(b, tdi, tck, shift_ir, ir_length, prefix="ir",
+                             reset_n=trstn)
+    dr_bits = shift_register(b, tdi, tck, shift_dr, dr_length, prefix="dr",
+                             reset_n=trstn)
+
+    # TDO multiplexes the tail of whichever register is shifting.
+    tdo_value = b.mux(shift_ir, dr_bits[-1], ir_bits[-1])
+    b.buf(tdo_value, output=tdo)
+
+    netlist = b.build()
+    netlist.annotations["debug_interface"] = {
+        "control_inputs": {"tck": 0, "tms": 0, "tdi": 0, "trstn": 0},
+        "observation_outputs": ["tdo"] + [f"tap_state[{i}]" for i in range(4)],
+    }
+    return netlist

@@ -1,0 +1,90 @@
+"""Nexus-class external debug unit generator.
+
+In the paper's SoC (Fig. 3) the CPU's debug signals are driven by a
+Nexus-compliant module sitting outside the core and reachable from the chip
+pins.  This generator produces such a unit: it exposes the chip-level debug
+pins on one side and, on the other, the 17 control signals the synthetic CPU
+core expects plus capture registers for the CPU's observation buses.
+
+The unit is used by the full-SoC example to show the chip-level view; the
+identification flow itself only needs the CPU core, because that is the
+fault universe the paper analyses.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.module import Netlist
+from repro.soc.debug_logic import DEBUG_CONTROL_PORTS
+from repro.soc.generators import register_word, shift_register
+
+
+def build_nexus_unit(observation_width: int = 32,
+                     command_length: int = 24,
+                     name: str = "nexus_unit") -> Netlist:
+    """Generate the external debug unit.
+
+    Ports
+    -----
+    inputs:
+        ``nex_tck/nex_tms/nex_tdi/nex_trstn`` (chip-level JTAG pins),
+        ``nex_enable``, ``cpu_gpr_obs[*]`` and ``cpu_spr_obs[*]`` (the CPU's
+        observation buses).
+    outputs:
+        one port per entry of
+        :data:`repro.soc.debug_logic.DEBUG_CONTROL_PORTS` (the signals driven
+        into the CPU core) plus ``nex_tdo``.
+    """
+    b = NetlistBuilder(name)
+    tck = b.add_input("nex_tck")
+    tms = b.add_input("nex_tms")
+    tdi = b.add_input("nex_tdi")
+    trstn = b.add_input("nex_trstn")
+    enable = b.add_input("nex_enable")
+    clk = b.add_input("clk")
+    gpr_obs = b.add_input_bus("cpu_gpr_obs", observation_width)
+    spr_obs = b.add_input_bus("cpu_spr_obs", observation_width)
+
+    tdo = b.add_output("nex_tdo")
+    cpu_ports: Dict[str, str] = {
+        port: b.add_output(f"cpu_{port}") for port in DEBUG_CONTROL_PORTS
+    }
+
+    # Command register: shifted in from TDI, decoded into the CPU control pins.
+    command = shift_register(b, tdi, tck, enable, command_length, prefix="cmd",
+                             reset_n=trstn)
+
+    # Straight-through JTAG pins.
+    b.buf(tck, output=cpu_ports["jtag_tck"])
+    b.buf(tms, output=cpu_ports["jtag_tms"])
+    b.buf(tdi, output=cpu_ports["jtag_tdi"])
+    b.buf(trstn, output=cpu_ports["jtag_trstn"])
+
+    # Command-decoded control strobes (each gated by the chip-level enable).
+    decoded_order: List[str] = [
+        "dbg_enable", "dbg_halt_req", "dbg_resume", "dbg_step", "dbg_reg_we",
+        "dbg_sel0", "dbg_sel1", "dbg_sel2", "dbg_sel3", "dbg_bkpt_en",
+        "dbg_mem_req", "dbg_reset_req", "dbg_wdata_ser",
+    ]
+    for index, port in enumerate(decoded_order):
+        source = command[index % command_length]
+        b.gate("AND2", source, enable, output=cpu_ports[port])
+
+    # Observation capture registers: sample the CPU buses, expose the MSB of
+    # the captured GPR value on TDO while shifting.
+    captured_gpr = register_word(b, gpr_obs, clk, enable, prefix="cap_gpr",
+                                 reset_n=trstn)
+    captured_spr = register_word(b, spr_obs, clk, enable, prefix="cap_spr",
+                                 reset_n=trstn)
+    tdo_value = b.mux(tms, captured_gpr[-1], captured_spr[-1])
+    b.buf(tdo_value, output=tdo)
+
+    netlist = b.build()
+    netlist.annotations["debug_interface"] = {
+        "control_inputs": {"nex_tck": 0, "nex_tms": 0, "nex_tdi": 0,
+                           "nex_trstn": 0, "nex_enable": 0},
+        "observation_outputs": ["nex_tdo"],
+    }
+    return netlist

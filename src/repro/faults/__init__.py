@@ -1,0 +1,20 @@
+"""Stuck-at fault model, fault lists, classification taxonomy and collapsing."""
+
+from repro.faults.fault import SA0, SA1, StuckAtFault, fault_site_net, fault_site_pin
+from repro.faults.categories import FaultClass, OnlineUntestableSource
+from repro.faults.faultlist import FaultList, generate_fault_list
+from repro.faults.collapse import collapse_fault_list, equivalence_classes
+
+__all__ = [
+    "SA0",
+    "SA1",
+    "StuckAtFault",
+    "fault_site_net",
+    "fault_site_pin",
+    "FaultClass",
+    "OnlineUntestableSource",
+    "FaultList",
+    "generate_fault_list",
+    "collapse_fault_list",
+    "equivalence_classes",
+]

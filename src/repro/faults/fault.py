@@ -1,0 +1,74 @@
+"""The single stuck-at fault model.
+
+Fault sites follow the pin-fault convention used by commercial ATPG tools
+(and by the fault counts in the paper): every pin of every cell instance and
+every module port is a site, and each site carries a stuck-at-0 and a
+stuck-at-1 fault.  A site is identified by a string:
+
+* ``"u_alu_add_7/A"`` — pin ``A`` of instance ``u_alu_add_7``;
+* ``"dbg_jtag_tck"`` — a module port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.netlist.module import Netlist, Pin
+
+SA0 = 0
+SA1 = 1
+
+
+@dataclass(frozen=True, order=True)
+class StuckAtFault:
+    """A single stuck-at fault at a pin or port site."""
+
+    site: str
+    value: int  # SA0 or SA1
+
+    def __post_init__(self) -> None:
+        if self.value not in (SA0, SA1):
+            raise ValueError(f"stuck-at value must be 0 or 1, got {self.value!r}")
+
+    @property
+    def is_port_fault(self) -> bool:
+        return "/" not in self.site
+
+    @property
+    def instance_name(self) -> Optional[str]:
+        if self.is_port_fault:
+            return None
+        return self.site.rpartition("/")[0]
+
+    @property
+    def pin_name(self) -> Optional[str]:
+        if self.is_port_fault:
+            return None
+        return self.site.rpartition("/")[2]
+
+    def __str__(self) -> str:
+        return f"{self.site} s-a-{self.value}"
+
+    @classmethod
+    def parse(cls, text: str) -> "StuckAtFault":
+        """Parse the ``"site s-a-V"`` form produced by :meth:`__str__`."""
+        site, _, tail = text.rpartition(" s-a-")
+        if not site or tail not in ("0", "1"):
+            raise ValueError(f"cannot parse stuck-at fault from {text!r}")
+        return cls(site=site, value=int(tail))
+
+
+def fault_site_pin(netlist: Netlist, fault: StuckAtFault) -> Optional[Pin]:
+    """Resolve a fault site to its :class:`Pin` (None for port faults)."""
+    if fault.is_port_fault:
+        return None
+    return netlist.pin_by_name(fault.site)
+
+
+def fault_site_net(netlist: Netlist, fault: StuckAtFault) -> Optional[str]:
+    """Name of the net the fault site lies on (None if the pin is unconnected)."""
+    if fault.is_port_fault:
+        return fault.site if fault.site in netlist.nets else None
+    pin = netlist.pin_by_name(fault.site)
+    return pin.net.name if pin.net is not None else None

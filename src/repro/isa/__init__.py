@@ -1,0 +1,22 @@
+"""Shared definition of the miniature RISC ISA used by the synthetic core.
+
+Both the gate-level instruction decoder (:mod:`repro.soc.decoder`) and the
+instruction-level model / assembler (:mod:`repro.sbst`) derive from the
+single opcode table defined here, so the two views cannot drift apart.
+"""
+
+from repro.isa.opcodes import (
+    ControlSignals,
+    Opcode,
+    control_signals_for,
+    encode_instruction,
+    decode_fields,
+)
+
+__all__ = [
+    "ControlSignals",
+    "Opcode",
+    "control_signals_for",
+    "encode_instruction",
+    "decode_fields",
+]

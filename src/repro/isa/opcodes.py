@@ -1,0 +1,161 @@
+"""Opcode table, instruction encoding and per-opcode control signals.
+
+Instruction layout (LSB-first bit numbering, ``W`` = instruction width)::
+
+    [W-1 : W-5]   opcode (5 bits)
+    [W-6 : W-5-r] rd     (r = register-select bits)
+    next r bits   rs1
+    next r bits   rs2
+    [low bits]    immediate (whatever remains, zero/sign handling is ISA-level)
+
+The gate-level decoder synthesises the control-signal truth tables below;
+the ISA simulator interprets the same table, so both agree by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict, Tuple
+
+from repro.utils.bitvec import mask
+
+
+class Opcode(IntEnum):
+    """The 16 architectural opcodes (a 5-bit field leaves room for growth)."""
+
+    NOP = 0
+    ADD = 1
+    SUB = 2
+    AND = 3
+    OR = 4
+    XOR = 5
+    SHL = 6
+    MUL = 7
+    ADDI = 8
+    LOAD = 9
+    STORE = 10
+    BEQ = 11
+    BNE = 12
+    JUMP = 13
+    MOVI = 14
+    HALT = 15
+
+
+# ALU operation select encoding (3 bits) — must match the word order used by
+# repro.soc.alu.build_alu: ADD, SUB, AND, OR, XOR, SHL, MUL, PASS_B.
+ALU_ADD = 0
+ALU_SUB = 1
+ALU_AND = 2
+ALU_OR = 3
+ALU_XOR = 4
+ALU_SHL = 5
+ALU_MUL = 6
+ALU_PASS_B = 7
+
+
+@dataclass(frozen=True)
+class ControlSignals:
+    """Control outputs of the instruction decoder for one opcode."""
+
+    reg_we: int = 0
+    mem_re: int = 0
+    mem_we: int = 0
+    branch_eq: int = 0
+    branch_ne: int = 0
+    jump: int = 0
+    alu_src_imm: int = 0
+    wb_from_mem: int = 0
+    halt: int = 0
+    alu_op: int = ALU_ADD
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "reg_we": self.reg_we,
+            "mem_re": self.mem_re,
+            "mem_we": self.mem_we,
+            "branch_eq": self.branch_eq,
+            "branch_ne": self.branch_ne,
+            "jump": self.jump,
+            "alu_src_imm": self.alu_src_imm,
+            "wb_from_mem": self.wb_from_mem,
+            "halt": self.halt,
+            "alu_op0": self.alu_op & 1,
+            "alu_op1": (self.alu_op >> 1) & 1,
+            "alu_op2": (self.alu_op >> 2) & 1,
+        }
+
+
+_CONTROL_TABLE: Dict[Opcode, ControlSignals] = {
+    Opcode.NOP: ControlSignals(),
+    Opcode.ADD: ControlSignals(reg_we=1, alu_op=ALU_ADD),
+    Opcode.SUB: ControlSignals(reg_we=1, alu_op=ALU_SUB),
+    Opcode.AND: ControlSignals(reg_we=1, alu_op=ALU_AND),
+    Opcode.OR: ControlSignals(reg_we=1, alu_op=ALU_OR),
+    Opcode.XOR: ControlSignals(reg_we=1, alu_op=ALU_XOR),
+    Opcode.SHL: ControlSignals(reg_we=1, alu_op=ALU_SHL),
+    Opcode.MUL: ControlSignals(reg_we=1, alu_op=ALU_MUL),
+    Opcode.ADDI: ControlSignals(reg_we=1, alu_src_imm=1, alu_op=ALU_ADD),
+    Opcode.LOAD: ControlSignals(reg_we=1, mem_re=1, alu_src_imm=1,
+                                wb_from_mem=1, alu_op=ALU_ADD),
+    Opcode.STORE: ControlSignals(mem_we=1, alu_src_imm=1, alu_op=ALU_ADD),
+    Opcode.BEQ: ControlSignals(branch_eq=1, alu_op=ALU_SUB),
+    Opcode.BNE: ControlSignals(branch_ne=1, alu_op=ALU_SUB),
+    Opcode.JUMP: ControlSignals(jump=1),
+    Opcode.MOVI: ControlSignals(reg_we=1, alu_src_imm=1, alu_op=ALU_PASS_B),
+    Opcode.HALT: ControlSignals(halt=1),
+}
+
+CONTROL_SIGNAL_NAMES = tuple(ControlSignals().as_dict())
+
+
+def control_signals_for(opcode_value: int) -> ControlSignals:
+    """Control signals for a raw 5-bit opcode value (undefined opcodes → NOP)."""
+    try:
+        opcode = Opcode(opcode_value)
+    except ValueError:
+        return ControlSignals()
+    return _CONTROL_TABLE[opcode]
+
+
+def field_layout(instr_width: int, register_select_bits: int
+                 ) -> Dict[str, Tuple[int, int]]:
+    """Bit positions ``(lsb, width)`` of each instruction field."""
+    r = register_select_bits
+    opcode_lsb = instr_width - 5
+    rd_lsb = opcode_lsb - r
+    rs1_lsb = rd_lsb - r
+    rs2_lsb = rs1_lsb - r
+    imm_width = rs2_lsb
+    return {
+        "opcode": (opcode_lsb, 5),
+        "rd": (rd_lsb, r),
+        "rs1": (rs1_lsb, r),
+        "rs2": (rs2_lsb, r),
+        "imm": (0, imm_width),
+    }
+
+
+def encode_instruction(opcode: Opcode, rd: int = 0, rs1: int = 0, rs2: int = 0,
+                       imm: int = 0, instr_width: int = 32,
+                       register_select_bits: int = 5) -> int:
+    """Pack an instruction word."""
+    layout = field_layout(instr_width, register_select_bits)
+    word = 0
+    for name, value in (("opcode", int(opcode)), ("rd", rd),
+                        ("rs1", rs1), ("rs2", rs2), ("imm", imm)):
+        lsb, width = layout[name]
+        if width <= 0:
+            continue
+        word |= (value & mask(width)) << lsb
+    return word & mask(instr_width)
+
+
+def decode_fields(word: int, instr_width: int = 32,
+                  register_select_bits: int = 5) -> Dict[str, int]:
+    """Unpack an instruction word into its fields."""
+    layout = field_layout(instr_width, register_select_bits)
+    fields = {}
+    for name, (lsb, width) in layout.items():
+        fields[name] = (word >> lsb) & mask(width) if width > 0 else 0
+    return fields

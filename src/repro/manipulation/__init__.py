@@ -1,0 +1,39 @@
+"""Circuit manipulation: tieing nets to constants and floating outputs.
+
+These are the two operations §3 of the paper applies before running the
+structural-untestability analysis:
+
+* connect signals to ground or Vdd ("tied'0 / tied'1") — debug control
+  inputs, scan enables, constant address-register bits;
+* leave debug-only output buses floating (disconnect them from any
+  observer).
+"""
+
+from repro.manipulation.tie import (
+    TieRecord,
+    tie_bus,
+    tie_net,
+    tie_port,
+    tied_nets,
+    untie_net,
+)
+from repro.manipulation.disconnect import (
+    disconnect_output_bus,
+    disconnect_output_port,
+    reconnect_output_port,
+)
+from repro.manipulation.constprop import ConstantPropagationResult, propagate_constants
+
+__all__ = [
+    "TieRecord",
+    "tie_bus",
+    "tie_net",
+    "tie_port",
+    "tied_nets",
+    "untie_net",
+    "disconnect_output_bus",
+    "disconnect_output_port",
+    "reconnect_output_port",
+    "ConstantPropagationResult",
+    "propagate_constants",
+]

@@ -1,0 +1,38 @@
+"""Constant propagation over a manipulated netlist.
+
+Thin wrapper around :func:`repro.atpg.implication.implied_constants` that also
+reports *which instances* have become completely inert (every output implied
+constant) — the paper's observation that whole debug blocks "are no longer
+used along the mission behaviour" corresponds to inert instances here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.atpg.implication import implied_constants
+from repro.netlist.module import Netlist
+
+
+@dataclass
+class ConstantPropagationResult:
+    """Implied constants plus derived structural facts."""
+
+    constants: Dict[str, int] = field(default_factory=dict)
+    inert_instances: List[str] = field(default_factory=list)
+
+    @property
+    def constant_net_count(self) -> int:
+        return len(self.constants)
+
+
+def propagate_constants(netlist: Netlist) -> ConstantPropagationResult:
+    """Propagate tie values through the combinational logic."""
+    constants = implied_constants(netlist)
+    inert: List[str] = []
+    for inst in netlist.instances.values():
+        outputs = [p for p in inst.output_pins() if p.net is not None]
+        if outputs and all(p.net.name in constants for p in outputs):
+            inert.append(inst.name)
+    return ConstantPropagationResult(constants=constants, inert_instances=inert)

@@ -1,0 +1,69 @@
+"""Tie nets to fixed logic values (circuit manipulation step 1).
+
+Tieing is recorded directly on the :class:`~repro.netlist.module.Net`
+(``net.tied``) and in the netlist annotation ``"tie_records"`` so reports can
+explain *why* each net was tied (debug control, memory map, scan enable...).
+Simulation, implication and ATPG all honour ``net.tied``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.netlist.cells import LOGIC_0, LOGIC_1
+from repro.netlist.module import Netlist
+
+
+@dataclass(frozen=True)
+class TieRecord:
+    """Audit record of one tie operation."""
+
+    net: str
+    value: int
+    reason: str = ""
+
+
+def _records(netlist: Netlist) -> List[TieRecord]:
+    return netlist.annotations.setdefault("tie_records", [])  # type: ignore[return-value]
+
+
+def tie_net(netlist: Netlist, net_name: str, value: int, reason: str = "") -> TieRecord:
+    """Force ``net_name`` to a constant logic value."""
+    if value not in (LOGIC_0, LOGIC_1):
+        raise ValueError(f"tie value must be 0 or 1, got {value!r}")
+    net = netlist.net(net_name)
+    net.tied = value
+    record = TieRecord(net_name, value, reason)
+    _records(netlist).append(record)
+    return record
+
+
+def tie_port(netlist: Netlist, port_name: str, value: int, reason: str = "") -> TieRecord:
+    """Tie a module port (checks the port exists first)."""
+    if port_name not in netlist.ports:
+        raise KeyError(f"port {port_name!r} not found on module {netlist.name!r}")
+    return tie_net(netlist, port_name, value, reason)
+
+
+def tie_bus(netlist: Netlist, net_names: Sequence[str], values: Iterable[int],
+            reason: str = "") -> List[TieRecord]:
+    """Tie a bus of nets to a vector of values (same length)."""
+    values = list(values)
+    if len(values) != len(net_names):
+        raise ValueError(
+            f"bus has {len(net_names)} nets but {len(values)} tie values were given")
+    return [tie_net(netlist, n, v, reason) for n, v in zip(net_names, values)]
+
+
+def untie_net(netlist: Netlist, net_name: str) -> None:
+    """Remove a tie (used by tests and what-if analyses)."""
+    net = netlist.net(net_name)
+    net.tied = None
+    records = _records(netlist)
+    netlist.annotations["tie_records"] = [r for r in records if r.net != net_name]
+
+
+def tied_nets(netlist: Netlist) -> Dict[str, int]:
+    """All currently tied nets and their values."""
+    return {name: net.tied for name, net in netlist.nets.items() if net.tied is not None}

@@ -1,0 +1,18 @@
+"""Memory-map modelling and address-bit constancy analysis (paper §3.3)."""
+
+from repro.memory.memory_map import MemoryMap, MemoryRegion
+from repro.memory.analysis import (
+    AddressBitAnalysis,
+    analyze_address_bits,
+    constant_address_bits,
+    free_address_bits,
+)
+
+__all__ = [
+    "MemoryMap",
+    "MemoryRegion",
+    "AddressBitAnalysis",
+    "analyze_address_bits",
+    "constant_address_bits",
+    "free_address_bits",
+]

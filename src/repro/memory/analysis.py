@@ -1,0 +1,112 @@
+"""Address-bit constancy analysis.
+
+Given the mission memory map, determine which address-bus bits can legally
+assume both logic values ("free" bits) and which are frozen to a constant
+("constant" bits).  The constant bits are the ones §3.3 of the paper ties to
+ground/Vdd in every address-handling register (address generation unit,
+branch target buffer, memory-management registers) before running the
+structural-untestability analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+from repro.memory.memory_map import MemoryMap
+
+
+def _range_has_bit_value(lo: int, hi: int, bit: int, value: int) -> bool:
+    """Does any address in [lo, hi] have ``bit`` equal to ``value``?"""
+    period = 1 << (bit + 1)
+    half = 1 << bit
+    if hi - lo + 1 >= period:
+        return True
+    a = lo % period
+    b = a + (hi - lo)  # may extend past one period but < 2*period
+
+    if value == 1:
+        windows = [(half, period - 1), (period + half, 2 * period - 1)]
+    else:
+        windows = [(0, half - 1), (period, period + half - 1)]
+    return any(a <= w_hi and w_lo <= b for w_lo, w_hi in windows)
+
+
+def free_address_bits(memory_map: MemoryMap) -> Set[int]:
+    """Bits of the address bus that can take both 0 and 1 over the legal
+    address set (the union of all mapped regions)."""
+    free: Set[int] = set()
+    for bit in range(memory_map.address_width):
+        saw_zero = any(
+            _range_has_bit_value(r.base, r.end, bit, 0) for r in memory_map
+        )
+        saw_one = any(
+            _range_has_bit_value(r.base, r.end, bit, 1) for r in memory_map
+        )
+        if saw_zero and saw_one:
+            free.add(bit)
+    return free
+
+
+def constant_address_bits(memory_map: MemoryMap) -> Dict[int, int]:
+    """Bits frozen to a constant value, mapped to that value.
+
+    A bit is constant when every legal address agrees on it; the returned
+    value is the one it always holds.
+    """
+    constants: Dict[int, int] = {}
+    free = free_address_bits(memory_map)
+    for bit in range(memory_map.address_width):
+        if bit in free:
+            continue
+        if not memory_map.regions:
+            constants[bit] = 0
+            continue
+        value = (memory_map.regions[0].base >> bit) & 1
+        constants[bit] = value
+    return constants
+
+
+@dataclass
+class AddressBitAnalysis:
+    """Result of analysing a memory map against an address bus width."""
+
+    memory_map: MemoryMap
+    free_bits: Set[int] = field(default_factory=set)
+    constant_bits: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def address_width(self) -> int:
+        return self.memory_map.address_width
+
+    @property
+    def used_bit_count(self) -> int:
+        return len(self.free_bits)
+
+    @property
+    def frozen_bit_count(self) -> int:
+        return len(self.constant_bits)
+
+    def bit_vector(self) -> List[Tuple[int, str]]:
+        """Per-bit description, LSB first: ('free') or ('0'/'1')."""
+        result: List[Tuple[int, str]] = []
+        for bit in range(self.address_width):
+            if bit in self.free_bits:
+                result.append((bit, "free"))
+            else:
+                result.append((bit, str(self.constant_bits.get(bit, 0))))
+        return result
+
+    def summary(self) -> str:
+        free = sorted(self.free_bits)
+        return (f"{self.used_bit_count}/{self.address_width} address bits are free "
+                f"({free}); {self.frozen_bit_count} bits are frozen")
+
+
+def analyze_address_bits(memory_map: MemoryMap) -> AddressBitAnalysis:
+    """Full address-bit analysis of a memory map."""
+    return AddressBitAnalysis(
+        memory_map=memory_map,
+        free_bits=free_address_bits(memory_map),
+        constant_bits=constant_address_bits(memory_map),
+    )

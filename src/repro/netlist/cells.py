@@ -1,0 +1,362 @@
+"""Standard-cell library with three-valued (0/1/X) semantics.
+
+Every cell used by the SoC generators, the scan-insertion pass and the ATPG
+engine is defined here.  Cells evaluate over the three-valued domain
+``{LOGIC_0, LOGIC_1, LOGIC_X}``; the five-valued D-calculus needed by PODEM is
+obtained in :mod:`repro.atpg.d_algebra` by evaluating the same functions
+componentwise on (good-machine, faulty-machine) value pairs, so no cell needs
+a separate D-aware model.
+
+Sequential cells (DFF variants, mux-scan flip-flops) carry pin-role metadata
+(`clock`, `data`, `scan_in`, `scan_enable`, `reset`, ...) used by the scan
+chain tracer, the sequential simulator and the on-line untestability
+analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Mapping, Optional, Tuple
+
+# Three-valued logic encoding.  Chosen as small ints so hot simulation loops
+# can use them directly as list indices.
+LOGIC_0 = 0
+LOGIC_1 = 1
+LOGIC_X = 2
+
+_VALID_VALUES = (LOGIC_0, LOGIC_1, LOGIC_X)
+
+
+def v_not(a: int) -> int:
+    """Three-valued NOT."""
+    if a == LOGIC_X:
+        return LOGIC_X
+    return LOGIC_1 - a
+
+
+def v_and(*args: int) -> int:
+    """Three-valued AND of any arity: a single 0 dominates any X."""
+    saw_x = False
+    for a in args:
+        if a == LOGIC_0:
+            return LOGIC_0
+        if a == LOGIC_X:
+            saw_x = True
+    return LOGIC_X if saw_x else LOGIC_1
+
+
+def v_or(*args: int) -> int:
+    """Three-valued OR of any arity: a single 1 dominates any X."""
+    saw_x = False
+    for a in args:
+        if a == LOGIC_1:
+            return LOGIC_1
+        if a == LOGIC_X:
+            saw_x = True
+    return LOGIC_X if saw_x else LOGIC_0
+
+
+def v_xor(*args: int) -> int:
+    """Three-valued XOR of any arity: any X makes the result X."""
+    acc = LOGIC_0
+    for a in args:
+        if a == LOGIC_X:
+            return LOGIC_X
+        acc ^= a
+    return acc
+
+
+def v_mux(sel: int, d0: int, d1: int) -> int:
+    """Three-valued 2:1 multiplexer: returns d0 when sel=0, d1 when sel=1.
+
+    When the select is X the output is only known if both data inputs agree.
+    """
+    if sel == LOGIC_0:
+        return d0
+    if sel == LOGIC_1:
+        return d1
+    if d0 == d1 and d0 != LOGIC_X:
+        return d0
+    return LOGIC_X
+
+
+def v_buf(a: int) -> int:
+    """Three-valued buffer (identity)."""
+    return a
+
+
+EvalFn = Callable[[Mapping[str, int]], Dict[str, int]]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """A library cell.
+
+    Parameters
+    ----------
+    name:
+        Library cell name, e.g. ``"NAND2"``.
+    inputs / outputs:
+        Ordered pin names.
+    eval_fn:
+        For combinational cells, maps input pin values to output pin values
+        (three-valued).  For sequential cells, ``eval_fn`` computes the
+        *next state* and the combinational outputs given inputs plus the
+        pseudo-input ``"__state__"`` holding the current state; the Q output
+        simply reflects the stored state, handled by the sequential
+        simulator.
+    sequential:
+        True for state-holding cells.
+    roles:
+        Pin-role metadata for sequential cells: maps role name
+        (``"clock"``, ``"data"``, ``"reset"``, ``"reset_active"``,
+        ``"scan_in"``, ``"scan_enable"``, ``"scan_enable_active"``,
+        ``"state_output"``, ``"scan_out"``, ``"debug_in"``, ``"debug_enable"``,
+        ``"debug_out"``) to a pin name (or, for the ``*_active`` roles, to a
+        logic value).
+    """
+
+    name: str
+    inputs: Tuple[str, ...]
+    outputs: Tuple[str, ...]
+    eval_fn: EvalFn
+    sequential: bool = False
+    roles: Dict[str, object] = field(default_factory=dict)
+    description: str = ""
+
+    @property
+    def pins(self) -> Tuple[str, ...]:
+        return self.inputs + self.outputs
+
+    def is_input(self, pin: str) -> bool:
+        return pin in self.inputs
+
+    def is_output(self, pin: str) -> bool:
+        return pin in self.outputs
+
+    def role_pin(self, role: str) -> Optional[str]:
+        """Return the pin playing ``role``, or None."""
+        value = self.roles.get(role)
+        return value if isinstance(value, str) else None
+
+    def role_value(self, role: str) -> Optional[int]:
+        """Return the logic value associated with ``role`` (for *_active roles)."""
+        value = self.roles.get(role)
+        return value if isinstance(value, int) else None
+
+    def evaluate(self, inputs: Mapping[str, int]) -> Dict[str, int]:
+        """Evaluate the cell's combinational function over three-valued inputs."""
+        for pin_name, value in inputs.items():
+            if value not in _VALID_VALUES:
+                raise ValueError(
+                    f"invalid logic value {value!r} on pin {pin_name!r} of {self.name}"
+                )
+        return self.eval_fn(inputs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        kind = "seq" if self.sequential else "comb"
+        return f"Cell({self.name}, {kind}, in={self.inputs}, out={self.outputs})"
+
+
+class Library:
+    """A named collection of :class:`Cell` definitions."""
+
+    def __init__(self, name: str = "generic") -> None:
+        self.name = name
+        self._cells: Dict[str, Cell] = {}
+
+    def add(self, cell: Cell) -> Cell:
+        if cell.name in self._cells:
+            raise ValueError(f"cell {cell.name!r} already defined in library {self.name!r}")
+        self._cells[cell.name] = cell
+        return cell
+
+    def get(self, name: str) -> Cell:
+        try:
+            return self._cells[name]
+        except KeyError:
+            raise KeyError(f"cell {name!r} not found in library {self.name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._cells
+
+    def __iter__(self) -> Iterable[Cell]:
+        return iter(self._cells.values())
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def cell_names(self) -> Tuple[str, ...]:
+        return tuple(self._cells)
+
+
+def _comb(name: str, inputs: Tuple[str, ...], outputs: Tuple[str, ...],
+          fn: Callable[..., Dict[str, int]], description: str = "") -> Cell:
+    def eval_fn(values: Mapping[str, int]) -> Dict[str, int]:
+        return fn(*[values[p] for p in inputs])
+
+    return Cell(name=name, inputs=inputs, outputs=outputs, eval_fn=eval_fn,
+                description=description)
+
+
+def _single_output(fn: Callable[..., int], out: str = "Y") -> Callable[..., Dict[str, int]]:
+    def wrapper(*args: int) -> Dict[str, int]:
+        return {out: fn(*args)}
+
+    return wrapper
+
+
+def _make_combinational_cells(lib: Library) -> None:
+    a_to_d = ("A", "B", "C", "D")
+
+    lib.add(_comb("TIE0", (), ("Y",), lambda: {"Y": LOGIC_0},
+                  "Constant logic 0 driver"))
+    lib.add(_comb("TIE1", (), ("Y",), lambda: {"Y": LOGIC_1},
+                  "Constant logic 1 driver"))
+    lib.add(_comb("BUF", ("A",), ("Y",), _single_output(v_buf), "Buffer"))
+    lib.add(_comb("INV", ("A",), ("Y",), _single_output(v_not), "Inverter"))
+
+    for arity in (2, 3, 4):
+        ins = a_to_d[:arity]
+        lib.add(_comb(f"AND{arity}", ins, ("Y",), _single_output(v_and),
+                      f"{arity}-input AND"))
+        lib.add(_comb(f"NAND{arity}", ins, ("Y",),
+                      _single_output(lambda *a: v_not(v_and(*a))),
+                      f"{arity}-input NAND"))
+        lib.add(_comb(f"OR{arity}", ins, ("Y",), _single_output(v_or),
+                      f"{arity}-input OR"))
+        lib.add(_comb(f"NOR{arity}", ins, ("Y",),
+                      _single_output(lambda *a: v_not(v_or(*a))),
+                      f"{arity}-input NOR"))
+
+    lib.add(_comb("XOR2", ("A", "B"), ("Y",), _single_output(v_xor), "2-input XOR"))
+    lib.add(_comb("XNOR2", ("A", "B"), ("Y",),
+                  _single_output(lambda a, b: v_not(v_xor(a, b))), "2-input XNOR"))
+    lib.add(_comb("MUX2", ("D0", "D1", "S"), ("Y",),
+                  lambda d0, d1, s: {"Y": v_mux(s, d0, d1)},
+                  "2:1 multiplexer, S=0 selects D0"))
+    lib.add(_comb("AO21", ("A", "B", "C"), ("Y",),
+                  _single_output(lambda a, b, c: v_or(v_and(a, b), c)),
+                  "AND-OR: Y = (A&B)|C"))
+    lib.add(_comb("OA21", ("A", "B", "C"), ("Y",),
+                  _single_output(lambda a, b, c: v_and(v_or(a, b), c)),
+                  "OR-AND: Y = (A|B)&C"))
+    lib.add(_comb("AOI21", ("A", "B", "C"), ("Y",),
+                  _single_output(lambda a, b, c: v_not(v_or(v_and(a, b), c))),
+                  "AND-OR-invert"))
+    lib.add(_comb("OAI21", ("A", "B", "C"), ("Y",),
+                  _single_output(lambda a, b, c: v_not(v_and(v_or(a, b), c))),
+                  "OR-AND-invert"))
+    lib.add(_comb("HA", ("A", "B"), ("S", "CO"),
+                  lambda a, b: {"S": v_xor(a, b), "CO": v_and(a, b)},
+                  "Half adder"))
+    lib.add(_comb("FA", ("A", "B", "CI"), ("S", "CO"),
+                  lambda a, b, ci: {
+                      "S": v_xor(a, b, ci),
+                      "CO": v_or(v_and(a, b), v_and(a, ci), v_and(b, ci)),
+                  },
+                  "Full adder"))
+
+
+def _dff_eval(values: Mapping[str, int]) -> Dict[str, int]:
+    # Next-state function of a plain DFF: captures D.
+    return {"__next__": values["D"]}
+
+
+def _dffr_eval(values: Mapping[str, int]) -> Dict[str, int]:
+    # Active-low asynchronous reset: RN=0 forces state to 0.
+    rn = values["RN"]
+    if rn == LOGIC_0:
+        return {"__next__": LOGIC_0}
+    if rn == LOGIC_X:
+        return {"__next__": LOGIC_X}
+    return {"__next__": values["D"]}
+
+
+def _sdff_eval(values: Mapping[str, int]) -> Dict[str, int]:
+    # Mux-scan flip-flop: SE=1 captures SI, SE=0 captures D (Fig. 2 of the paper).
+    return {"__next__": v_mux(values["SE"], values["D"], values["SI"])}
+
+
+def _sdffr_eval(values: Mapping[str, int]) -> Dict[str, int]:
+    rn = values["RN"]
+    if rn == LOGIC_0:
+        return {"__next__": LOGIC_0}
+    if rn == LOGIC_X:
+        return {"__next__": LOGIC_X}
+    return {"__next__": v_mux(values["SE"], values["D"], values["SI"])}
+
+
+def _dbgff_eval(values: Mapping[str, int]) -> Dict[str, int]:
+    # Debug-controllable flip-flop (Fig. 4): DE=1 loads the debug input DI.
+    return {"__next__": v_mux(values["DE"], values["D"], values["DI"])}
+
+
+def _make_sequential_cells(lib: Library) -> None:
+    lib.add(Cell(
+        name="DFF",
+        inputs=("D", "CK"),
+        outputs=("Q",),
+        eval_fn=_dff_eval,
+        sequential=True,
+        roles={"clock": "CK", "data": "D", "state_output": "Q"},
+        description="Positive-edge D flip-flop",
+    ))
+    lib.add(Cell(
+        name="DFFR",
+        inputs=("D", "CK", "RN"),
+        outputs=("Q",),
+        eval_fn=_dffr_eval,
+        sequential=True,
+        roles={"clock": "CK", "data": "D", "reset": "RN",
+               "reset_active": LOGIC_0, "state_output": "Q"},
+        description="D flip-flop with active-low asynchronous reset",
+    ))
+    lib.add(Cell(
+        name="SDFF",
+        inputs=("D", "SI", "SE", "CK"),
+        outputs=("Q",),
+        eval_fn=_sdff_eval,
+        sequential=True,
+        roles={"clock": "CK", "data": "D", "scan_in": "SI",
+               "scan_enable": "SE", "scan_enable_active": LOGIC_1,
+               "state_output": "Q", "scan_out": "Q"},
+        description="Mux-scan D flip-flop (scan shifts when SE=1)",
+    ))
+    lib.add(Cell(
+        name="SDFFR",
+        inputs=("D", "SI", "SE", "CK", "RN"),
+        outputs=("Q",),
+        eval_fn=_sdffr_eval,
+        sequential=True,
+        roles={"clock": "CK", "data": "D", "scan_in": "SI",
+               "scan_enable": "SE", "scan_enable_active": LOGIC_1,
+               "reset": "RN", "reset_active": LOGIC_0,
+               "state_output": "Q", "scan_out": "Q"},
+        description="Mux-scan D flip-flop with active-low reset",
+    ))
+    lib.add(Cell(
+        name="DBGFF",
+        inputs=("D", "DI", "DE", "CK"),
+        outputs=("Q",),
+        eval_fn=_dbgff_eval,
+        sequential=True,
+        roles={"clock": "CK", "data": "D", "debug_in": "DI",
+               "debug_enable": "DE", "debug_enable_active": LOGIC_1,
+               "state_output": "Q"},
+        description="D flip-flop with debug-override mux (Fig. 4 of the paper)",
+    ))
+
+
+_STANDARD_LIBRARY: Optional[Library] = None
+
+
+def standard_library() -> Library:
+    """Return the shared standard-cell library (built once, cached)."""
+    global _STANDARD_LIBRARY
+    if _STANDARD_LIBRARY is None:
+        lib = Library("repro_std")
+        _make_combinational_cells(lib)
+        _make_sequential_cells(lib)
+        _STANDARD_LIBRARY = lib
+    return _STANDARD_LIBRARY

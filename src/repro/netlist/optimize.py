@@ -1,0 +1,60 @@
+"""Netlist clean-up passes.
+
+The generators in :mod:`repro.soc` occasionally leave dangling combinational
+logic behind (an unused carry-out, a padded multiplexer leg).  A synthesis
+tool would sweep such logic away; :func:`remove_dangling_logic` performs the
+same clean-up so the generated cores resemble a synthesised netlist and the
+"Original" (pre-manipulation) untestable-fault count stays small, as in the
+paper's case study.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+from repro.netlist.module import Netlist
+
+
+def dangling_instances(netlist: Netlist) -> List[str]:
+    """Combinational instances none of whose outputs drive a load or a port."""
+    result = []
+    for inst in netlist.instances.values():
+        if inst.is_sequential:
+            continue
+        useful = False
+        for pin in inst.output_pins():
+            net = pin.net
+            if net is None:
+                continue
+            if net.loads or net.is_output_port:
+                useful = True
+                break
+        if not useful:
+            result.append(inst.name)
+    return result
+
+
+def remove_dangling_logic(netlist: Netlist, max_iterations: int = 100) -> int:
+    """Iteratively remove dangling combinational instances.
+
+    Returns the number of instances removed.  Sequential cells, tie cells
+    that still drive something, and anything reaching an output port are
+    never touched.
+    """
+    removed_total = 0
+    for _ in range(max_iterations):
+        dangling = dangling_instances(netlist)
+        if not dangling:
+            break
+        for name in dangling:
+            netlist.remove_instance(name)
+        removed_total += len(dangling)
+    # Drop nets that lost both driver and loads and are not ports.
+    orphan_nets = [
+        name for name, net in netlist.nets.items()
+        if net.driver is None and not net.loads
+        and not net.is_input_port and not net.is_output_port
+    ]
+    for name in orphan_nets:
+        del netlist.nets[name]
+    return removed_total

@@ -1,0 +1,75 @@
+"""Structural sanity checks run by the SoC builder and available to users."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.netlist.module import Netlist
+from repro.netlist.traversal import topological_instances
+
+
+class NetlistValidationError(Exception):
+    """Raised when a netlist violates a structural invariant."""
+
+    def __init__(self, problems: List[str]) -> None:
+        self.problems = problems
+        preview = "; ".join(problems[:5])
+        more = f" (+{len(problems) - 5} more)" if len(problems) > 5 else ""
+        super().__init__(f"{len(problems)} netlist problem(s): {preview}{more}")
+
+
+def check_netlist(netlist: Netlist, allow_floating_inputs: bool = False,
+                  allow_dangling_outputs: bool = True) -> List[str]:
+    """Return a list of human-readable structural problems (empty = clean).
+
+    Checks performed:
+
+    * every instance input pin is connected to a driven net (unless the net
+      is tied by manipulation, or ``allow_floating_inputs``);
+    * no net has more than one driver (enforced at construction, re-checked);
+    * output ports are driven;
+    * the combinational portion is acyclic.
+    """
+    problems: List[str] = []
+
+    for inst in netlist.instances.values():
+        for pin in inst.input_pins():
+            net = pin.net
+            if net is None:
+                if not allow_floating_inputs:
+                    problems.append(f"input pin {pin.name} is unconnected")
+                continue
+            if not net.has_driver and not allow_floating_inputs:
+                problems.append(f"net {net.name!r} (load {pin.name}) has no driver")
+        for pin in inst.output_pins():
+            net = pin.net
+            if net is None:
+                continue
+            if net.driver is not pin:
+                problems.append(
+                    f"net {net.name!r} driver mismatch for output pin {pin.name}")
+
+    for port in netlist.output_ports():
+        net = netlist.net(port)
+        if not net.has_driver:
+            problems.append(f"output port {port!r} has no driver")
+
+    if not allow_dangling_outputs:
+        for inst in netlist.instances.values():
+            for pin in inst.output_pins():
+                if pin.net is None or (not pin.net.loads and not pin.net.is_output_port):
+                    problems.append(f"output pin {pin.name} drives nothing")
+
+    try:
+        topological_instances(netlist)
+    except Exception as exc:  # CombinationalLoopError
+        problems.append(str(exc))
+
+    return problems
+
+
+def validate_netlist(netlist: Netlist, allow_floating_inputs: bool = False) -> None:
+    """Raise :class:`NetlistValidationError` if the netlist is malformed."""
+    problems = check_netlist(netlist, allow_floating_inputs=allow_floating_inputs)
+    if problems:
+        raise NetlistValidationError(problems)

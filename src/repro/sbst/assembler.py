@@ -1,0 +1,191 @@
+"""Two-pass assembler for the miniature ISA.
+
+Syntax (one instruction per line, ``;`` or ``#`` starts a comment)::
+
+    loop:   addi r1, r0, 5
+            add  r2, r1, r1
+            beq  r2, r1, done
+            jump loop
+    done:   halt
+
+Registers are written ``r0`` ... ``rN``; immediates are decimal or ``0x``
+hexadecimal; branch/jump targets may be labels (PC-relative offsets are
+computed by the assembler) or literal immediates.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.isa.opcodes import Opcode, decode_fields, encode_instruction
+from repro.utils.bitvec import mask
+
+
+class AssemblerError(Exception):
+    """Raised on malformed assembly input."""
+
+
+_REGISTER_RE = re.compile(r"^r(\d+)$", re.IGNORECASE)
+
+# opcode -> (mnemonic operand format)
+#   "rrr"  : rd, rs1, rs2
+#   "rri"  : rd, rs1, imm
+#   "bri"  : rs1 (base), rs2 (data), imm   (store)
+#   "rrl"  : rs1, rs2, label/imm   (branches)
+#   "l"    : label/imm             (jump)
+#   "ri"   : rd, imm               (movi)
+#   ""     : no operands
+_FORMATS: Dict[Opcode, str] = {
+    Opcode.NOP: "",
+    Opcode.ADD: "rrr",
+    Opcode.SUB: "rrr",
+    Opcode.AND: "rrr",
+    Opcode.OR: "rrr",
+    Opcode.XOR: "rrr",
+    Opcode.SHL: "rrr",
+    Opcode.MUL: "rrr",
+    Opcode.ADDI: "rri",
+    Opcode.LOAD: "rri",
+    Opcode.STORE: "bri",
+    Opcode.BEQ: "rrl",
+    Opcode.BNE: "rrl",
+    Opcode.JUMP: "l",
+    Opcode.MOVI: "ri",
+    Opcode.HALT: "",
+}
+
+_MNEMONICS = {op.name.lower(): op for op in Opcode}
+
+
+def _parse_register(token: str, line_no: int) -> int:
+    match = _REGISTER_RE.match(token.strip())
+    if not match:
+        raise AssemblerError(f"line {line_no}: expected a register, got {token!r}")
+    return int(match.group(1))
+
+
+def _parse_immediate(token: str, labels: Dict[str, int], line_no: int,
+                     current_address: int, relative: bool) -> int:
+    token = token.strip()
+    if token in labels:
+        target = labels[token]
+        return (target - current_address - 1) if relative else target
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblerError(
+            f"line {line_no}: unknown label or immediate {token!r}") from None
+
+
+def _split_statement(line: str) -> Tuple[Optional[str], str]:
+    """Return (label, remainder) for one source line."""
+    code = re.split(r"[;#]", line, maxsplit=1)[0].rstrip()
+    label = None
+    if ":" in code:
+        label_part, code = code.split(":", 1)
+        label = label_part.strip()
+        if label and not re.fullmatch(r"[A-Za-z_][A-Za-z0-9_]*", label):
+            raise AssemblerError(f"invalid label {label!r}")
+    return label, code.strip()
+
+
+def assemble(source: str, instr_width: int = 32,
+             register_select_bits: int = 5) -> List[int]:
+    """Assemble a program into a list of instruction words."""
+    lines = source.splitlines()
+
+    # Pass 1: collect label addresses.
+    labels: Dict[str, int] = {}
+    address = 0
+    statements: List[Tuple[int, str]] = []
+    for line_no, line in enumerate(lines, start=1):
+        label, code = _split_statement(line)
+        if label:
+            if label in labels:
+                raise AssemblerError(f"line {line_no}: duplicate label {label!r}")
+            labels[label] = address
+        if code:
+            statements.append((line_no, code))
+            address += 1
+
+    # Pass 2: encode.
+    words: List[int] = []
+    address = 0
+    imm_width = instr_width - 5 - 3 * register_select_bits
+    for line_no, code in statements:
+        parts = code.replace(",", " ").split()
+        mnemonic = parts[0].lower()
+        if mnemonic not in _MNEMONICS:
+            raise AssemblerError(f"line {line_no}: unknown mnemonic {mnemonic!r}")
+        opcode = _MNEMONICS[mnemonic]
+        fmt = _FORMATS[opcode]
+        operands = parts[1:]
+
+        rd = rs1 = rs2 = imm = 0
+        try:
+            if fmt == "rrr":
+                rd = _parse_register(operands[0], line_no)
+                rs1 = _parse_register(operands[1], line_no)
+                rs2 = _parse_register(operands[2], line_no)
+            elif fmt == "rri":
+                rd = _parse_register(operands[0], line_no)
+                rs1 = _parse_register(operands[1], line_no)
+                imm = _parse_immediate(operands[2], labels, line_no, address, False)
+            elif fmt == "bri":
+                rs1 = _parse_register(operands[0], line_no)
+                rs2 = _parse_register(operands[1], line_no)
+                imm = _parse_immediate(operands[2], labels, line_no, address, False)
+            elif fmt == "rrl":
+                rs1 = _parse_register(operands[0], line_no)
+                rs2 = _parse_register(operands[1], line_no)
+                imm = _parse_immediate(operands[2], labels, line_no, address, True)
+            elif fmt == "l":
+                imm = _parse_immediate(operands[0], labels, line_no, address, True)
+            elif fmt == "ri":
+                rd = _parse_register(operands[0], line_no)
+                imm = _parse_immediate(operands[1], labels, line_no, address, False)
+            elif fmt == "":
+                if operands:
+                    raise AssemblerError(
+                        f"line {line_no}: {mnemonic} takes no operands")
+        except IndexError:
+            raise AssemblerError(
+                f"line {line_no}: not enough operands for {mnemonic}") from None
+
+        words.append(encode_instruction(opcode, rd=rd, rs1=rs1, rs2=rs2,
+                                        imm=imm & mask(imm_width) if imm_width > 0 else 0,
+                                        instr_width=instr_width,
+                                        register_select_bits=register_select_bits))
+        address += 1
+    return words
+
+
+def disassemble(words: Sequence[int], instr_width: int = 32,
+                register_select_bits: int = 5) -> List[str]:
+    """Disassemble instruction words back into readable mnemonics."""
+    lines = []
+    for word in words:
+        fields = decode_fields(word, instr_width, register_select_bits)
+        try:
+            opcode = Opcode(fields["opcode"])
+        except ValueError:
+            lines.append(f".word 0x{word:08X}")
+            continue
+        fmt = _FORMATS[opcode]
+        name = opcode.name.lower()
+        if fmt == "rrr":
+            lines.append(f"{name} r{fields['rd']}, r{fields['rs1']}, r{fields['rs2']}")
+        elif fmt == "rri":
+            lines.append(f"{name} r{fields['rd']}, r{fields['rs1']}, {fields['imm']}")
+        elif fmt == "bri":
+            lines.append(f"{name} r{fields['rs1']}, r{fields['rs2']}, {fields['imm']}")
+        elif fmt == "rrl":
+            lines.append(f"{name} r{fields['rs1']}, r{fields['rs2']}, {fields['imm']}")
+        elif fmt == "l":
+            lines.append(f"{name} {fields['imm']}")
+        elif fmt == "ri":
+            lines.append(f"{name} r{fields['rd']}, {fields['imm']}")
+        else:
+            lines.append(name)
+    return lines

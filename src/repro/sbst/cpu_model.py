@@ -1,0 +1,144 @@
+"""Instruction-level reference model of the miniature ISA.
+
+The model executes the same opcode table the gate-level decoder is
+synthesised from, so it serves as the golden reference for the SBST program
+generator (expected register/memory results) and for integration tests that
+drive the gate-level core with an instruction stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.isa.opcodes import Opcode, decode_fields
+from repro.utils.bitvec import mask, sign_extend
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-cycle record of an executed program."""
+
+    pcs: List[int] = field(default_factory=list)
+    instructions: List[int] = field(default_factory=list)
+    register_writes: List[Dict[str, int]] = field(default_factory=list)
+    memory_writes: List[Dict[str, int]] = field(default_factory=list)
+
+    @property
+    def cycles(self) -> int:
+        return len(self.pcs)
+
+
+class CpuModel:
+    """A simple fetch/execute interpreter for the miniature ISA."""
+
+    def __init__(self, data_width: int = 32, n_registers: int = 32,
+                 instr_width: int = 32, register_select_bits: Optional[int] = None,
+                 memory_size: int = 4096) -> None:
+        self.data_width = data_width
+        self.n_registers = n_registers
+        self.instr_width = instr_width
+        self.register_select_bits = (register_select_bits
+                                     if register_select_bits is not None
+                                     else max(1, (n_registers - 1).bit_length()))
+        self.memory_size = memory_size
+        self.registers = [0] * n_registers
+        self.memory: Dict[int, int] = {}
+        self.pc = 0
+        self.halted = False
+
+    # ------------------------------------------------------------------ #
+    def reset(self) -> None:
+        self.registers = [0] * self.n_registers
+        self.memory.clear()
+        self.pc = 0
+        self.halted = False
+
+    def _mask(self, value: int) -> int:
+        return value & mask(self.data_width)
+
+    def _imm(self, fields: Dict[str, int], signed: bool = True) -> int:
+        imm_width = self.instr_width - 5 - 3 * self.register_select_bits
+        value = fields["imm"]
+        if signed and imm_width > 0:
+            return sign_extend(value, imm_width, self.data_width)
+        return value
+
+    def _read_reg(self, index: int) -> int:
+        return self.registers[index % self.n_registers]
+
+    def _write_reg(self, index: int, value: int) -> None:
+        self.registers[index % self.n_registers] = self._mask(value)
+
+    # ------------------------------------------------------------------ #
+    def step(self, instruction: int) -> Dict[str, int]:
+        """Execute one instruction word; returns the register/memory effects."""
+        fields = decode_fields(instruction, self.instr_width, self.register_select_bits)
+        try:
+            opcode = Opcode(fields["opcode"])
+        except ValueError:
+            opcode = Opcode.NOP
+
+        rd, rs1, rs2 = fields["rd"], fields["rs1"], fields["rs2"]
+        a, bb = self._read_reg(rs1), self._read_reg(rs2)
+        imm = self._imm(fields)
+        effects: Dict[str, int] = {}
+        next_pc = self.pc + 1
+
+        if opcode is Opcode.ADD:
+            self._write_reg(rd, a + bb); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.SUB:
+            self._write_reg(rd, a - bb); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.AND:
+            self._write_reg(rd, a & bb); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.OR:
+            self._write_reg(rd, a | bb); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.XOR:
+            self._write_reg(rd, a ^ bb); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.SHL:
+            self._write_reg(rd, a << (bb % self.data_width))
+            effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.MUL:
+            self._write_reg(rd, a * bb); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.ADDI:
+            self._write_reg(rd, a + imm); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.MOVI:
+            self._write_reg(rd, imm); effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.LOAD:
+            address = self._mask(a + imm) % self.memory_size
+            self._write_reg(rd, self.memory.get(address, 0))
+            effects[f"r{rd}"] = self._read_reg(rd)
+        elif opcode is Opcode.STORE:
+            address = self._mask(a + imm) % self.memory_size
+            self.memory[address] = self._read_reg(rs2)
+            effects[f"mem[{address}]"] = self.memory[address]
+        elif opcode is Opcode.BEQ:
+            if a == bb:
+                next_pc = self.pc + 1 + imm
+        elif opcode is Opcode.BNE:
+            if a != bb:
+                next_pc = self.pc + 1 + imm
+        elif opcode is Opcode.JUMP:
+            next_pc = self.pc + 1 + imm
+        elif opcode is Opcode.HALT:
+            self.halted = True
+            next_pc = self.pc
+
+        self.pc = next_pc & mask(self.data_width)
+        return effects
+
+    def run(self, program: Sequence[int], max_cycles: int = 10_000) -> ExecutionTrace:
+        """Run a program (a list of instruction words) until HALT or the limit."""
+        trace = ExecutionTrace()
+        for _ in range(max_cycles):
+            if self.halted or not (0 <= self.pc < len(program)):
+                break
+            instruction = program[self.pc]
+            trace.pcs.append(self.pc)
+            trace.instructions.append(instruction)
+            effects = self.step(instruction)
+            register_effects = {k: v for k, v in effects.items() if k.startswith("r")}
+            memory_effects = {k: v for k, v in effects.items() if k.startswith("mem")}
+            trace.register_writes.append(register_effects)
+            trace.memory_writes.append(memory_effects)
+        return trace

@@ -1,0 +1,116 @@
+"""Functional fault grading of SBST programs and the coverage-gain experiment.
+
+The paper's practical pay-off is that pruning the on-line functionally
+untestable faults from the fault list raises the reported SBST fault
+coverage by roughly the pruned fraction (~13.8 % on the industrial SoC).
+:class:`FaultGrader` reproduces that comparison: it fault-grades captured
+functional patterns against the core with mission-mode observability (the
+memory bus only, like the paper's evaluation) and reports the coverage with
+and without OLFU pruning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.faults.fault import StuckAtFault
+from repro.faults.faultlist import FaultList, generate_fault_list
+from repro.netlist.module import Netlist
+from repro.sbst.monitor import CapturedPatterns
+from repro.simulation.parallel import ParallelPatternSimulator
+
+
+@dataclass
+class CoverageComparison:
+    """Fault coverage before and after pruning on-line untestable faults."""
+
+    total_faults: int
+    detected: int
+    pruned: int
+    detected_after_pruning: int
+
+    @property
+    def coverage_before(self) -> float:
+        return self.detected / self.total_faults if self.total_faults else 0.0
+
+    @property
+    def coverage_after(self) -> float:
+        denominator = self.total_faults - self.pruned
+        return (self.detected_after_pruning / denominator) if denominator else 0.0
+
+    @property
+    def coverage_gain(self) -> float:
+        return self.coverage_after - self.coverage_before
+
+    def summary(self) -> str:
+        return (f"coverage {self.coverage_before:.1%} -> {self.coverage_after:.1%} "
+                f"(+{self.coverage_gain:.1%}) after pruning "
+                f"{self.pruned:,}/{self.total_faults:,} on-line untestable faults")
+
+
+class FaultGrader:
+    """Grades functional patterns against a core with mission-mode observability."""
+
+    def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
+                 word_size: int = 64) -> None:
+        # Mission-mode observation: the system-bus outputs plus the values
+        # captured into the architectural state (a captured error eventually
+        # propagates to memory over the following cycles of the self-test
+        # program, so observing the flip-flop inputs approximates multi-cycle
+        # propagation — see DESIGN.md).  The debug-only observation buses are
+        # explicitly excluded: in the field no debugger reads them.
+        self.netlist = netlist
+        self.word_size = word_size
+        exclude: set = set(netlist.unobservable_ports)
+        debug_spec = netlist.annotations.get("debug_interface")
+        if isinstance(debug_spec, dict):
+            exclude.update(debug_spec.get("observation_outputs", []))
+        # Scan-out pins are never observed during the mission either.
+        scan_spec = netlist.annotations.get("scan_insertion", {})
+        exclude.update(scan_spec.get("scan_out_ports", []))
+        self.simulator = ParallelPatternSimulator(
+            netlist, observe_state_inputs=observe_state_inputs,
+            exclude_output_ports=exclude)
+
+    # ------------------------------------------------------------------ #
+    def grade(self, patterns: CapturedPatterns,
+              faults: Optional[Iterable[StuckAtFault]] = None) -> Set[StuckAtFault]:
+        """Return the faults detected by the captured functional patterns."""
+        fault_universe = (list(faults) if faults is not None
+                          else generate_fault_list(self.netlist).faults())
+        remaining: Set[StuckAtFault] = set(fault_universe)
+        detected: Set[StuckAtFault] = set()
+
+        cycles = patterns.cycles
+        for start in range(0, len(cycles), self.word_size):
+            if not remaining:
+                break
+            window = cycles[start:start + self.word_size]
+            words = {net: 0 for net in patterns.controllable_nets}
+            for index, cycle in enumerate(window):
+                for net, value in cycle.items():
+                    if value == 1 and net in words:
+                        words[net] |= 1 << index
+            newly = self.simulator.detected_faults(remaining, words, len(window))
+            detected |= newly
+            remaining -= newly
+        return detected
+
+    # ------------------------------------------------------------------ #
+    def compare_with_pruning(self, patterns: CapturedPatterns,
+                             online_untestable: Set[StuckAtFault],
+                             faults: Optional[Iterable[StuckAtFault]] = None
+                             ) -> CoverageComparison:
+        """Coverage with the full fault list vs. the OLFU-pruned fault list."""
+        fault_universe = (list(faults) if faults is not None
+                          else generate_fault_list(self.netlist).faults())
+        detected = self.grade(patterns, fault_universe)
+        pruned_set = set(online_untestable) & set(fault_universe)
+        detected_after = detected - pruned_set
+        return CoverageComparison(
+            total_faults=len(fault_universe),
+            detected=len(detected),
+            pruned=len(pruned_set),
+            detected_after_pruning=len(detected_after),
+        )

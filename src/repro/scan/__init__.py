@@ -1,0 +1,12 @@
+"""Scan infrastructure: mux-scan insertion and scan-chain tracing."""
+
+from repro.scan.insertion import ScanInsertionResult, insert_scan
+from repro.scan.chain_tracer import ScanChain, ScanChainTracer, trace_scan_chains
+
+__all__ = [
+    "ScanInsertionResult",
+    "insert_scan",
+    "ScanChain",
+    "ScanChainTracer",
+    "trace_scan_chains",
+]

@@ -1,0 +1,14 @@
+"""Logic simulation: combinational, sequential and stuck-at fault simulation."""
+
+from repro.simulation.simulator import CombinationalSimulator
+from repro.simulation.sequential import SequentialSimulator
+from repro.simulation.fault_sim import FaultSimulator, FaultSimResult
+from repro.simulation.parallel import ParallelPatternSimulator
+
+__all__ = [
+    "CombinationalSimulator",
+    "SequentialSimulator",
+    "FaultSimulator",
+    "FaultSimResult",
+    "ParallelPatternSimulator",
+]

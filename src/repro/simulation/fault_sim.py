@@ -1,0 +1,161 @@
+"""Serial stuck-at fault simulation on the combinational view.
+
+Given a set of fully-specified input patterns (primary inputs plus flip-flop
+state values), the simulator determines which faults are detected: a fault is
+detected by a pattern when at least one observation point (observable output
+port, or sequential-cell data input when ``observe_state_inputs`` is set)
+differs between the good machine and the faulty machine with a definite
+(non-X) value on both sides.
+
+Pin-fault semantics are respected: a fault on an instance *input* pin only
+perturbs the value seen by that pin; a fault on an *output* pin or module
+port perturbs the whole net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.faults.fault import StuckAtFault
+from repro.netlist.cells import LOGIC_X
+from repro.netlist.module import Netlist, Pin
+from repro.simulation.simulator import CombinationalSimulator
+
+
+@dataclass
+class FaultSimResult:
+    """Outcome of a fault-simulation run."""
+
+    detected: Set[StuckAtFault] = field(default_factory=set)
+    undetected: Set[StuckAtFault] = field(default_factory=set)
+    detecting_pattern: Dict[StuckAtFault, int] = field(default_factory=dict)
+
+    @property
+    def coverage(self) -> float:
+        total = len(self.detected) + len(self.undetected)
+        return len(self.detected) / total if total else 0.0
+
+
+class FaultSimulator:
+    """Serial single-fault simulator.
+
+    For each pattern the good machine is simulated once; each fault is then
+    simulated by re-evaluating only the instances in the structural fan-out
+    of the fault site, which keeps the serial approach workable for the
+    module-sized netlists used in the tests and the SBST grading flow.
+    """
+
+    def __init__(self, netlist: Netlist, observe_state_inputs: bool = True) -> None:
+        self.netlist = netlist
+        self.sim = CombinationalSimulator(netlist)
+        self.observe_state_inputs = observe_state_inputs
+        self._observation_nets = self._compute_observation_nets()
+
+    def _compute_observation_nets(self) -> Set[str]:
+        nets: Set[str] = set(self.netlist.observable_output_ports())
+        if self.observe_state_inputs:
+            for inst in self.netlist.sequential_instances():
+                for pin in inst.input_pins():
+                    if pin.net is not None:
+                        nets.add(pin.net.name)
+        return nets
+
+    # ------------------------------------------------------------------ #
+    # single-pattern primitives
+    # ------------------------------------------------------------------ #
+    def good_values(self, pattern: Mapping[str, int]) -> Dict[str, int]:
+        """Simulate the fault-free machine for one pattern (flat input map)."""
+        return self.sim.evaluate(pattern, state=pattern)
+
+    def faulty_values(self, fault: StuckAtFault,
+                      pattern: Mapping[str, int],
+                      good: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Simulate the faulty machine for one pattern."""
+        good = good if good is not None else self.good_values(pattern)
+        values = dict(good)
+
+        faulty_pin: Optional[Pin] = None
+        if fault.is_port_fault:
+            values[fault.site] = fault.value
+        else:
+            pin = self.netlist.pin_by_name(fault.site)
+            if pin.net is None:
+                return values
+            if pin.is_output:
+                values[pin.net.name] = fault.value
+            else:
+                faulty_pin = pin
+
+        # Re-evaluate the combinational logic in topological order; only
+        # instances whose inputs changed (or that see the faulty branch pin)
+        # can change their outputs.
+        for inst in self.sim.order:
+            pin_values = {}
+            changed_input = False
+            for pin in inst.input_pins():
+                if pin.net is None:
+                    pin_values[pin.port] = LOGIC_X
+                    continue
+                value = values[pin.net.name]
+                if faulty_pin is not None and pin is faulty_pin:
+                    value = fault.value
+                    changed_input = True
+                elif value != good[pin.net.name]:
+                    changed_input = True
+                pin_values[pin.port] = value
+            if not changed_input:
+                continue
+            outputs = inst.cell.evaluate(pin_values)
+            for out_pin in inst.output_pins():
+                if out_pin.net is None:
+                    continue
+                net = out_pin.net
+                if net.tied is not None:
+                    continue
+                if not fault.is_port_fault and out_pin.name == fault.site:
+                    continue  # stuck output stays at the fault value
+                values[net.name] = outputs.get(out_pin.port, LOGIC_X)
+
+        return values
+
+    def detects(self, fault: StuckAtFault, pattern: Mapping[str, int],
+                good: Optional[Mapping[str, int]] = None) -> bool:
+        """True if ``pattern`` detects ``fault`` at an observation point."""
+        good = good if good is not None else self.good_values(pattern)
+        faulty = self.faulty_values(fault, pattern, good)
+        for net in self._observation_nets:
+            g, f = good.get(net, LOGIC_X), faulty.get(net, LOGIC_X)
+            if g != LOGIC_X and f != LOGIC_X and g != f:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # multi-pattern runs
+    # ------------------------------------------------------------------ #
+    def run(self, faults: Iterable[StuckAtFault],
+            patterns: Sequence[Mapping[str, int]],
+            drop_detected: bool = True) -> FaultSimResult:
+        """Fault-simulate ``patterns`` against ``faults``.
+
+        With ``drop_detected`` (fault dropping) a fault is not re-simulated
+        once a pattern detects it — the standard fault-simulation speed-up.
+        """
+        result = FaultSimResult()
+        remaining: List[StuckAtFault] = list(faults)
+        for index, pattern in enumerate(patterns):
+            if not remaining:
+                break
+            good = self.good_values(pattern)
+            still_undetected: List[StuckAtFault] = []
+            for fault in remaining:
+                if self.detects(fault, pattern, good):
+                    result.detected.add(fault)
+                    result.detecting_pattern[fault] = index
+                    if not drop_detected:
+                        still_undetected.append(fault)
+                else:
+                    still_undetected.append(fault)
+            remaining = still_undetected
+        result.undetected.update(remaining)
+        return result

@@ -1,0 +1,246 @@
+"""Bit-parallel (pattern-parallel) two-valued simulation.
+
+Python integers are used as arbitrary-width bit vectors: a net's value for
+``n`` patterns is held in one integer whose bit *i* is the net value under
+pattern *i*.  This gives a pattern-parallel good-machine simulation and a
+pattern-parallel serial-fault simulation that the random-pattern phase of the
+untestability engine and the SBST fault-grading flow use to knock out the
+bulk of detectable faults cheaply.
+
+X values are not representable here; callers must supply fully-specified
+patterns (the ATPG/implication machinery handles the three-valued cases).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.faults.fault import StuckAtFault
+from repro.netlist.module import Netlist, Pin
+from repro.simulation.simulator import CombinationalSimulator
+from repro.utils.bitvec import mask
+
+# Word-level evaluation functions per cell, operating on Python-int bit
+# vectors plus the all-ones mask of the pattern word.
+_WordFn = Callable[[Dict[str, int], int], Dict[str, int]]
+
+
+def _make_word_functions() -> Dict[str, _WordFn]:
+    def inv(v: Dict[str, int], m: int) -> Dict[str, int]:
+        return {"Y": ~v["A"] & m}
+
+    def buf(v: Dict[str, int], m: int) -> Dict[str, int]:
+        return {"Y": v["A"]}
+
+    def and_n(names: Sequence[str]) -> _WordFn:
+        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
+            acc = m
+            for n in names:
+                acc &= v[n]
+            return {"Y": acc}
+        return fn
+
+    def nand_n(names: Sequence[str]) -> _WordFn:
+        inner = and_n(names)
+        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
+            return {"Y": ~inner(v, m)["Y"] & m}
+        return fn
+
+    def or_n(names: Sequence[str]) -> _WordFn:
+        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
+            acc = 0
+            for n in names:
+                acc |= v[n]
+            return {"Y": acc}
+        return fn
+
+    def nor_n(names: Sequence[str]) -> _WordFn:
+        inner = or_n(names)
+        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
+            return {"Y": ~inner(v, m)["Y"] & m}
+        return fn
+
+    fns: Dict[str, _WordFn] = {
+        "TIE0": lambda v, m: {"Y": 0},
+        "TIE1": lambda v, m: {"Y": m},
+        "BUF": buf,
+        "INV": inv,
+        "XOR2": lambda v, m: {"Y": (v["A"] ^ v["B"]) & m},
+        "XNOR2": lambda v, m: {"Y": ~(v["A"] ^ v["B"]) & m},
+        "MUX2": lambda v, m: {"Y": (v["D0"] & ~v["S"] | v["D1"] & v["S"]) & m},
+        "AO21": lambda v, m: {"Y": (v["A"] & v["B"] | v["C"]) & m},
+        "OA21": lambda v, m: {"Y": (v["A"] | v["B"]) & v["C"] & m},
+        "AOI21": lambda v, m: {"Y": ~(v["A"] & v["B"] | v["C"]) & m},
+        "OAI21": lambda v, m: {"Y": ~((v["A"] | v["B"]) & v["C"]) & m},
+        "HA": lambda v, m: {"S": (v["A"] ^ v["B"]) & m, "CO": v["A"] & v["B"]},
+        "FA": lambda v, m: {
+            "S": (v["A"] ^ v["B"] ^ v["CI"]) & m,
+            "CO": (v["A"] & v["B"] | v["A"] & v["CI"] | v["B"] & v["CI"]) & m,
+        },
+    }
+    names = ("A", "B", "C", "D")
+    for arity in (2, 3, 4):
+        fns[f"AND{arity}"] = and_n(names[:arity])
+        fns[f"NAND{arity}"] = nand_n(names[:arity])
+        fns[f"OR{arity}"] = or_n(names[:arity])
+        fns[f"NOR{arity}"] = nor_n(names[:arity])
+    # Sequential cells appear in the combinational view only through their
+    # outputs (state) and inputs (observation); they are never evaluated here.
+    return fns
+
+
+_WORD_FUNCTIONS = _make_word_functions()
+
+
+class ParallelPatternSimulator:
+    """Pattern-parallel two-valued simulation and serial-fault detection."""
+
+    def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
+                 exclude_output_ports: Optional[Set[str]] = None) -> None:
+        self.netlist = netlist
+        self.sim = CombinationalSimulator(netlist)
+        self.observe_state_inputs = observe_state_inputs
+        self.exclude_output_ports = set(exclude_output_ports or ())
+        self._observation_nets = self._compute_observation_nets()
+        for inst in self.sim.order:
+            if inst.cell.name not in _WORD_FUNCTIONS:
+                raise NotImplementedError(
+                    f"no word-level model for cell {inst.cell.name!r}")
+
+    def _compute_observation_nets(self) -> Set[str]:
+        nets: Set[str] = set(self.netlist.observable_output_ports())
+        nets -= self.exclude_output_ports
+        if self.observe_state_inputs:
+            for inst in self.netlist.sequential_instances():
+                for pin in inst.input_pins():
+                    if pin.net is not None:
+                        nets.add(pin.net.name)
+        return nets
+
+    # ------------------------------------------------------------------ #
+    def good_simulation(self, patterns: Mapping[str, int],
+                        n_patterns: int) -> Dict[str, int]:
+        """Simulate ``n_patterns`` patterns at once.
+
+        ``patterns`` maps controllable net names (primary inputs and
+        flip-flop outputs) to bit-vector words; missing nets default to 0.
+        Returns a word per net.
+        """
+        word_mask = mask(n_patterns)
+        values: Dict[str, int] = {}
+        for name, net in self.netlist.nets.items():
+            if net.tied is not None:
+                values[name] = word_mask if net.tied else 0
+            else:
+                values[name] = patterns.get(name, 0) & word_mask
+
+        for inst in self.sim.order:
+            pin_values = {
+                pin.port: (values[pin.net.name] if pin.net is not None else 0)
+                for pin in inst.input_pins()
+            }
+            outputs = _WORD_FUNCTIONS[inst.cell.name](pin_values, word_mask)
+            for pin in inst.output_pins():
+                if pin.net is None or pin.net.tied is not None:
+                    continue
+                values[pin.net.name] = outputs.get(pin.port, 0) & word_mask
+        return values
+
+    def detected_faults(self, faults: Iterable[StuckAtFault],
+                        patterns: Mapping[str, int],
+                        n_patterns: int,
+                        good: Optional[Dict[str, int]] = None) -> Set[StuckAtFault]:
+        """Return the subset of ``faults`` detected by any of the patterns."""
+        word_mask = mask(n_patterns)
+        good = good if good is not None else self.good_simulation(patterns, n_patterns)
+        detected: Set[StuckAtFault] = set()
+
+        for fault in faults:
+            if self._detects(fault, patterns, good, word_mask):
+                detected.add(fault)
+        return detected
+
+    def _fanout_instance_cone(self, start_net: str) -> Set[str]:
+        """Names of combinational instances structurally downstream of a net."""
+        cone: Set[str] = set()
+        visited: Set[str] = set()
+        work = [start_net]
+        while work:
+            net_name = work.pop()
+            if net_name in visited:
+                continue
+            visited.add(net_name)
+            net = self.netlist.nets.get(net_name)
+            if net is None:
+                continue
+            for pin in net.loads:
+                inst = pin.instance
+                if inst.is_sequential or inst.name in cone:
+                    continue
+                cone.add(inst.name)
+                for out_pin in inst.output_pins():
+                    if out_pin.net is not None:
+                        work.append(out_pin.net.name)
+        return cone
+
+    def _detects(self, fault: StuckAtFault, patterns: Mapping[str, int],
+                 good: Dict[str, int], word_mask: int) -> bool:
+        values = dict(good)
+        fault_word = word_mask if fault.value else 0
+
+        faulty_pin: Optional[Pin] = None
+        start_net: Optional[str] = None
+        if fault.is_port_fault:
+            if fault.site not in values:
+                return False
+            values[fault.site] = fault_word
+            start_net = fault.site
+        else:
+            pin = self.netlist.pin_by_name(fault.site)
+            if pin.net is None:
+                return False
+            if pin.is_output:
+                values[pin.net.name] = fault_word
+                start_net = pin.net.name
+            else:
+                faulty_pin = pin
+
+        # Only instances structurally downstream of the fault site can change.
+        if faulty_pin is not None:
+            cone = {faulty_pin.instance.name} if not faulty_pin.instance.is_sequential else set()
+            for out_pin in faulty_pin.instance.output_pins():
+                if out_pin.net is not None:
+                    cone |= self._fanout_instance_cone(out_pin.net.name)
+        else:
+            cone = self._fanout_instance_cone(start_net) if start_net else set()
+
+        for inst in self.sim.order:
+            if inst.name not in cone:
+                continue
+            changed = False
+            pin_values = {}
+            for pin in inst.input_pins():
+                if pin.net is None:
+                    pin_values[pin.port] = 0
+                    continue
+                value = values[pin.net.name]
+                if faulty_pin is not None and pin is faulty_pin:
+                    value = fault_word
+                    changed = True
+                elif value != good[pin.net.name]:
+                    changed = True
+                pin_values[pin.port] = value
+            if not changed:
+                continue
+            outputs = _WORD_FUNCTIONS[inst.cell.name](pin_values, word_mask)
+            for out_pin in inst.output_pins():
+                if out_pin.net is None or out_pin.net.tied is not None:
+                    continue
+                if not fault.is_port_fault and out_pin.name == fault.site:
+                    continue
+                values[out_pin.net.name] = outputs.get(out_pin.port, 0) & word_mask
+
+        for net in self._observation_nets:
+            if (values.get(net, 0) ^ good.get(net, 0)) & word_mask:
+                return True
+        return False

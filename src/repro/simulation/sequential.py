@@ -1,0 +1,67 @@
+"""Cycle-based sequential simulation on top of the combinational simulator.
+
+Used by the SBST substrate to capture the functional patterns a test program
+applies to the processor's combinational blocks, and by integration tests to
+check that scan insertion preserves mission-mode behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional
+
+from repro.netlist.cells import LOGIC_0, LOGIC_X
+from repro.netlist.module import Netlist
+from repro.simulation.simulator import CombinationalSimulator
+
+
+class SequentialSimulator:
+    """Steps a netlist one clock cycle at a time.
+
+    The simulator abstracts the clock: every call to :meth:`step` applies the
+    given primary-input values, evaluates the combinational logic, samples the
+    module outputs and then updates every flip-flop with its next-state value.
+    """
+
+    def __init__(self, netlist: Netlist, x_init: bool = False) -> None:
+        self.netlist = netlist
+        self.sim = CombinationalSimulator(netlist)
+        initial = LOGIC_X if x_init else LOGIC_0
+        self.state: Dict[str, int] = {net: initial for net in self.sim.state_nets}
+        self.cycle = 0
+        self.trace: List[Dict[str, int]] = []
+        self.record_trace = False
+
+    def reset(self, x_init: bool = False) -> None:
+        """Reset all state elements to 0 (or X) and restart the cycle counter."""
+        initial = LOGIC_X if x_init else LOGIC_0
+        for net in self.state:
+            self.state[net] = initial
+        self.cycle = 0
+        self.trace.clear()
+
+    def step(self, inputs: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Advance one clock cycle; returns the full net-value map of the cycle."""
+        values = self.sim.evaluate(inputs or {}, state=self.state)
+        self.state = self.sim.next_state(values)
+        self.cycle += 1
+        if self.record_trace:
+            self.trace.append(dict(values))
+        return values
+
+    def run(self, input_sequence: List[Mapping[str, int]]) -> List[Dict[str, int]]:
+        """Apply a sequence of input vectors, one per cycle; returns output maps."""
+        outputs = []
+        for vector in input_sequence:
+            values = self.step(vector)
+            outputs.append(self.sim.output_values(values, observable_only=False))
+        return outputs
+
+    def peek(self, net_name: str) -> int:
+        """Current stored value of a state net (flip-flop output)."""
+        return self.state.get(net_name, LOGIC_X)
+
+    def poke(self, net_name: str, value: int) -> None:
+        """Force a state net to a value (debug-style state manipulation)."""
+        if net_name not in self.state:
+            raise KeyError(f"{net_name!r} is not a state net of {self.netlist.name!r}")
+        self.state[net_name] = value

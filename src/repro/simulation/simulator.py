@@ -1,0 +1,127 @@
+"""Levelised three-valued combinational simulation.
+
+The simulator operates on the *combinational view* of a netlist: callers
+provide values for the primary inputs and for the outputs of sequential
+cells (the current state); the simulator computes the value of every net.
+Tied nets (circuit manipulation, §3.2/§3.3 of the paper) override whatever
+would otherwise drive them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+from repro.netlist.cells import LOGIC_X
+from repro.netlist.module import Netlist
+from repro.netlist.traversal import topological_instances
+
+
+class CombinationalSimulator:
+    """Evaluates the combinational network of a netlist.
+
+    The topological order is computed once at construction; repeated
+    :meth:`evaluate` calls reuse it, which is what the fault simulator and
+    the ATPG forward-implication step rely on.
+    """
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.order = topological_instances(netlist)
+        self._state_nets = [
+            pin.net.name
+            for inst in netlist.sequential_instances()
+            for pin in inst.output_pins()
+            if pin.net is not None
+        ]
+
+    @property
+    def state_nets(self) -> list:
+        """Net names driven by sequential cells (the pseudo-primary inputs)."""
+        return list(self._state_nets)
+
+    def evaluate(self, inputs: Mapping[str, int],
+                 state: Optional[Mapping[str, int]] = None,
+                 overrides: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        """Compute all net values.
+
+        Parameters
+        ----------
+        inputs:
+            Values for primary-input nets (missing inputs default to X).
+        state:
+            Values for sequential-cell output nets (missing default to X).
+        overrides:
+            Net values forced regardless of their driver — used for fault
+            injection and for what-if analyses.  Overrides take precedence
+            over ties.
+        """
+        values: Dict[str, int] = {}
+
+        for name, net in self.netlist.nets.items():
+            if net.tied is not None:
+                values[name] = net.tied
+            else:
+                values[name] = LOGIC_X
+
+        for name in self.netlist.input_ports():
+            net = self.netlist.net(name)
+            if net.tied is None:
+                values[name] = inputs.get(name, LOGIC_X)
+
+        if state:
+            for name, value in state.items():
+                if name in values and self.netlist.nets[name].tied is None:
+                    values[name] = value
+
+        if overrides:
+            values.update(overrides)
+
+        for inst in self.order:
+            pin_values = {}
+            for pin in inst.input_pins():
+                pin_values[pin.port] = (
+                    values[pin.net.name] if pin.net is not None else LOGIC_X
+                )
+            outputs = inst.cell.evaluate(pin_values)
+            for pin in inst.output_pins():
+                if pin.net is None:
+                    continue
+                net = pin.net
+                if overrides and net.name in overrides:
+                    continue
+                if net.tied is not None:
+                    continue
+                values[net.name] = outputs.get(pin.port, LOGIC_X)
+
+        return values
+
+    def output_values(self, values: Mapping[str, int],
+                      observable_only: bool = True) -> Dict[str, int]:
+        """Extract the module output-port values from a full value map."""
+        ports = (self.netlist.observable_output_ports() if observable_only
+                 else self.netlist.output_ports())
+        return {p: values[p] for p in ports}
+
+    def next_state(self, values: Mapping[str, int]) -> Dict[str, int]:
+        """Compute the next value of every sequential cell's output net.
+
+        The keys of the returned dict are the *output net names* of the
+        sequential instances, so the result can be fed back as ``state`` in
+        the next :meth:`evaluate` call.
+        """
+        nxt: Dict[str, int] = {}
+        for inst in self.netlist.sequential_instances():
+            pin_values = {}
+            for pin in inst.input_pins():
+                pin_values[pin.port] = (
+                    values[pin.net.name] if pin.net is not None else LOGIC_X
+                )
+            result = inst.cell.evaluate(pin_values)
+            new_value = result.get("__next__", LOGIC_X)
+            for pin in inst.output_pins():
+                if pin.net is not None:
+                    if pin.net.tied is not None:
+                        nxt[pin.net.name] = pin.net.tied
+                    else:
+                        nxt[pin.net.name] = new_value
+        return nxt

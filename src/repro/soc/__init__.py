@@ -1,0 +1,24 @@
+"""Synthetic SoC / processor-core generators.
+
+The paper's case study is an industrial automotive SoC with a 32-bit
+embedded processor (e200z0-class), full scan, a Nexus-class debug interface
+and a sparsely-populated 32-bit memory map.  That netlist is proprietary, so
+this package generates a synthetic gate-level equivalent with the same
+structural ingredients: register file, ALU with multiplier and barrel
+shifter, address-generation unit, branch target buffer, pipeline registers,
+instruction decoder, CPU-internal debug logic, mux-scan chains and the
+mission memory map — everything the identification flow in
+:mod:`repro.core` needs to exercise the same code paths as the paper.
+"""
+
+from repro.soc.config import CpuConfig, SoCConfig
+from repro.soc.cpu import build_cpu_core
+from repro.soc.soc_builder import SoC, build_soc
+
+__all__ = [
+    "CpuConfig",
+    "SoCConfig",
+    "build_cpu_core",
+    "SoC",
+    "build_soc",
+]

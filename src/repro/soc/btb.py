@@ -1,0 +1,97 @@
+"""Branch Target Buffer generator.
+
+A direct-mapped BTB: each entry stores a valid bit, a tag (the PC bits above
+the index) and a predicted target address.  The entry is looked up with the
+low PC bits; a hit (valid and tag match) supplies the predicted target to the
+AGU.  Entries are updated whenever a branch or jump is taken.
+
+All tag and target flip-flops are address-holding state, so they are part of
+the ``address_registers`` record the memory-map analysis (§3.3) ties.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.netlist.builder import NetlistBuilder
+from repro.soc.agu import AddressRegisterRecord
+from repro.soc.generators import (
+    binary_decoder,
+    equality_comparator,
+    mux_tree_word,
+    register_word,
+)
+
+
+@dataclass
+class BranchTargetBuffer:
+    """Handles to the generated BTB."""
+
+    predicted_target: List[str]
+    hit: str
+    address_registers: List[AddressRegisterRecord] = field(default_factory=list)
+
+
+def build_btb(b: NetlistBuilder,
+              clk: str,
+              reset_n: str,
+              pc: Sequence[str],
+              update_target: Sequence[str],
+              update_enable: str,
+              n_entries: int,
+              prefix: str = "btb") -> BranchTargetBuffer:
+    """Generate the BTB; ``pc`` and ``update_target`` are full-width buses."""
+    addr_width = len(pc)
+    index_bits = max(1, (n_entries - 1).bit_length())
+    index = list(pc[:index_bits])
+    tag = list(pc[index_bits:])
+    tag_width = len(tag)
+
+    write_selects = binary_decoder(b, index, enable=update_enable,
+                                   prefix=f"{prefix}_wdec")[:n_entries]
+
+    targets: List[List[str]] = []
+    tags: List[List[str]] = []
+    valids: List[str] = []
+    result = BranchTargetBuffer(predicted_target=[], hit="")
+
+    one = b.tie1()
+    for entry in range(n_entries):
+        target_prefix = f"{prefix}_t{entry}"
+        target_q = register_word(b, update_target, clk, write_selects[entry],
+                                 prefix=target_prefix, reset_n=reset_n)
+        targets.append(target_q)
+        result.address_registers.append(AddressRegisterRecord(
+            name=target_prefix,
+            ff_instances=[f"{target_prefix}_ff{i}" for i in range(addr_width)],
+            q_nets=target_q,
+        ))
+
+        tag_prefix = f"{prefix}_g{entry}"
+        tag_q = register_word(b, tag, clk, write_selects[entry],
+                              prefix=tag_prefix, reset_n=reset_n)
+        tags.append(tag_q)
+        result.address_registers.append(AddressRegisterRecord(
+            name=tag_prefix,
+            ff_instances=[f"{tag_prefix}_ff{i}" for i in range(tag_width)],
+            q_nets=tag_q,
+        ))
+
+        valid_next = b.mux(write_selects[entry], f"{prefix}_v{entry}_q", one)
+        b.netlist.get_or_create_net(f"{prefix}_v{entry}_q")
+        b.dff(valid_next, clk, q=f"{prefix}_v{entry}_q", reset_n=reset_n,
+              name=f"{prefix}_v{entry}_ff")
+        valids.append(f"{prefix}_v{entry}_q")
+
+    selected_target = mux_tree_word(b, index, targets, prefix=f"{prefix}_selt")
+    selected_tag = mux_tree_word(b, index, tags, prefix=f"{prefix}_selg")
+    selected_valid = mux_tree_word(b, index, [[v] for v in valids],
+                                   prefix=f"{prefix}_selv")[0]
+
+    tag_match = equality_comparator(b, selected_tag, tag, prefix=f"{prefix}_cmp")
+    hit = b.gate("AND2", tag_match, selected_valid)
+
+    result.predicted_target = selected_target
+    result.hit = hit
+    return result

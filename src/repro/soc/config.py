@@ -1,0 +1,131 @@
+"""Configuration objects for the synthetic CPU core and SoC."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.memory.memory_map import MemoryMap
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Parameters of the synthetic processor core.
+
+    The defaults describe the "date13" configuration used for the Table-I
+    style benchmark: a 32-bit core with a 32-entry register file, multiplier,
+    barrel shifter, branch target buffer, Nexus/JTAG-style debug logic and
+    full mux-scan.
+    """
+
+    name: str = "e200z0_like"
+    data_width: int = 32
+    addr_width: int = 32
+    instr_width: int = 32
+    n_registers: int = 32
+    btb_entries: int = 4
+    mult_width: int = 32          # operand width of the array multiplier (0 = none)
+    has_barrel_shifter: bool = True
+    n_special_registers: int = 4  # status/EPC/cause/... block
+    # Debug infrastructure inside the core.
+    has_debug: bool = True
+    debug_shift_length: int = 32  # JTAG-fed debug data register length
+    # Scan insertion.
+    scan_chains: int = 4
+    scan_buffer_every: int = 4
+
+    @property
+    def register_select_bits(self) -> int:
+        return max(1, (self.n_registers - 1).bit_length())
+
+    @property
+    def btb_index_bits(self) -> int:
+        return max(1, (self.btb_entries - 1).bit_length())
+
+    @property
+    def opcode_bits(self) -> int:
+        return 5
+
+    def validate(self) -> None:
+        if self.data_width < 4:
+            raise ValueError("data_width must be at least 4")
+        if self.addr_width < 4:
+            raise ValueError("addr_width must be at least 4")
+        if self.instr_width < self.opcode_bits + 3 * self.register_select_bits:
+            raise ValueError(
+                "instr_width too small for opcode plus three register fields")
+        if self.n_registers < 2:
+            raise ValueError("n_registers must be at least 2")
+        if self.btb_entries < 1:
+            raise ValueError("btb_entries must be at least 1")
+        if self.mult_width > self.data_width:
+            raise ValueError("mult_width cannot exceed data_width")
+
+    # ------------------------------------------------------------------ #
+    # presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def tiny(cls) -> "CpuConfig":
+        """A few hundred gates — used by unit tests and quick examples."""
+        return cls(name="tiny_core", data_width=8, addr_width=8, instr_width=16,
+                   n_registers=4, btb_entries=2, mult_width=0,
+                   has_barrel_shifter=False, n_special_registers=2,
+                   debug_shift_length=8, scan_chains=1, scan_buffer_every=2)
+
+    @classmethod
+    def small(cls) -> "CpuConfig":
+        """A few thousand gates — integration tests and the SBST experiments."""
+        return cls(name="small_core", data_width=16, addr_width=16, instr_width=24,
+                   n_registers=8, btb_entries=4, mult_width=8,
+                   has_barrel_shifter=True, n_special_registers=3,
+                   debug_shift_length=16, scan_chains=2, scan_buffer_every=4)
+
+    @classmethod
+    def date13(cls) -> "CpuConfig":
+        """The benchmark configuration approximating the paper's case study."""
+        return cls()
+
+
+@dataclass(frozen=True)
+class SoCConfig:
+    """The CPU configuration plus the mission environment around it."""
+
+    cpu: CpuConfig = field(default_factory=CpuConfig)
+    memory_map: Optional[MemoryMap] = None
+    insert_scan: bool = True
+
+    def __post_init__(self) -> None:
+        self.cpu.validate()
+
+    def resolved_memory_map(self) -> MemoryMap:
+        if self.memory_map is not None:
+            return self.memory_map
+        if self.cpu.addr_width >= 32:
+            return MemoryMap.date13_case_study()
+        # Scale the two-region idea down to narrow address buses: a small
+        # "flash" at the bottom and a small "sram" in the upper half.
+        quarter = 1 << (self.cpu.addr_width - 2)
+        from repro.memory.memory_map import MemoryRegion
+        return MemoryMap(address_width=self.cpu.addr_width, regions=[
+            MemoryRegion("flash", 0, quarter // 2),
+            MemoryRegion("sram", 2 * quarter, quarter // 4),
+        ])
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def tiny(cls) -> "SoCConfig":
+        return cls(cpu=CpuConfig.tiny())
+
+    @classmethod
+    def small(cls) -> "SoCConfig":
+        return cls(cpu=CpuConfig.small())
+
+    @classmethod
+    def date13(cls) -> "SoCConfig":
+        return cls(cpu=CpuConfig.date13(), memory_map=MemoryMap.date13_case_study())
+
+    def with_cpu(self, **overrides) -> "SoCConfig":
+        """Return a copy with CPU parameters replaced (used by ablations)."""
+        return SoCConfig(cpu=replace(self.cpu, **overrides),
+                         memory_map=self.memory_map,
+                         insert_scan=self.insert_scan)

@@ -1,0 +1,329 @@
+"""Top-level generator of the synthetic embedded processor core.
+
+:func:`build_cpu_core` assembles the fetch/decode/execute datapath, register
+file, ALU, address-generation unit, branch target buffer, special-purpose
+registers, memory interface and the CPU-internal debug logic into one flat
+gate-level netlist, and annotates the netlist with everything the on-line
+untestability flow needs to know about it:
+
+* ``debug_interface`` — the 17 debug control inputs with their mission-mode
+  constants and the two debug-only observation buses (§3.2);
+* ``address_registers`` — every address-holding flip-flop with the address
+  bit it stores (§3.3);
+* ``core_config`` — the :class:`~repro.soc.config.CpuConfig` used.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.isa.opcodes import field_layout
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.module import Netlist
+from repro.netlist.optimize import remove_dangling_logic
+from repro.soc.agu import build_address_unit
+from repro.soc.alu import build_alu
+from repro.soc.btb import build_btb
+from repro.soc.config import CpuConfig
+from repro.soc.debug_logic import DEBUG_CONTROL_PORTS, build_debug_logic
+from repro.soc.decoder import build_decoder
+from repro.soc.generators import mux2_word, register_word
+from repro.soc.regfile import build_register_file
+
+
+def _resize(b: NetlistBuilder, bus: Sequence[str], width: int,
+            sign_extend: bool = False) -> List[str]:
+    """Trim or extend a bus to ``width`` bits (zero- or sign-extension)."""
+    bus = list(bus)
+    if len(bus) >= width:
+        return bus[:width]
+    if sign_extend and bus:
+        fill = bus[-1]
+        return bus + [b.buf(fill) for _ in range(width - len(bus))]
+    zero = b.tie0()
+    return bus + [zero] * (width - len(bus))
+
+
+def build_cpu_core(config: CpuConfig) -> Netlist:
+    """Generate the processor-core netlist for ``config``."""
+    config.validate()
+    b = NetlistBuilder(config.name)
+    dw, aw, iw = config.data_width, config.addr_width, config.instr_width
+    rbits = config.register_select_bits
+
+    # ------------------------------------------------------------------ #
+    # ports
+    # ------------------------------------------------------------------ #
+    clk = b.add_input("clk")
+    rst_n = b.add_input("rst_n")
+    instr_in = b.add_input_bus("instr_in", iw)
+    mem_rdata = b.add_input_bus("mem_rdata", dw)
+    irq = b.add_input("irq")
+
+    mem_addr_ports = b.add_output_bus("mem_addr", aw)
+    mem_wdata_ports = b.add_output_bus("mem_wdata", dw)
+    mem_we_port = b.add_output("mem_we")
+    mem_re_port = b.add_output("mem_re")
+    halted_port = b.add_output("cpu_halted")
+
+    debug_control_nets: Dict[str, str] = {}
+    if config.has_debug:
+        for port in DEBUG_CONTROL_PORTS:
+            debug_control_nets[port] = b.add_input(port)
+        dbg_gpr_ports = b.add_output_bus("dbg_gpr_obs", dw)
+        dbg_spr_ports = b.add_output_bus("dbg_spr_obs", dw)
+    else:
+        dbg_gpr_ports, dbg_spr_ports = [], []
+
+    # ------------------------------------------------------------------ #
+    # fetch / decode
+    # ------------------------------------------------------------------ #
+    always = b.tie1()
+    ir = register_word(b, instr_in, clk, always, prefix="ir", reset_n=rst_n)
+
+    layout = field_layout(iw, rbits)
+
+    def ir_field(name: str) -> List[str]:
+        lsb, width = layout[name]
+        return ir[lsb:lsb + width]
+
+    opcode = ir_field("opcode")
+    rd = ir_field("rd")
+    rs1 = ir_field("rs1")
+    rs2 = ir_field("rs2")
+    imm = ir_field("imm")
+
+    controls = build_decoder(b, opcode, prefix="dec")
+
+    # ------------------------------------------------------------------ #
+    # register file and ALU
+    # ------------------------------------------------------------------ #
+    # Placeholder nets for signals produced later (write-back and debug);
+    # they are declared here so the register file can reference them.
+    wb_data = b.new_bus("wb_data", dw)
+    rf_waddr = b.new_bus("rf_waddr", rbits)
+    rf_we = b.new_net("rf_we")
+
+    regfile = build_register_file(
+        b, clk,
+        n_registers=config.n_registers,
+        data_width=dw,
+        write_data=wb_data,
+        write_address=rf_waddr,
+        write_enable=rf_we,
+        read_address_a=rs1,
+        read_address_b=rs2,
+        prefix="rf",
+    )
+
+    imm_ext = _resize(b, imm, dw, sign_extend=True)
+    operand_b = mux2_word(b, controls["alu_src_imm"], regfile.read_data_b,
+                          imm_ext, prefix="opb")
+    alu = build_alu(b, regfile.read_data_a, operand_b, controls.alu_op,
+                    mult_width=config.mult_width,
+                    has_barrel_shifter=config.has_barrel_shifter,
+                    prefix="alu")
+
+    # ------------------------------------------------------------------ #
+    # branch decision and debug block
+    # ------------------------------------------------------------------ #
+    take_eq = b.gate("AND2", controls["branch_eq"], alu.zero_flag)
+    take_ne = b.gate("AND2", controls["branch_ne"], b.inv(alu.zero_flag))
+    take_branch = b.gate("OR2", take_eq, take_ne)
+
+    # The PC is produced by the AGU below; pre-declare its net names so the
+    # debug breakpoint comparator can reference them.
+    pc_nets = [f"agu_pc_q{i}" for i in range(aw)]
+    for net in pc_nets:
+        b.netlist.get_or_create_net(net)
+
+    if config.has_debug:
+        gpr_obs_src = regfile.read_data_a
+        spr_obs_src_placeholder = b.new_bus("spr_obs_src", dw)
+        debug = build_debug_logic(
+            b, clk, rst_n,
+            control_ports=debug_control_nets,
+            pc=pc_nets,
+            gpr_observation_source=gpr_obs_src,
+            spr_observation_source=spr_obs_src_placeholder,
+            shift_length=config.debug_shift_length,
+            data_width=dw,
+            prefix="dbg",
+        )
+        halt_dbg = debug.halt
+    else:
+        debug = None
+        halt_dbg = b.tie0()
+        spr_obs_src_placeholder = []
+
+    halt = b.gate("OR2", controls["halt"], halt_dbg, output=b.new_net("halt"))
+    run = b.inv(halt, output=b.new_net("run"))
+    b.buf(halt, output=halted_port)
+
+    # ------------------------------------------------------------------ #
+    # branch target buffer and address generation
+    # ------------------------------------------------------------------ #
+    branch_offset = _resize(b, imm, aw, sign_extend=True)
+    base_address = _resize(b, regfile.read_data_a, aw)
+    mem_offset = _resize(b, imm, aw, sign_extend=True)
+
+    redirect = b.gate("OR2", take_branch, controls["jump"])
+
+    # The BTB lookup uses the PC nets declared above; its update target is
+    # the branch adder output produced by the AGU, so build the AGU first
+    # with prediction wired afterwards through pre-declared nets.
+    predicted = b.new_bus("btb_pred", aw)
+    use_prediction = b.new_net("btb_use_pred")
+
+    agu = build_address_unit(
+        b, clk, rst_n, aw,
+        base_address=base_address,
+        offset=mem_offset,
+        branch_offset=branch_offset,
+        take_branch=take_branch,
+        jump=controls["jump"],
+        predicted_target=predicted,
+        use_prediction=use_prediction,
+        pc_enable=run,
+        prefix="agu",
+    )
+
+    btb = build_btb(
+        b, clk, rst_n,
+        pc=agu.pc,
+        update_target=agu.branch_target,
+        update_enable=redirect,
+        n_entries=config.btb_entries,
+        prefix="btb",
+    )
+    for i in range(aw):
+        b.buf(btb.predicted_target[i], output=predicted[i])
+    no_redirect = b.inv(redirect)
+    b.gate("AND2", btb.hit, no_redirect, output=use_prediction)
+
+    # ------------------------------------------------------------------ #
+    # special-purpose registers
+    # ------------------------------------------------------------------ #
+    spr_records: List[Dict[str, object]] = []
+    status_bits = [alu.zero_flag, alu.carry_out, take_branch, halt, irq]
+    status_d = _resize(b, status_bits, dw)
+    status_q = register_word(b, status_d, clk, always, prefix="spr_status",
+                             reset_n=rst_n)
+
+    extra_spr: List[List[str]] = []
+    if config.n_special_registers >= 2:
+        epc_d = _resize(b, agu.pc, dw)
+        epc_q = register_word(b, epc_d, clk, redirect, prefix="spr_epc",
+                              reset_n=rst_n)
+        extra_spr.append(epc_q)
+        epc_bits = min(dw, aw)
+        spr_records.append({
+            "name": "spr_epc",
+            "ff_instances": [f"spr_epc_ff{i}" for i in range(epc_bits)],
+            "q_nets": epc_q[:epc_bits],
+            "address_bits": list(range(epc_bits)),
+        })
+    if config.n_special_registers >= 3:
+        cause_d = _resize(b, [irq, controls["halt"], take_branch], dw)
+        cause_q = register_word(b, cause_d, clk, irq, prefix="spr_cause",
+                                reset_n=rst_n)
+        extra_spr.append(cause_q)
+    if config.n_special_registers >= 4:
+        count_src = _resize(b, status_q, dw)
+        count_q = register_word(b, count_src, clk, always, prefix="spr_count",
+                                reset_n=rst_n)
+        extra_spr.append(count_q)
+
+    if config.has_debug and debug is not None:
+        for i in range(dw):
+            b.buf(status_q[i], output=spr_obs_src_placeholder[i])
+
+    # ------------------------------------------------------------------ #
+    # memory interface and write-back
+    # ------------------------------------------------------------------ #
+    store_data = register_word(b, regfile.read_data_b, clk, controls["mem_we"],
+                               prefix="lsu_wdata", reset_n=rst_n)
+    for i in range(dw):
+        b.buf(store_data[i], output=mem_wdata_ports[i])
+    for i in range(aw):
+        b.buf(agu.mem_address[i], output=mem_addr_ports[i])
+
+    if config.has_debug and debug is not None:
+        mem_we = b.or_(b.gate("AND2", controls["mem_we"], run), debug.mem_request)
+        mem_re = b.or_(b.gate("AND2", controls["mem_re"], run), debug.mem_request)
+    else:
+        mem_we = b.gate("AND2", controls["mem_we"], run)
+        mem_re = b.gate("AND2", controls["mem_re"], run)
+    b.buf(mem_we, output=mem_we_port)
+    b.buf(mem_re, output=mem_re_port)
+
+    # Write-back mux chain: ALU result -> memory load -> debug override.
+    wb_core = mux2_word(b, controls["wb_from_mem"], alu.result, mem_rdata,
+                        prefix="wb_mux")
+    if config.has_debug and debug is not None:
+        wb_final = mux2_word(b, debug.reg_write_enable, wb_core,
+                             debug.reg_write_data, prefix="wb_dbg")
+        debug_waddr = _resize(b, debug.reg_write_select, rbits)
+        waddr_final = mux2_word(b, debug.reg_write_enable, rd,
+                                debug_waddr, prefix="wa_dbg")
+        we_final = b.or_(b.gate("AND2", controls["reg_we"], run),
+                         debug.reg_write_enable)
+    else:
+        wb_final = wb_core
+        waddr_final = list(rd)
+        we_final = b.gate("AND2", controls["reg_we"], run)
+
+    for i in range(dw):
+        b.buf(wb_final[i], output=wb_data[i])
+    for i in range(rbits):
+        b.buf(waddr_final[i], output=rf_waddr[i])
+    b.buf(we_final, output=rf_we)
+
+    # ------------------------------------------------------------------ #
+    # debug observation output ports
+    # ------------------------------------------------------------------ #
+    if config.has_debug and debug is not None:
+        for i in range(dw):
+            b.buf(debug.observation_nets["gpr"][i], output=dbg_gpr_ports[i])
+            b.buf(debug.observation_nets["spr"][i], output=dbg_spr_ports[i])
+
+    # ------------------------------------------------------------------ #
+    # clean-up and annotations
+    # ------------------------------------------------------------------ #
+    netlist = b.build()
+    removed = remove_dangling_logic(netlist)
+    netlist.annotations["dead_logic_removed"] = removed
+
+    address_registers: List[Dict[str, object]] = []
+    index_bits = config.btb_index_bits
+    for record in agu.address_registers:
+        address_registers.append({
+            "name": record.name,
+            "ff_instances": record.ff_instances,
+            "q_nets": record.q_nets,
+            "address_bits": list(range(record.width)),
+        })
+    for record in btb.address_registers:
+        if "_g" in record.name:  # tag register: stores PC bits above the index
+            bits = list(range(index_bits, index_bits + record.width))
+        else:
+            bits = list(range(record.width))
+        address_registers.append({
+            "name": record.name,
+            "ff_instances": record.ff_instances,
+            "q_nets": record.q_nets,
+            "address_bits": bits,
+        })
+    address_registers.extend(spr_records)
+    netlist.annotations["address_registers"] = address_registers
+
+    if config.has_debug:
+        netlist.annotations["debug_interface"] = {
+            "control_inputs": dict(DEBUG_CONTROL_PORTS),
+            "observation_outputs": (
+                [f"dbg_gpr_obs[{i}]" for i in range(dw)]
+                + [f"dbg_spr_obs[{i}]" for i in range(dw)]
+            ),
+        }
+    netlist.annotations["core_config"] = config
+    return netlist

@@ -1,0 +1,199 @@
+"""CPU-internal debug logic (Nexus/JTAG-class).
+
+Generates the on-chip side of the debug interface the paper reasons about in
+§3.2:
+
+* a miniature IEEE 1149.1 TAP controller (16-state FSM) clocked from the
+  JTAG port pins;
+* a JTAG-fed debug data shift register;
+* a control decoder turning the external debug request pins into internal
+  halt / register-write / memory-request strobes;
+* a hardware breakpoint comparator on the program counter;
+* dedicated observation buffer trees that export general-purpose and
+  special-purpose register values on debug-only output buses.
+
+When the 17 external debug inputs are tied to their mission constants and
+the observation buses are left floating, all of this logic becomes inert —
+the faults inside it are exactly the on-line functionally untestable
+population §3.2 identifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.netlist.builder import NetlistBuilder
+from repro.soc.generators import (
+    buffer_tree,
+    equality_comparator,
+    shift_register,
+    synthesize_function,
+)
+
+# IEEE 1149.1 TAP state encoding and transition table (state, tms) -> state.
+_TAP_STATES = {
+    "TEST_LOGIC_RESET": 0, "RUN_TEST_IDLE": 1, "SELECT_DR": 2, "CAPTURE_DR": 3,
+    "SHIFT_DR": 4, "EXIT1_DR": 5, "PAUSE_DR": 6, "EXIT2_DR": 7, "UPDATE_DR": 8,
+    "SELECT_IR": 9, "CAPTURE_IR": 10, "SHIFT_IR": 11, "EXIT1_IR": 12,
+    "PAUSE_IR": 13, "EXIT2_IR": 14, "UPDATE_IR": 15,
+}
+
+_TAP_TRANSITIONS = {
+    "TEST_LOGIC_RESET": ("RUN_TEST_IDLE", "TEST_LOGIC_RESET"),
+    "RUN_TEST_IDLE": ("RUN_TEST_IDLE", "SELECT_DR"),
+    "SELECT_DR": ("CAPTURE_DR", "SELECT_IR"),
+    "CAPTURE_DR": ("SHIFT_DR", "EXIT1_DR"),
+    "SHIFT_DR": ("SHIFT_DR", "EXIT1_DR"),
+    "EXIT1_DR": ("PAUSE_DR", "UPDATE_DR"),
+    "PAUSE_DR": ("PAUSE_DR", "EXIT2_DR"),
+    "EXIT2_DR": ("SHIFT_DR", "UPDATE_DR"),
+    "UPDATE_DR": ("RUN_TEST_IDLE", "SELECT_DR"),
+    "SELECT_IR": ("CAPTURE_IR", "TEST_LOGIC_RESET"),
+    "CAPTURE_IR": ("SHIFT_IR", "EXIT1_IR"),
+    "SHIFT_IR": ("SHIFT_IR", "EXIT1_IR"),
+    "EXIT1_IR": ("PAUSE_IR", "UPDATE_IR"),
+    "PAUSE_IR": ("PAUSE_IR", "EXIT2_IR"),
+    "EXIT2_IR": ("SHIFT_IR", "UPDATE_IR"),
+    "UPDATE_IR": ("RUN_TEST_IDLE", "SELECT_DR"),
+}
+
+_STATE_BY_CODE = {code: name for name, code in _TAP_STATES.items()}
+
+
+def _tap_next_state(code: int, tms: int) -> int:
+    name = _STATE_BY_CODE[code]
+    return _TAP_STATES[_TAP_TRANSITIONS[name][tms]]
+
+
+#: The 17 debug control inputs of the core and their mission-mode constants
+#: (the values the pins are pulled to once the external debugger is removed).
+DEBUG_CONTROL_PORTS: Dict[str, int] = {
+    "jtag_tck": 0,
+    "jtag_tms": 0,
+    "jtag_tdi": 0,
+    "jtag_trstn": 0,
+    "dbg_enable": 0,
+    "dbg_halt_req": 0,
+    "dbg_resume": 0,
+    "dbg_step": 0,
+    "dbg_reg_we": 0,
+    "dbg_sel0": 0,
+    "dbg_sel1": 0,
+    "dbg_sel2": 0,
+    "dbg_sel3": 0,
+    "dbg_bkpt_en": 0,
+    "dbg_mem_req": 0,
+    "dbg_reset_req": 0,
+    "dbg_wdata_ser": 0,
+}
+
+
+@dataclass
+class DebugLogic:
+    """Handles to the generated debug block."""
+
+    halt: str
+    reg_write_enable: str
+    reg_write_select: List[str]
+    reg_write_data: List[str]
+    mem_request: str
+    observation_nets: Dict[str, List[str]] = field(default_factory=dict)
+    tap_state: List[str] = field(default_factory=list)
+
+
+def build_debug_logic(b: NetlistBuilder,
+                      clk: str,
+                      reset_n: str,
+                      control_ports: Dict[str, str],
+                      pc: Sequence[str],
+                      gpr_observation_source: Sequence[str],
+                      spr_observation_source: Sequence[str],
+                      shift_length: int,
+                      data_width: int,
+                      prefix: str = "dbg") -> DebugLogic:
+    """Generate the debug block.
+
+    ``control_ports`` maps the logical names of :data:`DEBUG_CONTROL_PORTS`
+    to the net names carrying them inside the netlist.
+    """
+    tck = control_ports["jtag_tck"]
+    tms = control_ports["jtag_tms"]
+    tdi = control_ports["jtag_tdi"]
+    trstn = control_ports["jtag_trstn"]
+
+    # TAP controller: 4 state flip-flops clocked from TCK, reset by TRSTN.
+    state_q = [b.new_net(f"{prefix}_tap_q{i}") for i in range(4)]
+    fsm_inputs = state_q + [tms]
+    for bit in range(4):
+        def truth(code: int, output_bit: int = bit) -> int:
+            state = code & 0xF
+            tms_value = (code >> 4) & 1
+            return (_tap_next_state(state, tms_value) >> output_bit) & 1
+
+        next_bit = synthesize_function(b, fsm_inputs, truth,
+                                       prefix=f"{prefix}_tapns{bit}")
+        b.dff(next_bit, tck, q=state_q[bit], reset_n=trstn,
+              name=f"{prefix}_tap_ff{bit}")
+
+    def state_decode(target: str) -> str:
+        code = _TAP_STATES[target]
+        bits = []
+        for i in range(4):
+            bits.append(state_q[i] if (code >> i) & 1 else b.inv(state_q[i]))
+        return b.and_(*bits, output=b.new_net(f"{prefix}_is_{target.lower()}"))
+
+    shift_dr = state_decode("SHIFT_DR")
+    update_dr = state_decode("UPDATE_DR")
+
+    enable = control_ports["dbg_enable"]
+
+    # Debug data register: serial-in from TDI (or the dedicated serial pin),
+    # shifted while the TAP sits in SHIFT_DR and debug is enabled.
+    serial_in = b.gate("OR2", tdi, control_ports["dbg_wdata_ser"])
+    shift_enable = b.and_(shift_dr, enable)
+    ddr = shift_register(b, serial_in, clk, shift_enable, shift_length,
+                         prefix=f"{prefix}_ddr", reset_n=reset_n)
+    # Widen/narrow the debug data register to the datapath width.
+    if shift_length >= data_width:
+        reg_write_data = ddr[:data_width]
+    else:
+        zero = b.tie0()
+        reg_write_data = list(ddr) + [zero] * (data_width - shift_length)
+
+    # Control strobes.
+    halt_request = b.and_(enable, control_ports["dbg_halt_req"])
+    step_request = b.and_(enable, control_ports["dbg_step"])
+    resume = b.and_(enable, control_ports["dbg_resume"])
+    reset_request = b.and_(enable, control_ports["dbg_reset_req"])
+
+    # Hardware breakpoint: compare the PC against the debug data register.
+    compare_width = min(len(pc), shift_length)
+    bkpt_match = equality_comparator(b, list(pc)[:compare_width],
+                                     ddr[:compare_width], prefix=f"{prefix}_bkpt")
+    bkpt_hit = b.and_(bkpt_match, control_ports["dbg_bkpt_en"], enable)
+
+    halt_raw = b.or_(halt_request, bkpt_hit, reset_request)
+    halt = b.and_(halt_raw, b.inv(resume), b.inv(step_request),
+                  output=b.new_net(f"{prefix}_halt"))
+
+    reg_write_enable = b.and_(enable, control_ports["dbg_reg_we"], update_dr,
+                              output=b.new_net(f"{prefix}_reg_we"))
+    reg_write_select = [control_ports["dbg_sel0"], control_ports["dbg_sel1"],
+                        control_ports["dbg_sel2"], control_ports["dbg_sel3"]]
+    mem_request = b.and_(enable, control_ports["dbg_mem_req"],
+                         output=b.new_net(f"{prefix}_mem_req"))
+
+    # Observation buffer trees (debug-only outputs).
+    gpr_obs = buffer_tree(b, gpr_observation_source, prefix=f"{prefix}_gprobs")
+    spr_obs = buffer_tree(b, spr_observation_source, prefix=f"{prefix}_sprobs")
+
+    return DebugLogic(
+        halt=halt,
+        reg_write_enable=reg_write_enable,
+        reg_write_select=reg_write_select,
+        reg_write_data=reg_write_data,
+        mem_request=mem_request,
+        observation_nets={"gpr": gpr_obs, "spr": spr_obs},
+        tap_state=state_q,
+    )

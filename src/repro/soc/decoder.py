@@ -1,0 +1,48 @@
+"""Gate-level instruction decoder.
+
+Synthesises, from the shared opcode table in :mod:`repro.isa`, one MUX-tree
+function per control signal over the 5 opcode bits of the instruction
+register.  The decoded signals drive the datapath, AGU, memory interface and
+branch logic of the synthetic core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.isa.opcodes import CONTROL_SIGNAL_NAMES, control_signals_for
+from repro.netlist.builder import NetlistBuilder
+from repro.soc.generators import synthesize_function
+
+
+@dataclass
+class DecodedControls:
+    """Net names of the decoded control signals."""
+
+    signals: Dict[str, str] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> str:
+        return self.signals[name]
+
+    @property
+    def alu_op(self) -> List[str]:
+        return [self.signals["alu_op0"], self.signals["alu_op1"], self.signals["alu_op2"]]
+
+
+def build_decoder(b: NetlistBuilder, opcode_bits: Sequence[str],
+                  prefix: str = "dec") -> DecodedControls:
+    """Generate the control decoder from the 5-bit opcode bus (LSB first)."""
+    if len(opcode_bits) != 5:
+        raise ValueError("the decoder expects a 5-bit opcode bus")
+
+    controls = DecodedControls()
+    for name in CONTROL_SIGNAL_NAMES:
+        def truth(code: int, signal_name: str = name) -> int:
+            return control_signals_for(code).as_dict()[signal_name]
+
+        net = synthesize_function(b, opcode_bits, truth, prefix=f"{prefix}_{name}")
+        # Give the decoded signal a stable, queryable net name.
+        named = b.buf(net, output=b.new_net(f"{prefix}_{name}"))
+        controls.signals[name] = named
+    return controls

@@ -1,0 +1,23 @@
+"""Small shared utilities: bit-vector helpers, table rendering, timers."""
+
+from repro.utils.bitvec import (
+    bit,
+    bits_of,
+    count_ones,
+    from_bits,
+    mask,
+    to_bits,
+)
+from repro.utils.tables import Table
+from repro.utils.timing import Stopwatch
+
+__all__ = [
+    "bit",
+    "bits_of",
+    "count_ones",
+    "from_bits",
+    "mask",
+    "to_bits",
+    "Table",
+    "Stopwatch",
+]

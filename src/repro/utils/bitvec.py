@@ -1,0 +1,73 @@
+"""Bit-vector helpers used throughout the netlist generators and the ISA model.
+
+All helpers operate on plain Python integers interpreted as unsigned
+bit-vectors of an explicit width.  Keeping these as free functions (rather
+than a BitVector class) keeps hot loops in the simulators cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def mask(width: int) -> int:
+    """Return an all-ones mask of ``width`` bits."""
+    if width < 0:
+        raise ValueError(f"width must be non-negative, got {width}")
+    return (1 << width) - 1
+
+
+def bit(value: int, index: int) -> int:
+    """Return bit ``index`` (LSB = 0) of ``value`` as 0 or 1."""
+    if index < 0:
+        raise ValueError(f"bit index must be non-negative, got {index}")
+    return (value >> index) & 1
+
+
+def to_bits(value: int, width: int) -> List[int]:
+    """Expand ``value`` into a list of ``width`` bits, LSB first."""
+    return [(value >> i) & 1 for i in range(width)]
+
+
+def from_bits(bits: Iterable[int]) -> int:
+    """Pack an LSB-first iterable of 0/1 into an integer."""
+    result = 0
+    for i, b in enumerate(bits):
+        if b not in (0, 1):
+            raise ValueError(f"bit value must be 0 or 1, got {b!r}")
+        result |= b << i
+    return result
+
+
+def bits_of(value: int, width: int) -> str:
+    """Render ``value`` as a binary string of exactly ``width`` characters."""
+    return format(value & mask(width), f"0{width}b")
+
+
+def count_ones(value: int) -> int:
+    """Population count of a non-negative integer."""
+    if value < 0:
+        raise ValueError("count_ones expects a non-negative integer")
+    return bin(value).count("1")
+
+
+def sign_extend(value: int, width: int, target_width: int = 32) -> int:
+    """Sign-extend ``value`` of ``width`` bits to ``target_width`` bits."""
+    value &= mask(width)
+    if value & (1 << (width - 1)):
+        value |= mask(target_width) & ~mask(width)
+    return value & mask(target_width)
+
+
+def rotate_left(value: int, amount: int, width: int = 32) -> int:
+    """Rotate ``value`` left by ``amount`` within ``width`` bits."""
+    amount %= width
+    value &= mask(width)
+    return ((value << amount) | (value >> (width - amount))) & mask(width)
+
+
+def rotate_right(value: int, amount: int, width: int = 32) -> int:
+    """Rotate ``value`` right by ``amount`` within ``width`` bits."""
+    amount %= width
+    value &= mask(width)
+    return ((value >> amount) | (value << (width - amount))) & mask(width)

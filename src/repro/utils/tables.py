@@ -1,0 +1,71 @@
+"""Plain-text table rendering used by reports and benchmark output.
+
+The reports in :mod:`repro.core.report` reproduce the layout of Table I in the
+paper; this module provides the generic fixed-width rendering they build on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+class Table:
+    """A simple fixed-width text table.
+
+    >>> t = Table(["Source", "#", "%"])
+    >>> t.add_row(["Scan", 19142, "8.9%"])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, headers: Sequence[str], title: str = "") -> None:
+        self.title = title
+        self.headers = [str(h) for h in headers]
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[object]) -> None:
+        cells = [self._format(c) for c in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.2f}"
+        if isinstance(cell, int):
+            return f"{cell:,}"
+        return str(cell)
+
+    def _widths(self) -> List[int]:
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        return widths
+
+    def render(self) -> str:
+        widths = self._widths()
+        sep = "+" + "+".join("-" * (w + 2) for w in widths) + "+"
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(sep)
+        lines.append(
+            "|"
+            + "|".join(f" {h.ljust(w)} " for h, w in zip(self.headers, widths))
+            + "|"
+        )
+        lines.append(sep)
+        for row in self.rows:
+            lines.append(
+                "|"
+                + "|".join(f" {c.rjust(w)} " for c, w in zip(row, widths))
+                + "|"
+            )
+        lines.append(sep)
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,107 @@
+"""Unit tests for the debug package: interface spec, JTAG TAP, Nexus unit."""
+
+import pytest
+
+from repro.debug.interface import DebugInterface, discover_debug_interface, find_quiescent_inputs
+from repro.debug.jtag import build_jtag_tap
+from repro.debug.nexus import build_nexus_unit
+from repro.netlist.validate import check_netlist
+from repro.simulation.sequential import SequentialSimulator
+from repro.soc.debug_logic import DEBUG_CONTROL_PORTS
+
+
+class TestDebugInterface:
+    def test_counts(self):
+        spec = DebugInterface(control_inputs={"a": 0, "b": 1},
+                              observation_outputs=["x", "y", "z"])
+        assert spec.control_count == 2
+        assert spec.observation_count == 3
+
+    def test_validate_against_netlist(self, debug_cell_circuit):
+        spec = discover_debug_interface(debug_cell_circuit)
+        assert spec is not None
+        assert spec.validate_against(debug_cell_circuit) == []
+        bad = DebugInterface(control_inputs={"missing": 0, "do": 0},
+                             observation_outputs=["fi"])
+        problems = bad.validate_against(debug_cell_circuit)
+        assert len(problems) == 3
+
+    def test_discover_returns_none_without_annotation(self, and_or_circuit):
+        assert discover_debug_interface(and_or_circuit) is None
+
+    def test_discover_on_generated_core(self, tiny_soc):
+        spec = discover_debug_interface(tiny_soc.cpu)
+        assert spec is not None
+        assert spec.control_count == len(DEBUG_CONTROL_PORTS) == 17
+        assert spec.observation_count == 2 * tiny_soc.config.cpu.data_width
+        assert spec.validate_against(tiny_soc.cpu) == []
+
+    def test_find_quiescent_inputs(self, and_or_circuit):
+        activity = {"a": 10, "b": 0, "c": 3}
+        assert find_quiescent_inputs(and_or_circuit, activity) == ["b"]
+
+    def test_find_quiescent_excludes_clock_and_scan(self, tiny_soc):
+        activity = {p: 0 for p in tiny_soc.cpu.input_ports()}
+        quiescent = find_quiescent_inputs(tiny_soc.cpu, activity)
+        assert "clk" not in quiescent
+        assert "rst_n" not in quiescent
+        assert "scan_enable" not in quiescent
+        assert "scan_in0" not in quiescent
+        assert "jtag_tck" in quiescent
+
+
+class TestJtagTap:
+    def test_structure(self):
+        tap = build_jtag_tap(ir_length=4, dr_length=8)
+        assert set(tap.input_ports()) == {"tck", "tms", "tdi", "trstn"}
+        assert "tdo" in tap.output_ports()
+        assert check_netlist(tap) == []
+        assert sum(1 for i in tap.instances.values() if i.is_sequential) == 4 + 4 + 8
+
+    def test_invalid_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            build_jtag_tap(ir_length=0)
+
+    def test_fsm_reaches_shift_dr(self):
+        """Drive the standard TMS sequence and check the FSM state encoding."""
+        tap = build_jtag_tap()
+        sim = SequentialSimulator(tap)
+        # From TEST_LOGIC_RESET (state 0 after trstn=0), the TMS sequence
+        # 0, 1, 0, 0 leads to SHIFT_DR (code 4).
+        sim.step({"tck": 1, "tms": 0, "tdi": 0, "trstn": 0})  # held in reset
+        # The state output observed in a cycle reflects the state *before*
+        # that cycle's TMS is captured, so apply one extra idle TMS=0 cycle.
+        for tms in (0, 1, 0, 0, 0):
+            values = sim.step({"tck": 1, "tms": tms, "tdi": 0, "trstn": 1})
+        state = sum(values[f"tap_state[{i}]"] << i for i in range(4))
+        assert state == 4  # SHIFT_DR
+
+    def test_annotation_present(self):
+        tap = build_jtag_tap()
+        spec = discover_debug_interface(tap)
+        assert spec is not None and spec.control_count == 4
+
+
+class TestNexusUnit:
+    def test_ports_cover_cpu_debug_inputs(self):
+        nexus = build_nexus_unit(observation_width=8, command_length=16)
+        for port in DEBUG_CONTROL_PORTS:
+            assert f"cpu_{port}" in nexus.output_ports()
+        assert "nex_tdo" in nexus.output_ports()
+        assert check_netlist(nexus) == []
+
+    def test_command_register_length(self):
+        nexus = build_nexus_unit(observation_width=4, command_length=12)
+        cmd_flops = [i for i in nexus.instances if i.startswith("cmd_ff")]
+        assert len(cmd_flops) == 12
+
+    def test_disabled_unit_drives_constant_outputs(self):
+        """With nex_enable=0 every decoded CPU control strobe stays at 0."""
+        nexus = build_nexus_unit(observation_width=4, command_length=8)
+        sim = SequentialSimulator(nexus)
+        inputs = {p: 0 for p in nexus.input_ports()}
+        inputs.update({"nex_tdi": 1, "nex_tck": 1})
+        for _ in range(5):
+            values = sim.step(inputs)
+        for port in ("cpu_dbg_enable", "cpu_dbg_halt_req", "cpu_dbg_reg_we"):
+            assert values[port] == 0

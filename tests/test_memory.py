@@ -1,0 +1,144 @@
+"""Unit tests for the memory-map model and address-bit analysis."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.analysis import (
+    analyze_address_bits,
+    constant_address_bits,
+    free_address_bits,
+)
+from repro.memory.memory_map import MemoryMap, MemoryRegion
+
+
+class TestMemoryRegion:
+    def test_bounds_and_contains(self):
+        region = MemoryRegion("sram", 0x1000, 0x100)
+        assert region.end == 0x10FF
+        assert region.contains(0x1000) and region.contains(0x10FF)
+        assert not region.contains(0x1100)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", -1, 16)
+        with pytest.raises(ValueError):
+            MemoryRegion("bad", 0, 0)
+
+    def test_overlap_detection(self):
+        a = MemoryRegion("a", 0, 0x100)
+        b = MemoryRegion("b", 0x80, 0x100)
+        c = MemoryRegion("c", 0x100, 0x100)
+        assert a.overlaps(b) and b.overlaps(a)
+        assert not a.overlaps(c)
+
+
+class TestMemoryMap:
+    def test_add_and_lookup(self):
+        memory_map = MemoryMap(16, [MemoryRegion("a", 0, 256)])
+        memory_map.add_region(MemoryRegion("b", 0x8000, 256))
+        assert memory_map.is_legal(0x80) and memory_map.is_legal(0x8010)
+        assert not memory_map.is_legal(0x4000)
+        assert memory_map.region_of(0x80).name == "a"
+        with pytest.raises(KeyError):
+            memory_map.region_of(0x4000)
+        assert memory_map.mapped_bytes() == 512
+        assert len(memory_map) == 2
+
+    def test_overlapping_region_rejected(self):
+        memory_map = MemoryMap(16, [MemoryRegion("a", 0, 256)])
+        with pytest.raises(ValueError):
+            memory_map.add_region(MemoryRegion("b", 128, 256))
+
+    def test_region_outside_address_space_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryMap(8, [MemoryRegion("big", 0, 512)])
+
+    def test_str_contains_regions(self):
+        text = str(MemoryMap.date13_case_study())
+        assert "flash" in text and "sram" in text
+
+
+class TestAddressBitAnalysis:
+    def test_date13_case_study_free_bits(self):
+        """The benchmark memory map frees exactly bits 0..17 and bit 30,
+        matching the constraint set reported in §4 of the paper."""
+        free = free_address_bits(MemoryMap.date13_case_study())
+        assert free == set(range(18)) | {30}
+
+    def test_date13_verbatim_free_bits(self):
+        """The ranges exactly as printed in the paper yield bits 0..18 and 30
+        under the union criterion (one more than the paper's statement —
+        discussed in EXPERIMENTS.md)."""
+        free = free_address_bits(MemoryMap.date13_verbatim())
+        assert free == set(range(19)) | {30}
+
+    def test_constant_bits_complement_free_bits(self):
+        memory_map = MemoryMap.date13_case_study()
+        free = free_address_bits(memory_map)
+        constants = constant_address_bits(memory_map)
+        assert set(constants) | free == set(range(32))
+        assert set(constants) & free == set()
+        # Bit 31 is always 0; bit 30 is free, bits 18..29 are 0.
+        assert constants[31] == 0
+        assert all(constants[b] == 0 for b in range(18, 30))
+
+    def test_constant_value_follows_region_base(self):
+        memory_map = MemoryMap(8, [MemoryRegion("only", 0xC0, 16)])
+        constants = constant_address_bits(memory_map)
+        assert constants[7] == 1 and constants[6] == 1
+        assert constants[5] == 0
+
+    def test_background_example(self):
+        """§3.3's explanatory example: a 1K RAM and 4K flash mapped from 0."""
+        analysis = analyze_address_bits(MemoryMap.background_example())
+        assert analysis.address_width == 32
+        assert analysis.used_bit_count <= 13
+        assert max(analysis.free_bits) <= 12
+        assert analysis.frozen_bit_count >= 19
+
+    def test_summary_and_bit_vector(self):
+        analysis = analyze_address_bits(MemoryMap.date13_case_study())
+        assert "free" in analysis.summary()
+        vector = dict(analysis.bit_vector())
+        assert vector[0] == "free"
+        assert vector[31] == "0"
+
+    @given(st.integers(min_value=0, max_value=2**12 - 1),
+           st.integers(min_value=1, max_value=2**10))
+    def test_free_bits_match_brute_force(self, base, size):
+        """Property: analytical free-bit computation equals brute-force
+        enumeration of the region's addresses."""
+        if base + size > 2**12:
+            size = 2**12 - base
+        memory_map = MemoryMap(12, [MemoryRegion("r", base, size)])
+        free = free_address_bits(memory_map)
+        brute = set()
+        addresses = range(base, base + size)
+        for bit in range(12):
+            values = {(a >> bit) & 1 for a in addresses}
+            if values == {0, 1}:
+                brute.add(bit)
+        assert free == brute
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=255),
+                              st.integers(min_value=1, max_value=64)),
+                    min_size=1, max_size=3))
+    def test_multi_region_free_bits_match_brute_force(self, raw_regions):
+        """Property: the union criterion over several regions matches
+        brute-force enumeration (overlapping candidates are skipped)."""
+        memory_map = MemoryMap(10)
+        for index, (base, size) in enumerate(raw_regions):
+            region = MemoryRegion(f"r{index}", base, min(size, 1024 - base))
+            try:
+                memory_map.add_region(region)
+            except ValueError:
+                continue
+        if not memory_map.regions:
+            return
+        addresses = [a for r in memory_map for a in range(r.base, r.end + 1)]
+        brute = set()
+        for bit in range(10):
+            values = {(a >> bit) & 1 for a in addresses}
+            if values == {0, 1}:
+                brute.add(bit)
+        assert free_address_bits(memory_map) == brute

@@ -1,0 +1,195 @@
+"""Unit tests for the standard-cell library and its three-valued semantics."""
+
+import itertools
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netlist.cells import (
+    LOGIC_0,
+    LOGIC_1,
+    LOGIC_X,
+    standard_library,
+    v_and,
+    v_buf,
+    v_mux,
+    v_not,
+    v_or,
+    v_xor,
+)
+
+LOGIC = (LOGIC_0, LOGIC_1, LOGIC_X)
+
+
+class TestPrimitives:
+    def test_not_truth_table(self):
+        assert v_not(LOGIC_0) == LOGIC_1
+        assert v_not(LOGIC_1) == LOGIC_0
+        assert v_not(LOGIC_X) == LOGIC_X
+
+    def test_and_controlling_zero_dominates_x(self):
+        assert v_and(LOGIC_0, LOGIC_X) == LOGIC_0
+        assert v_and(LOGIC_X, LOGIC_1) == LOGIC_X
+        assert v_and(LOGIC_1, LOGIC_1, LOGIC_1) == LOGIC_1
+
+    def test_or_controlling_one_dominates_x(self):
+        assert v_or(LOGIC_1, LOGIC_X) == LOGIC_1
+        assert v_or(LOGIC_X, LOGIC_0) == LOGIC_X
+        assert v_or(LOGIC_0, LOGIC_0) == LOGIC_0
+
+    def test_xor_with_x_is_x(self):
+        assert v_xor(LOGIC_X, LOGIC_0) == LOGIC_X
+        assert v_xor(LOGIC_1, LOGIC_1) == LOGIC_0
+        assert v_xor(LOGIC_1, LOGIC_0, LOGIC_1) == LOGIC_0
+
+    def test_mux_select_known(self):
+        assert v_mux(LOGIC_0, LOGIC_1, LOGIC_0) == LOGIC_1
+        assert v_mux(LOGIC_1, LOGIC_1, LOGIC_0) == LOGIC_0
+
+    def test_mux_select_x_agreeing_inputs(self):
+        assert v_mux(LOGIC_X, LOGIC_1, LOGIC_1) == LOGIC_1
+        assert v_mux(LOGIC_X, LOGIC_1, LOGIC_0) == LOGIC_X
+
+    def test_buf_identity(self):
+        for value in LOGIC:
+            assert v_buf(value) == value
+
+    @given(st.lists(st.sampled_from(LOGIC), min_size=1, max_size=6))
+    def test_and_or_duality(self, values):
+        """De Morgan: NOT(AND(x)) == OR(NOT(x))."""
+        assert v_not(v_and(*values)) == v_or(*[v_not(v) for v in values])
+
+
+class TestLibrary:
+    def test_standard_library_is_cached(self):
+        assert standard_library() is standard_library()
+
+    def test_expected_cells_present(self, library):
+        for name in ("BUF", "INV", "AND2", "NAND3", "OR4", "XOR2", "MUX2",
+                     "FA", "HA", "DFF", "DFFR", "SDFF", "SDFFR", "DBGFF",
+                     "TIE0", "TIE1"):
+            assert name in library
+
+    def test_unknown_cell_raises(self, library):
+        with pytest.raises(KeyError):
+            library.get("NAND9")
+
+    def test_duplicate_cell_rejected(self, library):
+        from repro.netlist.cells import Cell, Library
+
+        lib = Library("dup")
+        cell = Cell("X1", ("A",), ("Y",), lambda v: {"Y": v["A"]})
+        lib.add(cell)
+        with pytest.raises(ValueError):
+            lib.add(cell)
+
+    def test_cell_pin_helpers(self, library):
+        cell = library.get("MUX2")
+        assert cell.is_input("S") and cell.is_output("Y")
+        assert cell.pins == ("D0", "D1", "S", "Y")
+
+    def test_sequential_roles(self, library):
+        sdff = library.get("SDFF")
+        assert sdff.sequential
+        assert sdff.role_pin("scan_in") == "SI"
+        assert sdff.role_pin("scan_enable") == "SE"
+        assert sdff.role_value("scan_enable_active") == LOGIC_1
+        dbg = library.get("DBGFF")
+        assert dbg.role_pin("debug_in") == "DI"
+        assert dbg.role_pin("debug_enable") == "DE"
+
+    def test_invalid_logic_value_rejected(self, library):
+        with pytest.raises(ValueError):
+            library.get("INV").evaluate({"A": 7})
+
+
+class TestCombinationalTruth:
+    """Exhaustive two-valued truth tables for every combinational cell."""
+
+    REFERENCE = {
+        "AND": lambda vals: int(all(vals)),
+        "NAND": lambda vals: int(not all(vals)),
+        "OR": lambda vals: int(any(vals)),
+        "NOR": lambda vals: int(not any(vals)),
+    }
+
+    @pytest.mark.parametrize("family", ["AND", "NAND", "OR", "NOR"])
+    @pytest.mark.parametrize("arity", [2, 3, 4])
+    def test_gate_families(self, library, family, arity):
+        cell = library.get(f"{family}{arity}")
+        reference = self.REFERENCE[family]
+        for values in itertools.product((0, 1), repeat=arity):
+            inputs = dict(zip(cell.inputs, values))
+            assert cell.evaluate(inputs)["Y"] == reference(values)
+
+    def test_xor_xnor(self, library):
+        for a, b in itertools.product((0, 1), repeat=2):
+            assert library.get("XOR2").evaluate({"A": a, "B": b})["Y"] == (a ^ b)
+            assert library.get("XNOR2").evaluate({"A": a, "B": b})["Y"] == (1 - (a ^ b))
+
+    def test_mux2(self, library):
+        for d0, d1, s in itertools.product((0, 1), repeat=3):
+            expected = d1 if s else d0
+            assert library.get("MUX2").evaluate(
+                {"D0": d0, "D1": d1, "S": s})["Y"] == expected
+
+    def test_full_adder(self, library):
+        for a, b, ci in itertools.product((0, 1), repeat=3):
+            out = library.get("FA").evaluate({"A": a, "B": b, "CI": ci})
+            assert out["S"] == (a + b + ci) % 2
+            assert out["CO"] == (a + b + ci) // 2
+
+    def test_half_adder(self, library):
+        for a, b in itertools.product((0, 1), repeat=2):
+            out = library.get("HA").evaluate({"A": a, "B": b})
+            assert out["S"] == (a + b) % 2
+            assert out["CO"] == (a + b) // 2
+
+    def test_aoi_oai(self, library):
+        for a, b, c in itertools.product((0, 1), repeat=3):
+            assert library.get("AO21").evaluate({"A": a, "B": b, "C": c})["Y"] == ((a & b) | c)
+            assert library.get("AOI21").evaluate({"A": a, "B": b, "C": c})["Y"] == 1 - ((a & b) | c)
+            assert library.get("OA21").evaluate({"A": a, "B": b, "C": c})["Y"] == ((a | b) & c)
+            assert library.get("OAI21").evaluate({"A": a, "B": b, "C": c})["Y"] == 1 - ((a | b) & c)
+
+    def test_tie_cells(self, library):
+        assert library.get("TIE0").evaluate({})["Y"] == LOGIC_0
+        assert library.get("TIE1").evaluate({})["Y"] == LOGIC_1
+
+
+class TestSequentialCells:
+    def test_dff_captures_d(self, library):
+        cell = library.get("DFF")
+        assert cell.evaluate({"D": 1, "CK": 0})["__next__"] == 1
+        assert cell.evaluate({"D": 0, "CK": 1})["__next__"] == 0
+
+    def test_dffr_reset_dominates(self, library):
+        cell = library.get("DFFR")
+        assert cell.evaluate({"D": 1, "CK": 0, "RN": 0})["__next__"] == 0
+        assert cell.evaluate({"D": 1, "CK": 0, "RN": 1})["__next__"] == 1
+        assert cell.evaluate({"D": 1, "CK": 0, "RN": LOGIC_X})["__next__"] == LOGIC_X
+
+    def test_sdff_scan_mux(self, library):
+        cell = library.get("SDFF")
+        # SE=0 -> functional input, SE=1 -> serial input (paper Fig. 2).
+        assert cell.evaluate({"D": 1, "SI": 0, "SE": 0, "CK": 0})["__next__"] == 1
+        assert cell.evaluate({"D": 1, "SI": 0, "SE": 1, "CK": 0})["__next__"] == 0
+
+    def test_sdffr_reset_dominates_scan(self, library):
+        cell = library.get("SDFFR")
+        assert cell.evaluate(
+            {"D": 1, "SI": 1, "SE": 1, "CK": 0, "RN": 0})["__next__"] == 0
+
+    def test_dbgff_debug_mux(self, library):
+        cell = library.get("DBGFF")
+        # DE=0 -> mission data, DE=1 -> debugger-forced value (paper Fig. 4).
+        assert cell.evaluate({"D": 0, "DI": 1, "DE": 0, "CK": 0})["__next__"] == 0
+        assert cell.evaluate({"D": 0, "DI": 1, "DE": 1, "CK": 0})["__next__"] == 1
+
+    @given(st.sampled_from(LOGIC), st.sampled_from(LOGIC), st.sampled_from(LOGIC))
+    def test_sdff_equals_mux_then_dff(self, library, d, si, se):
+        """SDFF next-state must equal MUX2(D, SI, SE) feeding a DFF."""
+        mux_out = library.get("MUX2").evaluate({"D0": d, "D1": si, "S": se})["Y"]
+        sdff_next = library.get("SDFF").evaluate(
+            {"D": d, "SI": si, "SE": se, "CK": 0})["__next__"]
+        assert sdff_next == mux_out

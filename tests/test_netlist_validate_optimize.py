@@ -1,0 +1,99 @@
+"""Unit tests for netlist validation and dead-logic clean-up."""
+
+import pytest
+
+from repro.netlist.builder import NetlistBuilder
+from repro.netlist.module import INPUT, OUTPUT, Netlist
+from repro.netlist.optimize import dangling_instances, remove_dangling_logic
+from repro.netlist.validate import NetlistValidationError, check_netlist, validate_netlist
+
+from tests.conftest import build_and_or_circuit
+
+
+class TestValidate:
+    def test_clean_circuit_passes(self):
+        assert check_netlist(build_and_or_circuit()) == []
+        validate_netlist(build_and_or_circuit())
+
+    def test_undriven_input_reported(self):
+        netlist = Netlist("m")
+        netlist.add_port("y", OUTPUT)
+        netlist.add_instance("g", "INV", {"A": "floating", "Y": "y"})
+        problems = check_netlist(netlist)
+        assert any("floating" in p for p in problems)
+        with pytest.raises(NetlistValidationError):
+            validate_netlist(netlist)
+
+    def test_allow_floating_inputs(self):
+        netlist = Netlist("m")
+        netlist.add_port("y", OUTPUT)
+        netlist.add_instance("g", "INV", {"A": "floating", "Y": "y"})
+        assert check_netlist(netlist, allow_floating_inputs=True) == []
+
+    def test_undriven_output_port_reported(self):
+        netlist = Netlist("m")
+        netlist.add_port("a", INPUT)
+        netlist.add_port("y", OUTPUT)
+        problems = check_netlist(netlist)
+        assert any("output port 'y'" in p for p in problems)
+
+    def test_tied_net_counts_as_driven(self):
+        netlist = Netlist("m")
+        netlist.add_port("y", OUTPUT)
+        netlist.add_instance("g", "INV", {"A": "n1", "Y": "y"})
+        netlist.net("n1").tied = 1
+        assert check_netlist(netlist) == []
+
+    def test_combinational_loop_reported(self):
+        netlist = Netlist("m")
+        netlist.add_port("a", INPUT)
+        netlist.add_instance("g1", "AND2", {"A": "a", "B": "n2", "Y": "n1"})
+        netlist.add_instance("g2", "INV", {"A": "n1", "Y": "n2"})
+        assert any("loop" in p for p in check_netlist(netlist))
+
+    def test_generated_cores_are_clean(self, tiny_soc, small_soc):
+        assert check_netlist(tiny_soc.cpu) == []
+        assert check_netlist(small_soc.cpu) == []
+
+
+class TestOptimize:
+    def _circuit_with_dangling(self):
+        b = NetlistBuilder("m")
+        a = b.add_input("a")
+        c = b.add_input("b")
+        y = b.add_output("y")
+        b.gate("AND2", a, c, output=y)
+        # Dangling chain: two gates whose result is never used.
+        n1 = b.inv(a)
+        b.inv(n1)
+        return b.build()
+
+    def test_dangling_detected_and_removed(self):
+        netlist = self._circuit_with_dangling()
+        assert len(dangling_instances(netlist)) == 1  # only the chain tail at first
+        removed = remove_dangling_logic(netlist)
+        assert removed == 2
+        assert len(netlist.instances) == 1
+        assert dangling_instances(netlist) == []
+
+    def test_sequential_cells_never_removed(self):
+        b = NetlistBuilder("m")
+        clk = b.add_input("clk")
+        d = b.add_input("d")
+        b.dff(d, clk, name="ff")  # Q drives nothing
+        netlist = b.build()
+        assert remove_dangling_logic(netlist) == 0
+        assert "ff" in netlist.instances
+
+    def test_output_port_drivers_kept(self):
+        netlist = build_and_or_circuit()
+        assert remove_dangling_logic(netlist) == 0
+        assert len(netlist.instances) == 3
+
+    def test_orphan_nets_removed(self):
+        netlist = self._circuit_with_dangling()
+        before = set(netlist.nets)
+        remove_dangling_logic(netlist)
+        after = set(netlist.nets)
+        assert after < before
+        assert {"a", "b", "y"} <= after

@@ -1,0 +1,134 @@
+"""Unit tests for repro.utils (bit vectors, tables, timing)."""
+
+import time
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.bitvec import (
+    bit,
+    bits_of,
+    count_ones,
+    from_bits,
+    mask,
+    rotate_left,
+    rotate_right,
+    sign_extend,
+    to_bits,
+)
+from repro.utils.tables import Table
+from repro.utils.timing import Stopwatch
+
+
+class TestBitvec:
+    def test_mask_values(self):
+        assert mask(0) == 0
+        assert mask(1) == 1
+        assert mask(8) == 0xFF
+        assert mask(32) == 0xFFFFFFFF
+
+    def test_mask_negative_raises(self):
+        with pytest.raises(ValueError):
+            mask(-1)
+
+    def test_bit_extraction(self):
+        assert bit(0b1010, 1) == 1
+        assert bit(0b1010, 0) == 0
+        assert bit(0b1010, 3) == 1
+
+    def test_bit_negative_index_raises(self):
+        with pytest.raises(ValueError):
+            bit(1, -1)
+
+    def test_to_bits_lsb_first(self):
+        assert to_bits(0b1101, 4) == [1, 0, 1, 1]
+
+    def test_from_bits_roundtrip(self):
+        assert from_bits([1, 0, 1, 1]) == 0b1101
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            from_bits([0, 2, 1])
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_to_from_bits_roundtrip_property(self, value):
+        assert from_bits(to_bits(value, 32)) == value
+
+    def test_bits_of_width(self):
+        assert bits_of(5, 8) == "00000101"
+        assert bits_of(0x1FF, 8) == "11111111"  # truncated to width
+
+    def test_count_ones(self):
+        assert count_ones(0) == 0
+        assert count_ones(0b10110) == 3
+
+    def test_count_ones_negative_raises(self):
+        with pytest.raises(ValueError):
+            count_ones(-5)
+
+    def test_sign_extend_positive(self):
+        assert sign_extend(0b0101, 4, 8) == 0b0101
+
+    def test_sign_extend_negative(self):
+        assert sign_extend(0b1101, 4, 8) == 0b11111101
+
+    def test_rotate_left_and_right_are_inverse(self):
+        value = 0x12345678
+        assert rotate_right(rotate_left(value, 7, 32), 7, 32) == value
+
+    @given(st.integers(min_value=0, max_value=2**16 - 1),
+           st.integers(min_value=0, max_value=64))
+    def test_rotate_preserves_popcount(self, value, amount):
+        assert count_ones(rotate_left(value, amount, 16)) == count_ones(value)
+
+
+class TestTable:
+    def test_render_contains_headers_and_rows(self):
+        table = Table(["Source", "#"], title="demo")
+        table.add_row(["Scan", 19142])
+        text = table.render()
+        assert "demo" in text
+        assert "Source" in text
+        assert "19,142" in text
+
+    def test_row_length_mismatch_raises(self):
+        table = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row([1])
+
+    def test_float_formatting(self):
+        table = Table(["x"])
+        table.add_row([3.14159])
+        assert "3.14" in table.render()
+
+    def test_str_matches_render(self):
+        table = Table(["x"])
+        table.add_row([1])
+        assert str(table) == table.render()
+
+
+class TestStopwatch:
+    def test_accumulates_named_laps(self):
+        watch = Stopwatch()
+        watch.start("a")
+        time.sleep(0.01)
+        elapsed = watch.stop()
+        assert elapsed > 0
+        assert watch.elapsed("a") >= elapsed * 0.99
+        assert watch.elapsed("missing") == 0.0
+
+    def test_start_stops_previous_phase(self):
+        watch = Stopwatch()
+        watch.start("a")
+        watch.start("b")
+        watch.stop()
+        assert "a" in watch.laps and "b" in watch.laps
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Stopwatch().stop()
+
+    def test_context_manager_records_total(self):
+        with Stopwatch() as watch:
+            time.sleep(0.001)
+        assert watch.total() > 0
