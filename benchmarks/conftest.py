@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.flow import OnlineUntestableFlow
+import repro
 from repro.soc.config import SoCConfig
 from repro.soc.soc_builder import build_soc
 
@@ -22,7 +22,9 @@ def date13_soc():
 
 @pytest.fixture(scope="session")
 def date13_report(date13_soc):
-    return OnlineUntestableFlow(date13_soc).run()
+    # The parallel pipeline reproduces the legacy flow's report exactly
+    # (first-source attribution is deterministic in the paper's order).
+    return repro.analyze(date13_soc, parallel=True)
 
 
 @pytest.fixture(scope="session")
@@ -32,7 +34,7 @@ def small_soc():
 
 @pytest.fixture(scope="session")
 def small_report(small_soc):
-    return OnlineUntestableFlow(small_soc).run()
+    return repro.analyze(small_soc, parallel=True)
 
 
 @pytest.fixture(scope="session")
@@ -42,4 +44,4 @@ def tiny_soc():
 
 @pytest.fixture(scope="session")
 def tiny_report(tiny_soc):
-    return OnlineUntestableFlow(tiny_soc).run()
+    return repro.analyze(tiny_soc, parallel=True)

@@ -2,14 +2,17 @@
 """Quickstart: identify on-line functionally untestable faults in a generated core.
 
 Builds the "small" synthetic processor core (register file, ALU, AGU, BTB,
-debug logic, full scan), runs the complete identification flow from the paper
-(scan -> debug control -> debug observation -> memory map) and prints the
-Table-I style summary plus a few example faults per source.
+debug logic, full scan) and runs the complete identification flow from the
+paper (scan -> debug control -> debug observation -> memory map) through the
+one-call entry point :func:`repro.analyze`, which drives the composable
+analysis-pass pipeline (see ``examples/custom_pass.py`` for authoring your
+own pass).  Prints the Table-I style summary plus a few example faults per
+source.
 
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import OnlineUntestableFlow
+import repro
 from repro.core.report import render_source_details
 from repro.soc import SoCConfig, build_soc
 
@@ -26,8 +29,9 @@ def main() -> None:
     print(f"  memory map: {soc.memory_map}")
     print()
 
-    flow = OnlineUntestableFlow(soc)
-    report = flow.run()
+    # The four paper analyses only share read-only inputs once the baseline
+    # is computed, so they are safe to run concurrently.
+    report = repro.analyze(soc, parallel=True)
 
     print(report.to_table())
     print()

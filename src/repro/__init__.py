@@ -3,21 +3,111 @@ Fault Identification in Embedded Processor Cores", DATE 2013.
 
 The package is organised as a set of substrates (netlist, simulation, faults,
 ATPG, scan, debug, memory, manipulation, soc, sbst) plus the paper's primary
-contribution in :mod:`repro.core` — identification of on-line functionally
-untestable (OLFU) stuck-at faults via circuit manipulation followed by
-structural-untestability analysis.
+contribution — identification of on-line functionally untestable (OLFU)
+stuck-at faults via circuit manipulation followed by
+structural-untestability analysis — implemented as composable analysis
+passes in :mod:`repro.pipeline` and orchestrated by :func:`repro.analyze`.
 
 Quickstart::
 
+    import repro
     from repro.soc import build_soc, SoCConfig
-    from repro.core import OnlineUntestableFlow
 
     soc = build_soc(SoCConfig.small())
-    flow = OnlineUntestableFlow(soc)
-    report = flow.run()
+    report = repro.analyze(soc, parallel=True)
     print(report.to_table())
+
+``analyze`` accepts a pass selection (``passes=["scan_analysis", ...]``), an
+ATPG effort (``effort="tie" | "random" | "full"``), concurrent execution
+(``parallel=True``) and an :class:`repro.pipeline.ArtifactCache` for reuse
+across scenario variants.  The legacy driver is still available::
+
+    from repro.core import OnlineUntestableFlow
+    report = OnlineUntestableFlow(soc).run()
+
+and produces the identical report.  Custom analyses plug in through the
+:func:`repro.pipeline.analysis_pass` decorator (see
+``examples/custom_pass.py``), and ``python -m repro small --parallel``
+runs the whole flow from the command line.
 """
 
-from repro._version import __version__
+from dataclasses import replace as _replace
+from typing import Iterable, Optional, Sequence, Union
 
-__all__ = ["__version__"]
+from repro._version import __version__
+from repro.atpg.engine import AtpgEffort
+from repro.core.flow import (FlowConfig, OnlineUntestableFlow,
+                             OnlineUntestableReport)
+from repro.pipeline import (AnalysisPass, ArtifactCache, Pipeline,
+                            PipelineBuilder, PipelineResult, analysis_pass,
+                            default_pass_names)
+
+__all__ = [
+    "analyze",
+    "Pipeline",
+    "AnalysisPass",
+    "OnlineUntestableFlow",
+    "FlowConfig",
+    "__version__",
+]
+
+
+def _resolve_effort(effort: Union[AtpgEffort, str, None]) -> Optional[AtpgEffort]:
+    if effort is None or isinstance(effort, AtpgEffort):
+        return effort
+    try:
+        return AtpgEffort(effort.lower())
+    except ValueError:
+        names = ", ".join(e.value for e in AtpgEffort)
+        raise ValueError(
+            f"unknown ATPG effort {effort!r}; expected one of: {names}"
+        ) from None
+
+
+def analyze(target,
+            *,
+            passes: Optional[Sequence] = None,
+            effort: Union[AtpgEffort, str, None] = None,
+            parallel: Union[bool, int] = False,
+            config: Optional[FlowConfig] = None,
+            memory_map=None,
+            faults: Optional[Iterable] = None,
+            cache: Optional[ArtifactCache] = None) -> OnlineUntestableReport:
+    """Identify the on-line functionally untestable faults of ``target``.
+
+    Parameters
+    ----------
+    target:
+        A :class:`repro.soc.soc_builder.SoC` or a bare netlist.
+    passes:
+        Pass names / :class:`AnalysisPass` objects to run (dependencies are
+        resolved automatically).  Default: the paper's full §4 flow.
+    effort:
+        ATPG effort — an :class:`AtpgEffort` or its string value.
+    parallel:
+        ``True`` to run independent passes concurrently, or an int for an
+        explicit worker count.
+    config:
+        A full :class:`FlowConfig` (``effort`` overrides its effort field).
+    memory_map / faults:
+        Optional explicit memory map and restricted fault universe.
+    cache:
+        An :class:`ArtifactCache` to reuse pass results across calls.
+
+    Returns the same :class:`OnlineUntestableReport` as the legacy
+    :class:`OnlineUntestableFlow`.
+    """
+    resolved_effort = _resolve_effort(effort)
+    if config is None:
+        config = FlowConfig()
+    if resolved_effort is not None:
+        config = _replace(config, effort=resolved_effort)
+
+    max_workers = parallel if isinstance(parallel, int) and not isinstance(parallel, bool) else None
+    pipeline = Pipeline(list(passes) if passes is not None else default_pass_names(config),
+                        parallel=bool(parallel),
+                        max_workers=max_workers,
+                        cache=cache)
+    result = pipeline.run(target, config=config, memory_map=memory_map,
+                          faults=faults)
+    return result.report

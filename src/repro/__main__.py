@@ -1,0 +1,129 @@
+"""Command-line entry point: ``python -m repro``.
+
+Builds one of the named synthetic SoC configurations, runs the analysis-pass
+pipeline and prints the Table-I style summary (or a JSON document with the
+rows, per-source counts and pass runtimes)::
+
+    python -m repro small
+    python -m repro tiny --passes scan_analysis,memory_analysis --json
+    python -m repro date13 --effort tie --parallel --details
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import List, Optional
+
+import repro
+from repro.core.report import render_source_details
+from repro.faults.categories import source_label
+from repro.pipeline import DEFAULT_REGISTRY
+from repro.soc.config import SoCConfig
+from repro.soc.soc_builder import build_soc
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=("Identify on-line functionally untestable stuck-at "
+                     "faults in a generated processor core (Bernardi et "
+                     "al., DATE 2013)."))
+    parser.add_argument(
+        "config", nargs="?", default="small",
+        choices=sorted(SoCConfig.named_configs()),
+        help="named SoC configuration to build (default: small)")
+    parser.add_argument(
+        "--passes", default=None, metavar="NAME[,NAME...]",
+        help=("comma-separated analysis passes to run (dependencies are "
+              "resolved automatically); default: the full paper flow. "
+              "Use --list-passes to see what is registered"))
+    parser.add_argument(
+        "--effort", default="tie", choices=["tie", "random", "full"],
+        help="ATPG effort of the structural engine (default: tie)")
+    parser.add_argument(
+        "--parallel", nargs="?", const=True, default=False, type=int,
+        metavar="WORKERS",
+        help=("run independent passes concurrently (optionally with an "
+              "explicit worker count)"))
+    parser.add_argument(
+        "--json", action="store_true",
+        help="emit a JSON document instead of the rendered table")
+    parser.add_argument(
+        "--details", action="store_true",
+        help="also print the per-source breakdown with example faults")
+    parser.add_argument(
+        "--list-passes", action="store_true",
+        help="list the registered analysis passes and exit")
+    return parser
+
+
+def _list_passes() -> int:
+    for pass_ in DEFAULT_REGISTRY.passes():
+        source = source_label(pass_.source) if pass_.source is not None else "-"
+        requires = ", ".join(pass_.requires) or "-"
+        provides = ", ".join(pass_.provides) or "-"
+        print(f"{pass_.name:<16} source={source:<14} "
+              f"requires=[{requires}] provides=[{provides}]")
+    return 0
+
+
+def _report_as_json(report, config_name: str, elapsed: float) -> str:
+    return json.dumps({
+        "config": config_name,
+        "netlist": report.netlist_name,
+        "total_faults": report.total_faults,
+        "baseline_untestable": len(report.baseline_untestable),
+        "total_online_untestable": report.total_online_untestable,
+        "table": report.table_rows(),
+        "sources": [{
+            "source": source_label(summary.source),
+            "identified": len(summary.identified),
+            "attributed": summary.count,
+            "runtime_seconds": summary.runtime_seconds,
+        } for summary in report.sources],
+        "runtimes": report.runtimes,
+        "elapsed_seconds": elapsed,
+    }, indent=2)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.list_passes:
+        return _list_passes()
+
+    passes = ([name.strip() for name in args.passes.split(",") if name.strip()]
+              if args.passes else None)
+    if args.passes and not passes:
+        print("error: --passes given but no pass names supplied",
+              file=sys.stderr)
+        return 2
+
+    started = time.perf_counter()
+    soc = build_soc(SoCConfig.from_name(args.config))
+    try:
+        report = repro.analyze(soc, passes=passes, effort=args.effort,
+                               parallel=args.parallel)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    if args.json:
+        print(_report_as_json(report, args.config, elapsed))
+        return 0
+
+    print(report.to_table())
+    if args.details:
+        print()
+        print(render_source_details(report))
+    print()
+    print(f"({args.config}: {report.total_faults:,} faults analysed "
+          f"in {elapsed:.2f}s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

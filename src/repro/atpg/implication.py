@@ -127,23 +127,35 @@ class ImplicationEngine:
     def _cell_family(cell_name: str) -> str:
         return cell_name.rstrip("0123456789")
 
-    def propagation_blocked(self, through_instance, from_pin_port: str) -> bool:
+    def propagation_blocked(self, through_instance, from_pin_port: str,
+                            untrusted_nets: Optional[Set[str]] = None) -> bool:
         """True if a fault effect entering ``through_instance`` at pin
         ``from_pin_port`` can never influence the instance output.
 
         Sound (never claims "blocked" wrongly) but incomplete: it only checks
         side inputs held at controlling constants for simple gate families
         and select/enable constants for multiplexers and scan/debug cells.
+
+        ``untrusted_nets`` names nets whose implied constants must not be
+        relied upon — the caller passes the fanout cone of the fault site, on
+        which the fault effect itself may overturn the implied value (e.g. a
+        gate whose both inputs branch from the faulty net).
         """
         cell = through_instance.cell
         family = self._cell_family(cell.name)
+
+        def side_constant(net) -> Optional[int]:
+            if net is None:
+                return None
+            if untrusted_nets is not None and net.name in untrusted_nets:
+                return None
+            return self.constants.get(net.name)
 
         side_values: Dict[str, Optional[int]] = {}
         for pin in through_instance.input_pins():
             if pin.port == from_pin_port:
                 continue
-            net = pin.net
-            side_values[pin.port] = self.constants.get(net.name) if net else None
+            side_values[pin.port] = side_constant(pin.net)
 
         if family in self._CONTROLLING:
             controlling = self._CONTROLLING[family]
@@ -191,8 +203,7 @@ class ImplicationEngine:
             se_pin = cell.role_pin("scan_enable")
             se_active = cell.role_value("scan_enable_active")
             if se_pin:
-                se_const = (self.constants.get(through_instance.pin(se_pin).net.name)
-                            if through_instance.pin(se_pin).net else None)
+                se_const = side_constant(through_instance.pin(se_pin).net)
                 if from_pin_port == cell.role_pin("scan_in"):
                     if se_const is not None and se_const != se_active:
                         return True
@@ -202,8 +213,7 @@ class ImplicationEngine:
             de_pin = cell.role_pin("debug_enable")
             de_active = cell.role_value("debug_enable_active")
             if de_pin:
-                de_const = (self.constants.get(through_instance.pin(de_pin).net.name)
-                            if through_instance.pin(de_pin).net else None)
+                de_const = side_constant(through_instance.pin(de_pin).net)
                 if from_pin_port == cell.role_pin("debug_in"):
                     if de_const is not None and de_const != de_active:
                         return True

@@ -58,6 +58,7 @@ class TieAnalysis:
         self.engine = engine or ImplicationEngine(netlist)
         self._observe_cache: Dict[str, bool] = {}
         self._reach_cache: Dict[str, bool] = {}
+        self._origin_cache: Dict[tuple, bool] = {}
 
     # ------------------------------------------------------------------ #
     # observability predicates
@@ -72,27 +73,88 @@ class TieAnalysis:
             return cached
         # Mark as False first to terminate on (unexpected) cycles.
         self._observe_cache[net_name] = False
-        net = self.netlist.nets[net_name]
-        result = False
-        if net.is_output_port and net_name not in self.netlist.unobservable_ports:
-            result = True
-        else:
-            for pin in net.loads:
-                inst = pin.instance
-                if self.engine.propagation_blocked(inst, pin.port):
-                    continue
-                if inst.is_sequential:
-                    result = True
-                    break
-                advanced = False
-                for out_pin in inst.output_pins():
-                    if out_pin.net is not None and self._net_observable(out_pin.net.name):
-                        advanced = True
-                        break
-                if advanced:
-                    result = True
-                    break
+        result = self._search_observation(net_name, untrusted=None, visited=None)
         self._observe_cache[net_name] = result
+        return result
+
+    def _search_observation(self, net_name: str,
+                            untrusted: Optional[Set[str]],
+                            visited: Optional[Set[str]]) -> bool:
+        """One step of the observability traversal, in two trust modes.
+
+        ``untrusted=None`` is the normal, globally-cached mode (recursion
+        goes through :meth:`_net_observable`).  With an ``untrusted`` cone
+        the traversal refuses to let the cone's implied constants block
+        propagation and tracks termination with the caller's ``visited``
+        set instead of the global cache (the answer then depends on the
+        fault origin, so it must not be memoised per net).
+        """
+        net = self.netlist.nets[net_name]
+        if net.is_output_port and net_name not in self.netlist.unobservable_ports:
+            return True
+        for pin in net.loads:
+            inst = pin.instance
+            if self.engine.propagation_blocked(inst, pin.port,
+                                               untrusted_nets=untrusted):
+                continue
+            if inst.is_sequential:
+                return True
+            for out_pin in inst.output_pins():
+                if out_pin.net is None:
+                    continue
+                next_net = out_pin.net.name
+                if untrusted is None:
+                    if self._net_observable(next_net):
+                        return True
+                elif next_net not in visited:
+                    visited.add(next_net)
+                    if self._search_observation(next_net, untrusted, visited):
+                        return True
+        return False
+
+    def _fanout_cone_nets(self, origins: tuple) -> Set[str]:
+        """All nets the fault effect can sit on within one time frame: the
+        origin nets plus everything downstream through combinational logic."""
+        cone: Set[str] = set()
+        work = list(origins)
+        while work:
+            net_name = work.pop()
+            if net_name in cone:
+                continue
+            cone.add(net_name)
+            for pin in self.netlist.nets[net_name].loads:
+                if pin.instance.is_sequential:
+                    continue
+                for out_pin in pin.instance.output_pins():
+                    if out_pin.net is not None:
+                        work.append(out_pin.net.name)
+        return cone
+
+    def _observable_from(self, origins: tuple) -> bool:
+        """Origin-aware observability recheck.
+
+        The cached :meth:`_net_observable` trusts every implied constant when
+        declaring a propagation path blocked.  That is unsound when the
+        blocking side input lies in the fanout cone of the fault site itself
+        (reconvergence: both inputs of a gate branch from the faulty net) —
+        the fault overturns the very constant doing the blocking.  This
+        recheck re-runs the traversal treating the cone's constants as
+        untrusted; only if it still finds no path is "blocked" believable.
+        """
+        cached = self._origin_cache.get(origins)
+        if cached is not None:
+            return cached
+        cone = self._fanout_cone_nets(origins)
+        visited: Set[str] = set()
+        result = False
+        for origin in origins:
+            if origin not in visited:
+                visited.add(origin)
+                if self._search_observation(origin, untrusted=cone,
+                                            visited=visited):
+                    result = True
+                    break
+        self._origin_cache[origins] = result
         return result
 
     def _net_reaches_any_observation(self, net_name: str) -> bool:
@@ -161,18 +223,16 @@ class TieAnalysis:
             return FaultClass.UB
         if inst.is_sequential:
             return self._sequential_branch_class(inst, pin, fault)
-        observable = False
-        reachable = False
-        for out_pin in inst.output_pins():
-            if out_pin.net is None:
-                continue
-            if self._net_observable(out_pin.net.name):
-                observable = True
-            if self._net_reaches_any_observation(out_pin.net.name):
-                reachable = True
-        if observable:
+        out_nets = tuple(out_pin.net.name for out_pin in inst.output_pins()
+                         if out_pin.net is not None)
+        if any(self._net_observable(net_name) for net_name in out_nets):
             return None
-        return FaultClass.UB if reachable else FaultClass.UO
+        if not any(self._net_reaches_any_observation(net_name)
+                   for net_name in out_nets):
+            return FaultClass.UO  # nothing observable is even reachable
+        if self._observable_from(out_nets):
+            return None  # only blocked by constants the fault itself upsets
+        return FaultClass.UB
 
     def _sequential_branch_class(self, inst, pin, fault: StuckAtFault
                                  ) -> Optional[FaultClass]:
@@ -220,9 +280,11 @@ class TieAnalysis:
     def _observability_class(self, net_name: str) -> Optional[FaultClass]:
         if self._net_observable(net_name):
             return None
-        if self._net_reaches_any_observation(net_name):
-            return FaultClass.UB
-        return FaultClass.UO
+        if not self._net_reaches_any_observation(net_name):
+            return FaultClass.UO  # nothing observable is even reachable
+        if self._observable_from((net_name,)):
+            return None  # only blocked by constants the fault itself upsets
+        return FaultClass.UB
 
     # ------------------------------------------------------------------ #
     def run(self, faults: Iterable[StuckAtFault]) -> TieAnalysisResult:

@@ -22,9 +22,11 @@ from repro.core.debug_control import DebugControlResult, identify_debug_control_
 from repro.core.debug_observe import DebugObserveResult, identify_debug_observe_untestable
 from repro.core.memory_analysis import MemoryMapResult, identify_memory_map_untestable
 from repro.core.flow import FlowConfig, OnlineUntestableFlow, OnlineUntestableReport
+from repro.core.results import SourceSummary
 from repro.core.report import render_summary_table, render_source_details
 
 __all__ = [
+    "SourceSummary",
     "FaultUniverse",
     "build_fault_universe",
     "ScanAnalysisResult",

@@ -11,132 +11,39 @@
 Sources are applied in the paper's order (scan → debug → memory) and each
 fault is attributed to the first source that identifies it, so the per-source
 counts add up to the total exactly as in Table I.
+
+Since the pass-pipeline refactor this class is a thin backward-compatible
+facade: it translates its :class:`FlowConfig` into a pass selection and runs
+a serial :class:`repro.pipeline.Pipeline`, returning the identical
+:class:`OnlineUntestableReport`.  New code should prefer
+:func:`repro.analyze` or :class:`repro.pipeline.Pipeline` directly — they
+add pass composition, concurrent execution and artifact caching.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Union
+from typing import Iterable, Optional, Union
 
-from repro.atpg.engine import AtpgEffort
-from repro.core.debug_control import (
-    DebugControlResult,
-    compute_baseline_untestable,
-    identify_debug_control_untestable,
-)
-from repro.core.debug_observe import DebugObserveResult, identify_debug_observe_untestable
-from repro.core.memory_analysis import MemoryMapResult, identify_memory_map_untestable
-from repro.core.scan_analysis import ScanAnalysisResult, identify_scan_untestable
-from repro.faults.categories import FaultClass, OnlineUntestableSource
+# Re-exported for backward compatibility: these classes lived here before
+# the pipeline refactor moved them to repro.core.results.
+from repro.core.results import (FlowConfig, OnlineUntestableReport,
+                                SourceSummary)
 from repro.faults.fault import StuckAtFault
-from repro.faults.faultlist import FaultList, generate_fault_list
 from repro.memory.memory_map import MemoryMap
 from repro.netlist.module import Netlist
-from repro.soc.soc_builder import SoC
-from repro.utils.timing import Stopwatch
 
-
-@dataclass
-class FlowConfig:
-    """What the flow runs and how hard the ATPG engine works."""
-
-    effort: AtpgEffort = AtpgEffort.TIE
-    run_scan: bool = True
-    run_debug_control: bool = True
-    run_debug_observe: bool = True
-    run_memory_map: bool = True
-    tie_flop_outputs: bool = True   # §3.3 / Fig. 6 ablation knob
-    tie_flop_inputs: bool = True
-
-
-@dataclass
-class SourceSummary:
-    """Per-source contribution to the on-line untestable population."""
-
-    source: OnlineUntestableSource
-    identified: Set[StuckAtFault] = field(default_factory=set)
-    attributed: Set[StuckAtFault] = field(default_factory=set)
-    runtime_seconds: float = 0.0
-
-    @property
-    def count(self) -> int:
-        return len(self.attributed)
-
-
-@dataclass
-class OnlineUntestableReport:
-    """The flow's result — everything needed to print Table I."""
-
-    netlist_name: str
-    total_faults: int
-    baseline_untestable: Set[StuckAtFault] = field(default_factory=set)
-    sources: List[SourceSummary] = field(default_factory=list)
-    scan_result: Optional[ScanAnalysisResult] = None
-    debug_control_result: Optional[DebugControlResult] = None
-    debug_observe_result: Optional[DebugObserveResult] = None
-    memory_result: Optional[MemoryMapResult] = None
-    runtimes: Dict[str, float] = field(default_factory=dict)
-
-    @property
-    def online_untestable(self) -> Set[StuckAtFault]:
-        result: Set[StuckAtFault] = set()
-        for source in self.sources:
-            result |= source.attributed
-        return result
-
-    @property
-    def total_online_untestable(self) -> int:
-        return len(self.online_untestable)
-
-    def percentage(self, count: int) -> float:
-        return 100.0 * count / self.total_faults if self.total_faults else 0.0
-
-    def source_count(self, source: OnlineUntestableSource) -> int:
-        for summary in self.sources:
-            if summary.source is source:
-                return summary.count
-        return 0
-
-    def table_rows(self) -> List[Dict[str, object]]:
-        """Rows in the layout of the paper's Table I."""
-        rows: List[Dict[str, object]] = [{
-            "source": "Original",
-            "count": len(self.baseline_untestable),
-            "percent": self.percentage(len(self.baseline_untestable)),
-        }]
-        scan = self.source_count(OnlineUntestableSource.SCAN)
-        debug_ctrl = self.source_count(OnlineUntestableSource.DEBUG_CONTROL)
-        debug_obs = self.source_count(OnlineUntestableSource.DEBUG_OBSERVE)
-        memory = self.source_count(OnlineUntestableSource.MEMORY_MAP)
-        rows.append({"source": "Scan", "count": scan,
-                     "percent": self.percentage(scan)})
-        rows.append({"source": "Debug", "count": debug_ctrl + debug_obs,
-                     "detail": f"{debug_ctrl}+{debug_obs}",
-                     "percent": self.percentage(debug_ctrl + debug_obs)})
-        rows.append({"source": "Memory", "count": memory,
-                     "percent": self.percentage(memory)})
-        total = self.total_online_untestable
-        rows.append({"source": "TOTAL", "count": total,
-                     "percent": self.percentage(total)})
-        return rows
-
-    def to_table(self) -> str:
-        from repro.core.report import render_summary_table
-        return render_summary_table(self)
-
-    def apply_to_fault_list(self, fault_list: FaultList) -> FaultList:
-        """Mark the identified faults in a fault list and return the pruned list."""
-        for summary in self.sources:
-            fault_list.classify_many(summary.attributed, FaultClass.UT, summary.source)
-        return fault_list.prune(self.online_untestable)
+__all__ = ["FlowConfig", "SourceSummary", "OnlineUntestableReport",
+           "OnlineUntestableFlow"]
 
 
 class OnlineUntestableFlow:
     """Orchestrates the §3 analyses over a processor core."""
 
-    def __init__(self, target: Union[SoC, Netlist],
+    def __init__(self, target: Union["SoC", Netlist],  # noqa: F821
                  config: Optional[FlowConfig] = None,
                  memory_map: Optional[MemoryMap] = None) -> None:
+        from repro.soc.soc_builder import SoC
+
         if isinstance(target, SoC):
             self.netlist = target.cpu
             self.memory_map = memory_map or target.memory_map
@@ -147,75 +54,9 @@ class OnlineUntestableFlow:
 
     def run(self, faults: Optional[Iterable[StuckAtFault]] = None) -> OnlineUntestableReport:
         """Run the configured analyses and return the report."""
-        watch = Stopwatch()
+        from repro.pipeline import Pipeline, default_pass_names
 
-        watch.start("fault_list")
-        fault_universe = (list(faults) if faults is not None
-                          else generate_fault_list(self.netlist).faults())
-        fault_set = set(fault_universe)
-        watch.stop()
-
-        watch.start("baseline")
-        baseline = compute_baseline_untestable(self.netlist, fault_universe,
-                                               self.config.effort)
-        watch.stop()
-
-        report = OnlineUntestableReport(
-            netlist_name=self.netlist.name,
-            total_faults=len(fault_universe),
-            baseline_untestable=baseline,
-        )
-
-        attributed: Set[StuckAtFault] = set(baseline)
-
-        def attribute(source: OnlineUntestableSource,
-                      identified: Set[StuckAtFault],
-                      runtime: float) -> None:
-            relevant = identified & fault_set
-            new = relevant - attributed
-            attributed.update(new)
-            report.sources.append(SourceSummary(
-                source=source, identified=relevant, attributed=new,
-                runtime_seconds=runtime))
-
-        if self.config.run_scan:
-            watch.start("scan")
-            scan = identify_scan_untestable(self.netlist)
-            runtime = watch.stop()
-            report.scan_result = scan
-            attribute(OnlineUntestableSource.SCAN, scan.untestable, runtime)
-
-        if self.config.run_debug_control:
-            watch.start("debug_control")
-            ctrl = identify_debug_control_untestable(
-                self.netlist, faults=fault_universe,
-                baseline_untestable=baseline, effort=self.config.effort)
-            runtime = watch.stop()
-            report.debug_control_result = ctrl
-            attribute(OnlineUntestableSource.DEBUG_CONTROL,
-                      ctrl.newly_untestable, runtime)
-
-        if self.config.run_debug_observe:
-            watch.start("debug_observe")
-            observe = identify_debug_observe_untestable(
-                self.netlist, faults=fault_universe,
-                baseline_untestable=baseline, effort=self.config.effort)
-            runtime = watch.stop()
-            report.debug_observe_result = observe
-            attribute(OnlineUntestableSource.DEBUG_OBSERVE,
-                      observe.newly_untestable, runtime)
-
-        if self.config.run_memory_map and self.memory_map is not None:
-            watch.start("memory_map")
-            memory = identify_memory_map_untestable(
-                self.netlist, memory_map=self.memory_map, faults=fault_universe,
-                baseline_untestable=baseline, effort=self.config.effort,
-                tie_flop_outputs=self.config.tie_flop_outputs,
-                tie_flop_inputs=self.config.tie_flop_inputs)
-            runtime = watch.stop()
-            report.memory_result = memory
-            attribute(OnlineUntestableSource.MEMORY_MAP,
-                      memory.newly_untestable, runtime)
-
-        report.runtimes = watch.laps
-        return report
+        pipeline = Pipeline(default_pass_names(self.config))
+        result = pipeline.run(self.netlist, config=self.config,
+                              memory_map=self.memory_map, faults=faults)
+        return result.report

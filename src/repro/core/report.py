@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
+from repro.faults.categories import source_label
 from repro.utils.tables import Table
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
@@ -36,7 +37,7 @@ def render_source_details(report: "OnlineUntestableReport",
                  f"{len(report.baseline_untestable):,}")
     for summary in report.sources:
         lines.append("")
-        lines.append(f"Source: {summary.source.value}")
+        lines.append(f"Source: {source_label(summary.source)}")
         lines.append(f"  identified: {len(summary.identified):,}   "
                      f"attributed (new): {summary.count:,}   "
                      f"runtime: {summary.runtime_seconds:.3f}s")

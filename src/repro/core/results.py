@@ -1,0 +1,118 @@
+"""Result objects of the on-line untestable identification flow.
+
+These dataclasses are shared between the legacy single-shot driver
+(:class:`repro.core.flow.OnlineUntestableFlow`) and the composable pass
+pipeline (:mod:`repro.pipeline`): both produce the same
+:class:`OnlineUntestableReport`, so everything downstream (Table-I
+rendering, fault-list pruning, the benchmarks) is agnostic about which
+driver ran the analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.atpg.engine import AtpgEffort
+from repro.core.debug_control import DebugControlResult
+from repro.core.debug_observe import DebugObserveResult
+from repro.core.memory_analysis import MemoryMapResult
+from repro.core.scan_analysis import ScanAnalysisResult
+from repro.faults.categories import FaultClass, OnlineUntestableSource
+from repro.faults.fault import StuckAtFault
+from repro.faults.faultlist import FaultList
+
+
+@dataclass
+class FlowConfig:
+    """What the flow runs and how hard the ATPG engine works."""
+
+    effort: AtpgEffort = AtpgEffort.TIE
+    run_scan: bool = True
+    run_debug_control: bool = True
+    run_debug_observe: bool = True
+    run_memory_map: bool = True
+    tie_flop_outputs: bool = True   # §3.3 / Fig. 6 ablation knob
+    tie_flop_inputs: bool = True
+
+
+@dataclass
+class SourceSummary:
+    """Per-source contribution to the on-line untestable population."""
+
+    source: OnlineUntestableSource
+    identified: Set[StuckAtFault] = field(default_factory=set)
+    attributed: Set[StuckAtFault] = field(default_factory=set)
+    runtime_seconds: float = 0.0
+
+    @property
+    def count(self) -> int:
+        return len(self.attributed)
+
+
+@dataclass
+class OnlineUntestableReport:
+    """The flow's result — everything needed to print Table I."""
+
+    netlist_name: str
+    total_faults: int
+    baseline_untestable: Set[StuckAtFault] = field(default_factory=set)
+    sources: List[SourceSummary] = field(default_factory=list)
+    scan_result: Optional[ScanAnalysisResult] = None
+    debug_control_result: Optional[DebugControlResult] = None
+    debug_observe_result: Optional[DebugObserveResult] = None
+    memory_result: Optional[MemoryMapResult] = None
+    runtimes: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def online_untestable(self) -> Set[StuckAtFault]:
+        result: Set[StuckAtFault] = set()
+        for source in self.sources:
+            result |= source.attributed
+        return result
+
+    @property
+    def total_online_untestable(self) -> int:
+        return len(self.online_untestable)
+
+    def percentage(self, count: int) -> float:
+        return 100.0 * count / self.total_faults if self.total_faults else 0.0
+
+    def source_count(self, source: OnlineUntestableSource) -> int:
+        for summary in self.sources:
+            if summary.source is source:
+                return summary.count
+        return 0
+
+    def table_rows(self) -> List[Dict[str, object]]:
+        """Rows in the layout of the paper's Table I."""
+        rows: List[Dict[str, object]] = [{
+            "source": "Original",
+            "count": len(self.baseline_untestable),
+            "percent": self.percentage(len(self.baseline_untestable)),
+        }]
+        scan = self.source_count(OnlineUntestableSource.SCAN)
+        debug_ctrl = self.source_count(OnlineUntestableSource.DEBUG_CONTROL)
+        debug_obs = self.source_count(OnlineUntestableSource.DEBUG_OBSERVE)
+        memory = self.source_count(OnlineUntestableSource.MEMORY_MAP)
+        rows.append({"source": "Scan", "count": scan,
+                     "percent": self.percentage(scan)})
+        rows.append({"source": "Debug", "count": debug_ctrl + debug_obs,
+                     "detail": f"{debug_ctrl}+{debug_obs}",
+                     "percent": self.percentage(debug_ctrl + debug_obs)})
+        rows.append({"source": "Memory", "count": memory,
+                     "percent": self.percentage(memory)})
+        total = self.total_online_untestable
+        rows.append({"source": "TOTAL", "count": total,
+                     "percent": self.percentage(total)})
+        return rows
+
+    def to_table(self) -> str:
+        from repro.core.report import render_summary_table
+        return render_summary_table(self)
+
+    def apply_to_fault_list(self, fault_list: FaultList) -> FaultList:
+        """Mark the identified faults in a fault list and return the pruned list."""
+        for summary in self.sources:
+            fault_list.classify_many(summary.attributed, FaultClass.UT, summary.source)
+        return fault_list.prune(self.online_untestable)

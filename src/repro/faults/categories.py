@@ -76,3 +76,19 @@ class OnlineUntestableSource(str, Enum):
         if self is OnlineUntestableSource.MEMORY_MAP:
             return "Memory"
         return "Original"
+
+
+#: First-source attribution order used by Table I: each on-line untestable
+#: fault is credited to the first source that identifies it, scanning the
+#: sources in this fixed order regardless of how the analyses were scheduled.
+PAPER_SOURCE_ORDER = (
+    OnlineUntestableSource.SCAN,
+    OnlineUntestableSource.DEBUG_CONTROL,
+    OnlineUntestableSource.DEBUG_OBSERVE,
+    OnlineUntestableSource.MEMORY_MAP,
+)
+
+
+def source_label(source: object) -> str:
+    """Human-readable label for a source (enum member or custom string)."""
+    return getattr(source, "value", None) or str(source)

@@ -1,0 +1,67 @@
+"""Composable analysis-pass pipeline (the successor of the monolithic flow).
+
+The paper's §4 flow — scan → debug control → debug observe → memory map —
+is expressed as registered :class:`AnalysisPass` objects over a shared
+:class:`PipelineContext` artifact store.  A :class:`Pipeline` resolves pass
+dependencies from their ``requires``/``provides`` declarations, executes
+independent passes concurrently when asked, memoises per-pass results in an
+:class:`ArtifactCache` keyed on the netlist signature plus configuration,
+and attributes identified faults to their first source in the paper's fixed
+order so Table I is reproduced exactly regardless of scheduling.
+
+Quickstart::
+
+    import repro
+    report = repro.analyze(soc, parallel=True)
+
+or, with explicit control::
+
+    from repro.pipeline import Pipeline
+
+    pipeline = (Pipeline.builder()
+                .with_passes("scan_analysis", "memory_analysis")
+                .parallel()
+                .cached()
+                .build())
+    report = pipeline.run(soc).report
+
+Custom passes register through the :func:`analysis_pass` decorator — see
+``examples/custom_pass.py``.
+"""
+
+from repro.pipeline.base import AnalysisPass, FunctionPass, PassResult
+from repro.pipeline.cache import ArtifactCache, netlist_signature
+from repro.pipeline.context import (MissingArtifactError, PipelineContext,
+                                    SEED_ARTIFACTS)
+from repro.pipeline.pipeline import (DependencyCycleError, PassEvent, Pipeline,
+                                     PipelineBuilder, PipelineError,
+                                     PipelineResult)
+from repro.pipeline.registry import (DEFAULT_REGISTRY, PassRegistrationError,
+                                     PassRegistry, analysis_pass)
+# Importing the built-in passes registers them.
+from repro.pipeline.passes import (LEGACY_RUNTIME_KEYS, REPORT_DETAIL_FIELDS,
+                                   default_pass_names)
+
+__all__ = [
+    "AnalysisPass",
+    "FunctionPass",
+    "PassResult",
+    "ArtifactCache",
+    "netlist_signature",
+    "PipelineContext",
+    "MissingArtifactError",
+    "SEED_ARTIFACTS",
+    "Pipeline",
+    "PipelineBuilder",
+    "PipelineResult",
+    "PipelineError",
+    "DependencyCycleError",
+    "PassEvent",
+    "PassRegistry",
+    "PassRegistrationError",
+    "DEFAULT_REGISTRY",
+    "analysis_pass",
+    "default_pass_names",
+    "LEGACY_RUNTIME_KEYS",
+    "REPORT_DETAIL_FIELDS",
+]

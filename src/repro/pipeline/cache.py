@@ -1,0 +1,132 @@
+"""Per-pass result caching keyed on netlist signature + run configuration.
+
+Serving many scenario variants of the same core means the expensive
+artifacts (fault universe, baseline ATPG classification, per-source
+analyses) are recomputed over and over.  :class:`ArtifactCache` memoises
+each pass's :class:`~repro.pipeline.base.PassResult` under a key derived
+from
+
+* a structural signature of the target netlist (ports, instances,
+  connectivity, tied nets — anything circuit manipulation can change),
+* the run configuration that influences the analyses (ATPG effort, the
+  Fig. 6 tie knobs, a restricted fault universe), and
+* the pass name.
+
+A pipeline constructed with a cache can therefore re-run on the same core
+— or on a clone with the same structure — and replay every pass result
+without touching the ATPG engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from typing import Any, Dict, Iterable, Optional, Tuple
+
+from repro.netlist.module import Netlist
+
+CacheKey = Tuple[str, str, str]  # (netlist signature, config key, pass name)
+
+
+def netlist_signature(netlist: Netlist) -> str:
+    """A stable digest of the netlist structure.
+
+    Covers the name, ports, unobservable ports, every instance with its
+    cell and pin connectivity, and every tied net — i.e. everything the
+    analyses read.  Two structurally identical clones hash the same.
+    """
+    hasher = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        hasher.update(text.encode())
+        hasher.update(b"\x00")
+
+    feed(netlist.name)
+    for port, direction in sorted(netlist.ports.items()):
+        feed(f"P{port}:{direction}")
+    for port in sorted(netlist.unobservable_ports):
+        feed(f"U{port}")
+    for inst_name in sorted(netlist.instances):
+        inst = netlist.instances[inst_name]
+        feed(f"I{inst_name}:{inst.cell.name}")
+        for port in sorted(inst.pins):
+            pin = inst.pins[port]
+            feed(f"p{port}={pin.net.name if pin.net is not None else ''}")
+    for net_name in sorted(netlist.nets):
+        tied = netlist.nets[net_name].tied
+        if tied is not None:
+            feed(f"T{net_name}={tied}")
+    return hasher.hexdigest()
+
+
+def memory_map_key(memory_map) -> str:
+    """A content-based key for a memory map ('' when there is none).
+
+    Built from the address width and the region contents, never from object
+    identity: two structurally equal maps must hash the same (so scenario
+    variants reuse cached results) and a different map allocated at a
+    recycled address must not collide.
+    """
+    if memory_map is None:
+        return ""
+    regions = ";".join(
+        f"{region.name}:{region.base}:{region.size}"
+        for region in sorted(memory_map.regions,
+                             key=lambda r: (r.base, r.size, r.name)))
+    return f"w{memory_map.address_width}[{regions}]"
+
+
+def fault_restriction_key(faults: Optional[Iterable] = None) -> str:
+    """Digest of an explicitly restricted fault universe ('' = full list)."""
+    if faults is None:
+        return ""
+    hasher = hashlib.sha256()
+    for fault in sorted(faults):
+        hasher.update(repr(fault).encode())
+        hasher.update(b"\x00")
+    return hasher.hexdigest()
+
+
+class ArtifactCache:
+    """Thread-safe pass-result cache with hit/miss accounting."""
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        self._entries: Dict[CacheKey, Any] = {}
+        self._lock = threading.Lock()
+        self.max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: CacheKey) -> Optional[Any]:
+        with self._lock:
+            if key in self._entries:
+                self.hits += 1
+                return self._entries[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: CacheKey, value: Any) -> None:
+        with self._lock:
+            if (self.max_entries is not None
+                    and key not in self._entries
+                    and len(self._entries) >= self.max_entries):
+                # Drop the oldest entry (insertion order).
+                oldest = next(iter(self._entries))
+                del self._entries[oldest]
+            self._entries[key] = value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {"entries": len(self._entries),
+                    "hits": self.hits, "misses": self.misses}

@@ -1,0 +1,136 @@
+"""The typed artifact store passes read from and publish into.
+
+A :class:`PipelineContext` is created per pipeline run.  It seeds the run
+inputs (netlist, memory map, flow configuration, an optional restricted
+fault universe), collects every artifact passes publish, and — when the
+pipeline owns an :class:`repro.pipeline.cache.ArtifactCache` — computes
+the cache key under which each pass's result is memoised.
+
+Artifact access is thread-safe: independent passes run concurrently in
+the parallel pipeline and publish their artifacts from worker threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.core.results import FlowConfig
+from repro.faults.fault import StuckAtFault
+from repro.memory.memory_map import MemoryMap
+from repro.netlist.module import Netlist
+from repro.pipeline.cache import (ArtifactCache, CacheKey,
+                                  fault_restriction_key, memory_map_key,
+                                  netlist_signature)
+
+
+class MissingArtifactError(KeyError):
+    """A pass asked for an artifact nothing has produced."""
+
+    def __init__(self, key: str, available: Iterable[str]) -> None:
+        listed = ", ".join(sorted(available)) or "<none>"
+        super().__init__(
+            f"artifact {key!r} is not in the pipeline context "
+            f"(available: {listed})")
+        self.key = key
+
+
+#: Artifact keys seeded by the context itself (no pass provides them).
+SEED_ARTIFACTS = ("netlist", "memory_map", "config")
+
+
+class PipelineContext:
+    """Run-scoped artifact store with typed accessors for the seed inputs."""
+
+    def __init__(self, netlist: Netlist,
+                 config: Optional[FlowConfig] = None,
+                 memory_map: Optional[MemoryMap] = None,
+                 initial_faults: Optional[Iterable[StuckAtFault]] = None,
+                 cache: Optional[ArtifactCache] = None) -> None:
+        self.netlist = netlist
+        self.config = config or FlowConfig()
+        self.memory_map = memory_map
+        self.initial_faults: Optional[List[StuckAtFault]] = (
+            list(initial_faults) if initial_faults is not None else None)
+        self.cache = cache
+        self._artifacts: Dict[str, Any] = {
+            "netlist": netlist,
+            "memory_map": memory_map,
+            "config": self.config,
+        }
+        self._lock = threading.Lock()
+        self._signature: Optional[str] = None
+        self._config_key: Optional[str] = None
+
+    # ------------------------------------------------------------------ #
+    # artifact store
+    # ------------------------------------------------------------------ #
+    def has(self, key: str) -> bool:
+        with self._lock:
+            return key in self._artifacts
+
+    def get(self, key: str, default: Any = None) -> Any:
+        with self._lock:
+            return self._artifacts.get(key, default)
+
+    def require(self, key: str) -> Any:
+        """Like :meth:`get` but raises :class:`MissingArtifactError`."""
+        with self._lock:
+            if key not in self._artifacts:
+                raise MissingArtifactError(key, self._artifacts)
+            return self._artifacts[key]
+
+    def set(self, key: str, value: Any) -> None:
+        with self._lock:
+            self._artifacts[key] = value
+
+    def keys(self) -> List[str]:
+        with self._lock:
+            return list(self._artifacts)
+
+    def as_dict(self) -> Dict[str, Any]:
+        with self._lock:
+            return dict(self._artifacts)
+
+    # typed conveniences for the common artifacts ----------------------- #
+    @property
+    def effort(self):
+        return self.config.effort
+
+    @property
+    def fault_universe(self) -> List[StuckAtFault]:
+        return self.require("fault_universe")
+
+    @property
+    def fault_set(self):
+        return self.require("fault_set")
+
+    @property
+    def baseline_untestable(self):
+        return self.require("baseline_untestable")
+
+    # ------------------------------------------------------------------ #
+    # caching
+    # ------------------------------------------------------------------ #
+    @property
+    def signature(self) -> str:
+        """Structural signature of the target netlist (computed once)."""
+        if self._signature is None:
+            self._signature = netlist_signature(self.netlist)
+        return self._signature
+
+    @property
+    def config_key(self) -> str:
+        """The configuration facets that influence pass results."""
+        if self._config_key is None:
+            cfg = self.config
+            self._config_key = (
+                f"effort={cfg.effort.name};"
+                f"tie_out={int(cfg.tie_flop_outputs)};"
+                f"tie_in={int(cfg.tie_flop_inputs)};"
+                f"memmap={memory_map_key(self.memory_map)};"
+                f"faults={fault_restriction_key(self.initial_faults)}")
+        return self._config_key
+
+    def cache_key(self, pass_name: str) -> CacheKey:
+        return (self.signature, self.config_key, pass_name)

@@ -19,6 +19,7 @@ from repro.faults.faultlist import FaultList, generate_fault_list
 from repro.netlist.module import Netlist
 from repro.sbst.monitor import CapturedPatterns
 from repro.simulation.parallel import ParallelPatternSimulator
+from repro.simulation.simulator import MISSION_CAPTURE_ROLES
 
 
 @dataclass
@@ -69,9 +70,14 @@ class FaultGrader:
         # Scan-out pins are never observed during the mission either.
         scan_spec = netlist.annotations.get("scan_insertion", {})
         exclude.update(scan_spec.get("scan_out_ports", []))
+        # Only capture through functional pins (D, reset) counts: a fault
+        # effect reaching a scan SI/SE or debug DI/DE pin is never stored
+        # into architectural state once the tester/debugger is gone, so it
+        # must not count as mission-mode detection.
         self.simulator = ParallelPatternSimulator(
             netlist, observe_state_inputs=observe_state_inputs,
-            exclude_output_ports=exclude)
+            exclude_output_ports=exclude,
+            state_input_roles=MISSION_CAPTURE_ROLES)
 
     # ------------------------------------------------------------------ #
     def grade(self, patterns: CapturedPatterns,

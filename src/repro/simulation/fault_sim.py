@@ -20,7 +20,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.faults.fault import StuckAtFault
 from repro.netlist.cells import LOGIC_X
 from repro.netlist.module import Netlist, Pin
-from repro.simulation.simulator import CombinationalSimulator
+from repro.simulation.simulator import CombinationalSimulator, observed_state_input_nets
 
 
 @dataclass
@@ -46,19 +46,20 @@ class FaultSimulator:
     module-sized netlists used in the tests and the SBST grading flow.
     """
 
-    def __init__(self, netlist: Netlist, observe_state_inputs: bool = True) -> None:
+    def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
+                 state_input_roles: Optional[Sequence[str]] = None) -> None:
         self.netlist = netlist
         self.sim = CombinationalSimulator(netlist)
         self.observe_state_inputs = observe_state_inputs
+        self.state_input_roles = (tuple(state_input_roles)
+                                  if state_input_roles is not None else None)
         self._observation_nets = self._compute_observation_nets()
 
     def _compute_observation_nets(self) -> Set[str]:
         nets: Set[str] = set(self.netlist.observable_output_ports())
         if self.observe_state_inputs:
             for inst in self.netlist.sequential_instances():
-                for pin in inst.input_pins():
-                    if pin.net is not None:
-                        nets.add(pin.net.name)
+                nets.update(observed_state_input_nets(inst, self.state_input_roles))
         return nets
 
     # ------------------------------------------------------------------ #

@@ -17,7 +17,7 @@ from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, 
 
 from repro.faults.fault import StuckAtFault
 from repro.netlist.module import Netlist, Pin
-from repro.simulation.simulator import CombinationalSimulator
+from repro.simulation.simulator import CombinationalSimulator, observed_state_input_nets
 from repro.utils.bitvec import mask
 
 # Word-level evaluation functions per cell, operating on Python-int bit
@@ -93,14 +93,25 @@ _WORD_FUNCTIONS = _make_word_functions()
 
 
 class ParallelPatternSimulator:
-    """Pattern-parallel two-valued simulation and serial-fault detection."""
+    """Pattern-parallel two-valued simulation and serial-fault detection.
+
+    ``state_input_roles`` restricts which sequential input pins count as
+    observation points: ``None`` observes every input pin (the off-line view —
+    scan capture makes all of them readable), while an explicit role set such
+    as ``("data", "reset")`` models mission-mode capture, where a fault effect
+    reaching a scan/debug-only pin (SI, SE, DI, DE) is never stored into
+    architectural state and therefore never observed.
+    """
 
     def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
-                 exclude_output_ports: Optional[Set[str]] = None) -> None:
+                 exclude_output_ports: Optional[Set[str]] = None,
+                 state_input_roles: Optional[Sequence[str]] = None) -> None:
         self.netlist = netlist
         self.sim = CombinationalSimulator(netlist)
         self.observe_state_inputs = observe_state_inputs
         self.exclude_output_ports = set(exclude_output_ports or ())
+        self.state_input_roles = (tuple(state_input_roles)
+                                  if state_input_roles is not None else None)
         self._observation_nets = self._compute_observation_nets()
         for inst in self.sim.order:
             if inst.cell.name not in _WORD_FUNCTIONS:
@@ -112,9 +123,7 @@ class ParallelPatternSimulator:
         nets -= self.exclude_output_ports
         if self.observe_state_inputs:
             for inst in self.netlist.sequential_instances():
-                for pin in inst.input_pins():
-                    if pin.net is not None:
-                        nets.add(pin.net.name)
+                nets.update(observed_state_input_nets(inst, self.state_input_roles))
         return nets
 
     # ------------------------------------------------------------------ #

@@ -125,3 +125,27 @@ class CombinationalSimulator:
                     else:
                         nxt[pin.net.name] = new_value
         return nxt
+
+
+#: Sequential input-pin roles through which a fault effect is captured into
+#: architectural state in mission mode.  Scan (SI/SE) and debug (DI/DE) pins
+#: are excluded: nothing reads what they would capture once the tester and
+#: the debugger are gone.  Clock and reset pins stay observable — a fault
+#: effect reaching them stops or resets a mission register, which is very
+#: much visible in the field.
+MISSION_CAPTURE_ROLES = ("data", "reset", "clock")
+
+
+def observed_state_input_nets(inst, roles=None):
+    """Net names of ``inst``'s input pins that count as observation points.
+
+    ``roles=None`` observes every input pin (off-line view: the scan chain
+    makes all captured values readable).  With an explicit role tuple only
+    the pins playing one of those roles on the cell are observed.
+    """
+    if roles is None:
+        return [pin.net.name for pin in inst.input_pins() if pin.net is not None]
+    allowed = {inst.cell.role_pin(role) for role in roles}
+    allowed.discard(None)
+    return [pin.net.name for pin in inst.input_pins()
+            if pin.net is not None and pin.port in allowed]

@@ -124,6 +124,22 @@ class SoCConfig:
     def date13(cls) -> "SoCConfig":
         return cls(cpu=CpuConfig.date13(), memory_map=MemoryMap.date13_case_study())
 
+    @classmethod
+    def named_configs(cls) -> dict:
+        """Name -> factory for every preset configuration."""
+        return {"tiny": cls.tiny, "small": cls.small, "date13": cls.date13}
+
+    @classmethod
+    def from_name(cls, name: str) -> "SoCConfig":
+        """Look up a preset configuration by name (CLI / scripting entry)."""
+        try:
+            return cls.named_configs()[name]()
+        except KeyError:
+            known = ", ".join(sorted(cls.named_configs()))
+            raise ValueError(
+                f"unknown SoC configuration {name!r}; available: {known}"
+            ) from None
+
     def with_cpu(self, **overrides) -> "SoCConfig":
         """Return a copy with CPU parameters replaced (used by ablations)."""
         return SoCConfig(cpu=replace(self.cpu, **overrides),
