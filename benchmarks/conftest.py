@@ -15,16 +15,22 @@ from repro.soc.soc_builder import build_soc
 
 
 @pytest.fixture(scope="session")
+def bench_session():
+    """One Session for the whole benchmark run (passes run concurrently)."""
+    return repro.Session(parallel_passes=True)
+
+
+@pytest.fixture(scope="session")
 def date13_soc():
     """The paper's case-study configuration (synthetic e200z0-class core)."""
     return build_soc(SoCConfig.date13())
 
 
 @pytest.fixture(scope="session")
-def date13_report(date13_soc):
+def date13_report(bench_session, date13_soc):
     # The parallel pipeline reproduces the legacy flow's report exactly
     # (first-source attribution is deterministic in the paper's order).
-    return repro.analyze(date13_soc, parallel=True)
+    return bench_session.analyze(date13_soc)
 
 
 @pytest.fixture(scope="session")
@@ -33,8 +39,8 @@ def small_soc():
 
 
 @pytest.fixture(scope="session")
-def small_report(small_soc):
-    return repro.analyze(small_soc, parallel=True)
+def small_report(bench_session, small_soc):
+    return bench_session.analyze(small_soc)
 
 
 @pytest.fixture(scope="session")
@@ -43,5 +49,5 @@ def tiny_soc():
 
 
 @pytest.fixture(scope="session")
-def tiny_report(tiny_soc):
-    return repro.analyze(tiny_soc, parallel=True)
+def tiny_report(bench_session, tiny_soc):
+    return bench_session.analyze(tiny_soc)

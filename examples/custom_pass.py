@@ -12,7 +12,7 @@ of the core, re-run the structural untestability engine and claim the
 
 A pass declares:
 
-* ``name``      — registry key, selectable via ``repro.analyze(passes=[...])``;
+* ``name``      — registry key, selectable via ``Session.analyze(passes=[...])``;
 * ``source``    — an :class:`OnlineUntestableSource` member or any custom
                   label; faults are attributed first to the paper's sources
                   (in the paper's fixed order), then to custom ones;
@@ -52,9 +52,9 @@ def main() -> None:
     soc = build_soc(SoCConfig.tiny())
 
     # The default flow, plus our pass.  Dependencies (fault_list, baseline)
-    # are pulled in automatically; --parallel would schedule reset_tree
-    # concurrently with the paper's sources.
-    report = repro.analyze(soc, passes=[
+    # are pulled in automatically; parallel_passes=True would schedule
+    # reset_tree concurrently with the paper's sources.
+    report = repro.Session().analyze(soc, passes=[
         "scan_analysis", "debug_control", "debug_observe",
         "memory_analysis", "reset_tree",
     ])

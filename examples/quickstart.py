@@ -1,37 +1,41 @@
 #!/usr/bin/env python3
 """Quickstart: identify on-line functionally untestable faults in a generated core.
 
-Builds the "small" synthetic processor core (register file, ALU, AGU, BTB,
-debug logic, full scan) and runs the complete identification flow from the
-paper (scan -> debug control -> debug observation -> memory map) through the
-one-call entry point :func:`repro.analyze`, which drives the composable
-analysis-pass pipeline (see ``examples/custom_pass.py`` for authoring your
-own pass).  Prints the Table-I style summary plus a few example faults per
-source.
+Creates a :class:`repro.Session` — the stateful front door that owns the
+artifact cache and execution defaults — wraps the "small" synthetic
+processor core (register file, ALU, AGU, BTB, debug logic, full scan) in a
+:class:`repro.Design`, and runs the complete identification flow from the
+paper (scan -> debug control -> debug observation -> memory map).  Prints
+the Table-I style summary plus a few example faults per source, then shows
+the session cache replaying the whole flow on a second call.
 
 Run with:  python examples/quickstart.py
 """
 
 import repro
 from repro.core.report import render_source_details
-from repro.soc import SoCConfig, build_soc
 
 
 def main() -> None:
-    config = SoCConfig.small()
-    soc = build_soc(config)
+    # A Session bundles the artifact cache, the executor backend used by
+    # sweeps, and the default pass selection / ATPG effort.  Independent
+    # analysis passes run concurrently with parallel_passes=True.
+    session = repro.Session(parallel_passes=True)
 
-    stats = soc.stats()
-    print(f"Generated core '{soc.name}':")
+    # Targets coerce automatically: a preset name, a SoCConfig, a built
+    # SoC, a bare Netlist, or an explicit Design all work.
+    design = session.design("small")
+
+    stats = design.stats()
+    print(f"Generated core '{design.name}' "
+          f"(signature {design.signature[:12]}...):")
     print(f"  {stats['instances']:,} cells "
           f"({stats['sequential']:,} flip-flops, {stats['combinational']:,} gates), "
           f"{stats['scan_chains']} scan chains")
-    print(f"  memory map: {soc.memory_map}")
+    print(f"  memory map: {design.memory_map}")
     print()
 
-    # The four paper analyses only share read-only inputs once the baseline
-    # is computed, so they are safe to run concurrently.
-    report = repro.analyze(soc, parallel=True)
+    report = session.analyze(design)
 
     print(report.to_table())
     print()
@@ -42,6 +46,14 @@ def main() -> None:
     print(f"=> {report.total_online_untestable:,} of {report.total_faults:,} "
           f"stuck-at faults ({fraction:.1%}) can never be detected by an "
           f"on-line functional test and should be pruned from the fault list.")
+
+    # The session memoises every pass result under the design's content
+    # signature: analyzing the same design again replays from cache.
+    session.analyze(design)
+    print()
+    print(f"session cache after a repeat analysis: {session.cache_stats}")
+    print("(see examples/scenario_sweep.py for batch sweeps over SoC "
+          "variants, and examples/custom_pass.py for authoring passes)")
 
 
 if __name__ == "__main__":

@@ -6,36 +6,48 @@ ATPG, scan, debug, memory, manipulation, soc, sbst) plus the paper's primary
 contribution — identification of on-line functionally untestable (OLFU)
 stuck-at faults via circuit manipulation followed by
 structural-untestability analysis — implemented as composable analysis
-passes in :mod:`repro.pipeline` and orchestrated by :func:`repro.analyze`.
+passes in :mod:`repro.pipeline` and orchestrated through the
+:class:`Session`/:class:`Design` API in :mod:`repro.api`.
 
 Quickstart::
 
     import repro
-    from repro.soc import build_soc, SoCConfig
 
-    soc = build_soc(SoCConfig.small())
-    report = repro.analyze(soc, parallel=True)
-    print(report.to_table())
+    session = repro.Session()
+    report = session.analyze("small")        # preset name, SoCConfig,
+    print(report.to_table())                 # SoC, Netlist or Design
 
-``analyze`` accepts a pass selection (``passes=["scan_analysis", ...]``), an
-ATPG effort (``effort="tie" | "random" | "full"``), concurrent execution
-(``parallel=True``) and an :class:`repro.pipeline.ArtifactCache` for reuse
-across scenario variants.  The legacy driver is still available::
+Scenario sweeps expand a grid of SoC variants (core size, scan style,
+debug interface, memory map, ATPG effort) and run them through a pluggable
+executor backend with cross-scenario artifact reuse::
 
-    from repro.core import OnlineUntestableFlow
-    report = OnlineUntestableFlow(soc).run()
+    grid = (repro.ScenarioGrid("tiny")
+            .axis("debug", [True, False])
+            .axis("effort", ["tie", "random"]))
+    sweep = session.sweep(grid, executor="thread")
+    print(sweep.to_table())                  # per-scenario Table I + deltas
+    open("sweep.json", "w").write(sweep.to_json())
 
-and produces the identical report.  Custom analyses plug in through the
-:func:`repro.pipeline.analysis_pass` decorator (see
-``examples/custom_pass.py``), and ``python -m repro small --parallel``
-runs the whole flow from the command line.
+The same flows run from the command line (``python -m repro analyze small``,
+``python -m repro sweep --base tiny --axis effort=tie,random``,
+``python -m repro report sweep.json``).  Custom analyses plug in through
+the :func:`repro.pipeline.analysis_pass` decorator (see
+``examples/custom_pass.py``); custom sweep backends implement the
+:class:`repro.api.Executor` protocol.
+
+The legacy one-shot entry points are kept for compatibility:
+:func:`repro.analyze` (deprecated — a thin shim over ``Session``) and the
+original :class:`repro.core.OnlineUntestableFlow` driver.
 """
 
-from dataclasses import replace as _replace
+import warnings
 from typing import Iterable, Optional, Sequence, Union
 
 from repro._version import __version__
-from repro.atpg.engine import AtpgEffort
+from repro.api import (Design, Executor, ProcessExecutor, Scenario,
+                       ScenarioGrid, SerialExecutor, Session, SweepReport,
+                       SweepResult, ThreadExecutor)
+from repro.atpg.engine import AtpgEffort, resolve_effort
 from repro.core.flow import (FlowConfig, OnlineUntestableFlow,
                              OnlineUntestableReport)
 from repro.pipeline import (AnalysisPass, ArtifactCache, Pipeline,
@@ -43,25 +55,29 @@ from repro.pipeline import (AnalysisPass, ArtifactCache, Pipeline,
                             default_pass_names)
 
 __all__ = [
-    "analyze",
+    # primary API
+    "Session",
+    "Design",
+    "ScenarioGrid",
+    "Scenario",
+    "SweepResult",
+    "SweepReport",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    # pipeline layer
     "Pipeline",
     "AnalysisPass",
+    "ArtifactCache",
+    "AtpgEffort",
+    "resolve_effort",
+    # legacy surface
+    "analyze",
     "OnlineUntestableFlow",
     "FlowConfig",
     "__version__",
 ]
-
-
-def _resolve_effort(effort: Union[AtpgEffort, str, None]) -> Optional[AtpgEffort]:
-    if effort is None or isinstance(effort, AtpgEffort):
-        return effort
-    try:
-        return AtpgEffort(effort.lower())
-    except ValueError:
-        names = ", ".join(e.value for e in AtpgEffort)
-        raise ValueError(
-            f"unknown ATPG effort {effort!r}; expected one of: {names}"
-        ) from None
 
 
 def analyze(target,
@@ -75,39 +91,25 @@ def analyze(target,
             cache: Optional[ArtifactCache] = None) -> OnlineUntestableReport:
     """Identify the on-line functionally untestable faults of ``target``.
 
-    Parameters
-    ----------
-    target:
-        A :class:`repro.soc.soc_builder.SoC` or a bare netlist.
-    passes:
-        Pass names / :class:`AnalysisPass` objects to run (dependencies are
-        resolved automatically).  Default: the paper's full §4 flow.
-    effort:
-        ATPG effort — an :class:`AtpgEffort` or its string value.
-    parallel:
-        ``True`` to run independent passes concurrently, or an int for an
-        explicit worker count.
-    config:
-        A full :class:`FlowConfig` (``effort`` overrides its effort field).
-    memory_map / faults:
-        Optional explicit memory map and restricted fault universe.
-    cache:
-        An :class:`ArtifactCache` to reuse pass results across calls.
+    .. deprecated::
+        ``repro.analyze`` is a thin shim kept for existing callers; new code
+        should create a :class:`repro.Session` (which adds a shared artifact
+        cache, executor backends and scenario sweeps) and call
+        :meth:`~repro.api.Session.analyze`.
 
-    Returns the same :class:`OnlineUntestableReport` as the legacy
-    :class:`OnlineUntestableFlow`.
+    Parameters mirror the original one-shot entry point: ``passes`` selects
+    analysis passes (dependencies resolved automatically), ``effort`` the
+    ATPG effort, ``parallel`` runs independent passes concurrently (int for
+    an explicit worker count), ``config`` supplies a full
+    :class:`FlowConfig`, and ``memory_map`` / ``faults`` / ``cache`` give an
+    explicit mission map, a restricted fault universe and a reusable
+    :class:`ArtifactCache`.
     """
-    resolved_effort = _resolve_effort(effort)
-    if config is None:
-        config = FlowConfig()
-    if resolved_effort is not None:
-        config = _replace(config, effort=resolved_effort)
-
-    max_workers = parallel if isinstance(parallel, int) and not isinstance(parallel, bool) else None
-    pipeline = Pipeline(list(passes) if passes is not None else default_pass_names(config),
-                        parallel=bool(parallel),
-                        max_workers=max_workers,
-                        cache=cache)
-    result = pipeline.run(target, config=config, memory_map=memory_map,
-                          faults=faults)
-    return result.report
+    warnings.warn(
+        "repro.analyze() is deprecated; use repro.Session().analyze(...) "
+        "(sessions add artifact-cache reuse, executor backends and "
+        "scenario sweeps)", DeprecationWarning, stacklevel=2)
+    session = Session(cache=cache, cache_entries=None)
+    return session.analyze(target, passes=passes, effort=effort,
+                           parallel=parallel, config=config,
+                           memory_map=memory_map, faults=faults)

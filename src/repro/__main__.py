@@ -1,12 +1,29 @@
 """Command-line entry point: ``python -m repro``.
 
-Builds one of the named synthetic SoC configurations, runs the analysis-pass
-pipeline and prints the Table-I style summary (or a JSON document with the
-rows, per-source counts and pass runtimes)::
+Three subcommands mirror the Session/Design API:
 
-    python -m repro small
-    python -m repro tiny --passes scan_analysis,memory_analysis --json
-    python -m repro date13 --effort tie --parallel --details
+``analyze``
+    Build one named SoC configuration, run the analysis-pass pipeline and
+    print the Table-I style summary (or JSON).  For compatibility with the
+    original CLI, the subcommand may be omitted::
+
+        python -m repro analyze small
+        python -m repro tiny --passes scan_analysis,memory_analysis --json
+        python -m repro date13 --effort tie --parallel --details
+
+``sweep``
+    Expand a scenario grid (base config + axes) and run it through an
+    executor backend, streaming per-scenario progress and printing the
+    aggregated multi-scenario comparison::
+
+        python -m repro sweep --base tiny --axis effort=tie,random
+        python -m repro sweep --base small --axis debug=on,off \\
+            --executor thread --out sweep.json
+
+``report``
+    Re-render a persisted sweep (table, JSON or CSV)::
+
+        python -m repro report sweep.json --csv
 """
 
 from __future__ import annotations
@@ -17,49 +34,114 @@ import sys
 import time
 from typing import List, Optional
 
-import repro
+from repro.api import EXECUTORS, ScenarioGrid, Session
+from repro.api.sweep import SweepReport
+from repro.atpg.engine import AtpgEffort
 from repro.core.report import render_source_details
 from repro.faults.categories import source_label
 from repro.pipeline import DEFAULT_REGISTRY
 from repro.soc.config import SoCConfig
-from repro.soc.soc_builder import build_soc
+
+COMMANDS = ("analyze", "sweep", "report")
 
 
+# --------------------------------------------------------------------- #
+# parser
+# --------------------------------------------------------------------- #
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description=("Identify on-line functionally untestable stuck-at "
-                     "faults in a generated processor core (Bernardi et "
+                     "faults in generated processor cores (Bernardi et "
                      "al., DATE 2013)."))
-    parser.add_argument(
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    analyze = sub.add_parser(
+        "analyze", help="analyze one SoC configuration")
+    analyze.add_argument(
         "config", nargs="?", default="small",
         choices=sorted(SoCConfig.named_configs()),
         help="named SoC configuration to build (default: small)")
-    parser.add_argument(
+    analyze.add_argument(
         "--passes", default=None, metavar="NAME[,NAME...]",
         help=("comma-separated analysis passes to run (dependencies are "
               "resolved automatically); default: the full paper flow. "
               "Use --list-passes to see what is registered"))
-    parser.add_argument(
-        "--effort", default="tie", choices=["tie", "random", "full"],
+    analyze.add_argument(
+        "--effort", default="tie",
+        choices=[e.value for e in AtpgEffort],
         help="ATPG effort of the structural engine (default: tie)")
-    parser.add_argument(
+    analyze.add_argument(
         "--parallel", nargs="?", const=True, default=False, type=int,
         metavar="WORKERS",
         help=("run independent passes concurrently (optionally with an "
               "explicit worker count)"))
-    parser.add_argument(
+    analyze.add_argument(
         "--json", action="store_true",
         help="emit a JSON document instead of the rendered table")
-    parser.add_argument(
+    analyze.add_argument(
         "--details", action="store_true",
         help="also print the per-source breakdown with example faults")
-    parser.add_argument(
+    analyze.add_argument(
         "--list-passes", action="store_true",
         help="list the registered analysis passes and exit")
+
+    sweep = sub.add_parser(
+        "sweep", help="run a scenario grid through an executor backend")
+    sweep.add_argument(
+        "--base", default="tiny",
+        choices=sorted(SoCConfig.named_configs()),
+        help="base SoC configuration the axes vary (default: tiny)")
+    sweep.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2[,...]",
+        help=("a scenario axis, e.g. effort=tie,random / debug=on,off / "
+              "scan=on,off / size=tiny,small / cpu.mult_width=0,8 "
+              "(repeatable; cartesian product)"))
+    sweep.add_argument(
+        "--executor", default="serial", choices=sorted(EXECUTORS),
+        help="execution backend for the scenarios (default: serial)")
+    sweep.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker count for the thread/process backends")
+    sweep.add_argument(
+        "--passes", default=None, metavar="NAME[,NAME...]",
+        help="analysis passes to run per scenario (default: full flow)")
+    sweep.add_argument(
+        "--json", action="store_true",
+        help="emit the aggregated sweep report as JSON on stdout")
+    sweep.add_argument(
+        "--csv", action="store_true",
+        help="emit the per-scenario comparison as CSV on stdout")
+    sweep.add_argument(
+        "--out", default=None, metavar="FILE",
+        help="also write the JSON sweep report to FILE")
+    sweep.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-scenario progress lines on stderr")
+
+    report = sub.add_parser(
+        "report", help="re-render a persisted sweep report")
+    report.add_argument("file", help="JSON file written by sweep --out/--json")
+    report.add_argument(
+        "--json", action="store_true", help="re-emit the JSON document")
+    report.add_argument(
+        "--csv", action="store_true", help="emit the comparison as CSV")
+
     return parser
 
 
+def _normalize_argv(argv: List[str]) -> List[str]:
+    """Keep the pre-subcommand CLI working: default to ``analyze``."""
+    if argv and argv[0] in COMMANDS:
+        return argv
+    if argv and argv[0] in ("-h", "--help"):
+        return argv
+    return ["analyze", *argv]
+
+
+# --------------------------------------------------------------------- #
+# analyze
+# --------------------------------------------------------------------- #
 def _list_passes() -> int:
     for pass_ in DEFAULT_REGISTRY.passes():
         source = source_label(pass_.source) if pass_.source is not None else "-"
@@ -70,7 +152,16 @@ def _list_passes() -> int:
     return 0
 
 
+def _split_passes(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return [name.strip() for name in spec.split(",") if name.strip()]
+
+
 def _report_as_json(report, config_name: str, elapsed: float) -> str:
+    # Keep the original CLI summary contract (counts, not fault lists);
+    # the full fault populations are available via report.to_json() /
+    # the sweep subcommand's persisted documents.
     return json.dumps({
         "config": config_name,
         "netlist": report.netlist_name,
@@ -89,23 +180,20 @@ def _report_as_json(report, config_name: str, elapsed: float) -> str:
     }, indent=2)
 
 
-def main(argv: Optional[List[str]] = None) -> int:
-    args = _build_parser().parse_args(argv)
+def _cmd_analyze(args) -> int:
     if args.list_passes:
         return _list_passes()
 
-    passes = ([name.strip() for name in args.passes.split(",") if name.strip()]
-              if args.passes else None)
+    passes = _split_passes(args.passes)
     if args.passes and not passes:
         print("error: --passes given but no pass names supplied",
               file=sys.stderr)
         return 2
 
     started = time.perf_counter()
-    soc = build_soc(SoCConfig.from_name(args.config))
+    session = Session(effort=args.effort, parallel_passes=args.parallel)
     try:
-        report = repro.analyze(soc, passes=passes, effort=args.effort,
-                               parallel=args.parallel)
+        report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
@@ -123,6 +211,102 @@ def main(argv: Optional[List[str]] = None) -> int:
     print(f"({args.config}: {report.total_faults:,} faults analysed "
           f"in {elapsed:.2f}s)")
     return 0
+
+
+# --------------------------------------------------------------------- #
+# sweep
+# --------------------------------------------------------------------- #
+def _parse_axis_value(text: str) -> object:
+    lowered = text.strip().lower()
+    if lowered in ("true", "on", "yes"):
+        return True
+    if lowered in ("false", "off", "no"):
+        return False
+    try:
+        return int(lowered)
+    except ValueError:
+        return text.strip()
+
+
+def _build_grid(args) -> ScenarioGrid:
+    grid = ScenarioGrid(args.base)
+    for spec in args.axis:
+        name, sep, values = spec.partition("=")
+        if not sep or not values.strip():
+            raise ValueError(
+                f"bad --axis {spec!r}; expected NAME=VALUE[,VALUE...]")
+        grid.axis(name.strip(),
+                  [_parse_axis_value(v) for v in values.split(",") if v.strip()])
+    return grid
+
+
+def _cmd_sweep(args) -> int:
+    try:
+        grid = _build_grid(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    session = Session(executor=args.executor, max_workers=args.workers)
+    passes = _split_passes(args.passes)
+
+    if not args.quiet:
+        print(f"sweeping {len(grid)} scenarios of '{args.base}' "
+              f"on the {args.executor} backend ...", file=sys.stderr)
+
+    done = []
+
+    def progress(result) -> None:
+        done.append(result)
+        if not args.quiet:
+            status = "ok" if result.ok else f"FAILED ({result.error})"
+            print(f"  [{len(done)}/{len(grid)}] {result.label}: {status} "
+                  f"({result.elapsed_seconds:.2f}s)", file=sys.stderr)
+
+    report = session.sweep(grid, passes=passes, on_result=progress)
+
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+        if not args.quiet:
+            print(f"wrote {args.out}", file=sys.stderr)
+
+    if args.json:
+        print(report.to_json())
+    elif args.csv:
+        print(report.to_csv(), end="")
+    else:
+        print(report.to_table())
+    return 0 if not report.failed else 1
+
+
+# --------------------------------------------------------------------- #
+# report
+# --------------------------------------------------------------------- #
+def _cmd_report(args) -> int:
+    try:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            report = SweepReport.from_json(handle.read())
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load sweep report {args.file!r}: {exc}",
+              file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    elif args.csv:
+        print(report.to_csv(), end="")
+    else:
+        print(report.to_table())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    args = _build_parser().parse_args(_normalize_argv(argv))
+    handler = {"analyze": _cmd_analyze,
+               "sweep": _cmd_sweep,
+               "report": _cmd_report}[args.command]
+    return handler(args)
 
 
 if __name__ == "__main__":

@@ -1,0 +1,52 @@
+"""Session/Design API: batch scenario sweeps over pluggable executors.
+
+This package is the public face of the reproduction at scale::
+
+    from repro.api import ScenarioGrid, Session
+
+    session = Session(executor="thread")
+    report = session.analyze("small")            # one design
+
+    grid = (ScenarioGrid("tiny")
+            .axis("debug", [True, False])
+            .axis("effort", ["tie", "random"]))
+    sweep = session.sweep(grid)                  # 4 scenario variants
+    print(sweep.to_table())                      # per-scenario Table I + Δ
+
+The pieces compose:
+
+* :class:`Design` — immutable target handle with a stable content
+  signature (netlist structure + memory map);
+* :class:`Session` — owns the artifact cache, the executor backend and
+  pass-selection defaults; ``analyze`` / ``sweep`` / ``iter_sweep``;
+* :class:`ScenarioGrid` / :class:`Scenario` — declarative cartesian sweeps
+  over SoC-variant axes plus the ATPG-effort axis;
+* :class:`SerialExecutor` / :class:`ThreadExecutor` /
+  :class:`ProcessExecutor` — interchangeable sweep backends;
+* :class:`SweepResult` / :class:`SweepReport` — streamed per-scenario
+  outcomes and the aggregated, serializable multi-scenario report.
+"""
+
+from repro.api.design import Design
+from repro.api.executors import (EXECUTORS, Executor, ProcessExecutor,
+                                 SerialExecutor, ThreadExecutor,
+                                 resolve_executor)
+from repro.api.grid import Scenario, ScenarioGrid
+from repro.api.session import DEFAULT_CACHE_ENTRIES, Session
+from repro.api.sweep import SweepReport, SweepResult
+
+__all__ = [
+    "Design",
+    "Session",
+    "Scenario",
+    "ScenarioGrid",
+    "SweepResult",
+    "SweepReport",
+    "Executor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "EXECUTORS",
+    "resolve_executor",
+    "DEFAULT_CACHE_ENTRIES",
+]

@@ -1,0 +1,134 @@
+"""Scenario grids — declarative sweeps over SoC variants.
+
+A :class:`ScenarioGrid` is a base :class:`~repro.soc.config.SoCConfig` plus
+named *axes*, each a list of values.  Expansion takes the cartesian product
+in deterministic order and yields labelled :class:`Scenario` points:
+
+* config-level axes (``size``, ``scan``, ``debug``, ``memory_map``,
+  ``cpu.<field>``, ...) are applied through
+  :meth:`repro.soc.config.SoCConfig.with_axis`;
+* the run-level ``effort`` axis selects the ATPG effort of the structural
+  engine per scenario.
+
+::
+
+    grid = (ScenarioGrid("small")
+            .axis("debug", [True, False])
+            .axis("effort", ["tie", "random"]))
+    for scenario in grid:          # 4 points
+        print(scenario.label)
+
+A grid with no axes is the degenerate single-point sweep of its base
+configuration — useful because it makes ``Session.sweep`` a strict
+generalisation of ``Session.analyze``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence
+
+from repro.atpg.engine import AtpgEffort, resolve_effort
+from repro.soc.config import SoCConfig, axis_value_label, expand_axes
+
+#: The axes expanded at run level rather than into the SoC configuration.
+RUN_AXES = ("effort",)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One expanded grid point: a labelled config plus run-level knobs.
+
+    Scenarios are plain picklable values — a
+    :class:`~repro.api.ProcessExecutor` ships them to worker processes,
+    which regenerate the SoC from :attr:`config` there.
+    """
+
+    label: str
+    config: SoCConfig
+    effort: Optional[AtpgEffort] = None
+    index: int = 0
+
+    def build_design(self):
+        from repro.api.design import Design
+        return Design.from_config(self.config, label=self.label)
+
+
+class ScenarioGrid:
+    """Cartesian product of scenario axes over a base configuration."""
+
+    def __init__(self, base="date13",
+                 axes: Optional[Mapping[str, Sequence[object]]] = None,
+                 name: Optional[str] = None) -> None:
+        if isinstance(base, str):
+            self.base_name = base
+            self.base = SoCConfig.from_name(base)
+        elif isinstance(base, SoCConfig):
+            self.base_name = base.cpu.name
+            self.base = base
+        else:
+            raise TypeError(
+                f"grid base must be a SoCConfig or preset name, "
+                f"got {type(base).__name__}")
+        self.name = name or self.base_name
+        self._axes: Dict[str, List[object]] = {}
+        for axis, values in (axes or {}).items():
+            self.axis(axis, values)
+
+    # ------------------------------------------------------------------ #
+    # construction
+    # ------------------------------------------------------------------ #
+    def axis(self, name: str, values: Sequence[object]) -> "ScenarioGrid":
+        """Add (or replace) an axis; returns ``self`` for chaining."""
+        values = list(values)
+        if not values:
+            raise ValueError(f"scenario axis {name!r} has no values")
+        if name == "effort":
+            values = [resolve_effort(v) for v in values]
+        else:
+            # Validate config axes eagerly — a typo should fail at grid
+            # construction, not halfway through a long sweep.
+            for value in values:
+                self.base.with_axis(name, value)
+        self._axes[name] = values
+        return self
+
+    @property
+    def axes(self) -> Dict[str, List[object]]:
+        return dict(self._axes)
+
+    # ------------------------------------------------------------------ #
+    # expansion
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        total = 1
+        for values in self._axes.values():
+            total *= len(values)
+        return total
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self.scenarios())
+
+    def scenarios(self) -> List[Scenario]:
+        """Expand to the full labelled scenario list (deterministic order)."""
+        config_axes = {name: values for name, values in self._axes.items()
+                       if name not in RUN_AXES}
+        efforts: Sequence[Optional[AtpgEffort]] = (
+            self._axes.get("effort") or [None])
+
+        points: List[Scenario] = []
+        for config_label, config in expand_axes(self.base, config_axes):
+            for effort in efforts:
+                parts = [part for part in (config_label,) if part]
+                if effort is not None:
+                    parts.append(f"effort={axis_value_label(effort)}")
+                label = (f"{self.base_name}" if not parts
+                         else f"{self.base_name}[{','.join(parts)}]")
+                points.append(Scenario(label=label, config=config,
+                                       effort=effort, index=len(points)))
+        return points
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{name}×{len(values)}"
+                         for name, values in self._axes.items()) or "degenerate"
+        return f"ScenarioGrid({self.base_name!r}, {axes}, {len(self)} points)"

@@ -1,0 +1,299 @@
+"""The :class:`Session` — the stateful front door of the package.
+
+A session owns the three things that should outlive a single analysis:
+
+* an :class:`~repro.pipeline.ArtifactCache` (bounded, thread-safe) shared
+  by every analysis and sweep the session runs, so scenario variants
+  replay each other's effort-independent artifacts;
+* an executor backend (:mod:`repro.api.executors`) deciding *how* sweep
+  scenarios run — serially, on threads, or on worker processes;
+* the default pass selection / ATPG effort / flow configuration applied
+  when a call does not override them.
+
+``Session.analyze`` is the one-design entry point; ``Session.sweep``
+expands a :class:`~repro.api.ScenarioGrid` and streams per-scenario
+results as the backend completes them, aggregating into a
+:class:`~repro.api.SweepReport`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace as _replace
+from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
+                    Sequence, Tuple, Union)
+
+from repro.atpg.engine import AtpgEffort, resolve_effort
+from repro.core.results import FlowConfig, OnlineUntestableReport
+from repro.api.design import Design
+from repro.api.executors import Executor, resolve_executor
+from repro.api.grid import Scenario, ScenarioGrid
+from repro.api.sweep import SweepReport, SweepResult
+from repro.pipeline import (ArtifactCache, Pipeline, default_pass_names)
+
+#: Default LRU bound of a session's artifact cache — large enough for every
+#: pass of a few hundred scenarios, small enough to bound long sweeps.
+DEFAULT_CACHE_ENTRIES = 512
+
+
+@dataclass(frozen=True)
+class _ProcessJob:
+    """The picklable payload shipped to process-pool workers."""
+
+    scenario: Scenario
+    passes: Optional[Tuple[str, ...]]
+    flow_config: Optional[FlowConfig]
+    effort: Optional[AtpgEffort]
+    parallel_passes: Union[bool, int]
+
+
+def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
+    """Worker-side scenario run: rebuild, analyze, return a JSON payload.
+
+    Runs in a worker process, so nothing in-memory is shared with the
+    parent: the design is regenerated from its config and the report
+    travels back as its serializable core (detail objects stay behind).
+    """
+    started = time.perf_counter()
+    session = Session(cache_entries=None)  # fresh, unshared worker session
+    design = job.scenario.build_design()
+    report = session.analyze(design,
+                             passes=list(job.passes) if job.passes else None,
+                             effort=job.scenario.effort or job.effort,
+                             parallel=job.parallel_passes,
+                             config=job.flow_config)
+    return {
+        "label": job.scenario.label,
+        "signature": design.signature,
+        "effort": (job.scenario.effort or job.effort or
+                   (job.flow_config.effort if job.flow_config
+                    else FlowConfig().effort)).value,
+        "elapsed_seconds": time.perf_counter() - started,
+        "report": report.to_json_dict(),
+    }
+
+
+class Session:
+    """Reusable analysis context: cache + executor + pass defaults."""
+
+    def __init__(self, *,
+                 executor: Union[str, Executor, None] = None,
+                 max_workers: Optional[int] = None,
+                 cache: Optional[ArtifactCache] = None,
+                 cache_entries: Optional[int] = DEFAULT_CACHE_ENTRIES,
+                 passes: Optional[Sequence] = None,
+                 effort: Union[AtpgEffort, str, None] = None,
+                 flow_config: Optional[FlowConfig] = None,
+                 parallel_passes: Union[bool, int] = False) -> None:
+        self.executor = resolve_executor(executor, max_workers)
+        self.max_workers = max_workers
+        self.cache = (cache if cache is not None
+                      else ArtifactCache(max_entries=cache_entries))
+        self.passes = list(passes) if passes is not None else None
+        self.effort = resolve_effort(effort)
+        self.flow_config = flow_config
+        self.parallel_passes = parallel_passes
+
+    # ------------------------------------------------------------------ #
+    # single-design analysis
+    # ------------------------------------------------------------------ #
+    def design(self, target, *, memory_map=None,
+               label: Optional[str] = None) -> Design:
+        """Coerce any accepted target spelling to a :class:`Design`."""
+        return Design.coerce(target, memory_map=memory_map, label=label)
+
+    def analyze(self, target, *,
+                passes: Optional[Sequence] = None,
+                effort: Union[AtpgEffort, str, None] = None,
+                parallel: Union[bool, int, None] = None,
+                config: Optional[FlowConfig] = None,
+                memory_map=None,
+                faults: Optional[Iterable] = None) -> OnlineUntestableReport:
+        """Analyze one design, applying session defaults where not overridden.
+
+        ``target`` is anything :meth:`design` accepts.  Results are memoised
+        per pass in the session cache, so re-analyzing the same design (or a
+        structural clone, or a variant that only changes facets a pass does
+        not read) replays instead of recomputing.
+        """
+        design = self.design(target, memory_map=memory_map)
+        flow_config = self._effective_flow_config(config, effort)
+        pipeline = self._pipeline(passes, flow_config, parallel)
+        result = pipeline.run(design.netlist, config=flow_config,
+                              memory_map=design.memory_map, faults=faults)
+        return result.report
+
+    # ------------------------------------------------------------------ #
+    # sweeps
+    # ------------------------------------------------------------------ #
+    def iter_sweep(self, grid: Union[ScenarioGrid, Sequence[Scenario]], *,
+                   executor: Union[str, Executor, None] = None,
+                   passes: Optional[Sequence] = None,
+                   effort: Union[AtpgEffort, str, None] = None,
+                   config: Optional[FlowConfig] = None
+                   ) -> Iterator[SweepResult]:
+        """Run every grid scenario, yielding results *as they complete*.
+
+        Completion order depends on the backend; each
+        :class:`~repro.api.SweepResult` carries its scenario index, so
+        callers needing grid order can sort afterwards (``sweep`` does).
+        A failing scenario yields an error-carrying result rather than
+        aborting the rest of the sweep.
+        """
+        scenarios = self._expand(grid)
+        backend = (self.executor if executor is None
+                   else resolve_executor(executor, self.max_workers))
+        effort_default = resolve_effort(effort, self.effort)
+
+        if backend.requires_pickling:
+            jobs = [self._process_job(s, passes, config, effort_default)
+                    for s in scenarios]
+            worker = _run_process_job
+        else:
+            jobs = scenarios
+            worker = lambda scenario: self._run_scenario(  # noqa: E731
+                scenario, passes, config, effort_default)
+
+        for index, outcome in backend.imap_unordered(worker, jobs):
+            scenario = scenarios[index]
+            if isinstance(outcome, BaseException):
+                yield SweepResult(
+                    index=scenario.index, label=scenario.label,
+                    effort=self._effort_label(scenario, effort_default,
+                                              config),
+                    error=f"{type(outcome).__name__}: {outcome}")
+            elif isinstance(outcome, SweepResult):
+                yield outcome
+            else:  # process-backend JSON payload
+                yield SweepResult(
+                    index=scenario.index, label=outcome["label"],
+                    design_signature=outcome["signature"],
+                    effort=outcome["effort"],
+                    elapsed_seconds=outcome["elapsed_seconds"],
+                    report=OnlineUntestableReport.from_json_dict(
+                        outcome["report"]))
+
+    def sweep(self, grid: Union[ScenarioGrid, Sequence[Scenario]], *,
+              executor: Union[str, Executor, None] = None,
+              passes: Optional[Sequence] = None,
+              effort: Union[AtpgEffort, str, None] = None,
+              config: Optional[FlowConfig] = None,
+              on_result: Optional[Callable[[SweepResult], None]] = None
+              ) -> SweepReport:
+        """Run the whole grid and aggregate into a :class:`SweepReport`.
+
+        ``on_result`` is invoked once per scenario in completion order (for
+        progress reporting) before the results are sorted into grid order.
+        """
+        backend = (self.executor if executor is None
+                   else resolve_executor(executor, self.max_workers))
+        before = self.cache.stats
+        started = time.perf_counter()
+        results = []
+        for result in self.iter_sweep(grid, executor=backend, passes=passes,
+                                      effort=effort, config=config):
+            results.append(result)
+            if on_result is not None:
+                on_result(result)
+        results.sort(key=lambda r: r.index)
+        after = self.cache.stats
+        return SweepReport(
+            results=results,
+            grid_name=getattr(grid, "name", "") or "",
+            executor=backend.name,
+            elapsed_seconds=time.perf_counter() - started,
+            cache_stats={key: after[key] - before.get(key, 0)
+                         for key in ("hits", "misses", "evictions")},
+        )
+
+    @property
+    def cache_stats(self) -> Dict[str, int]:
+        return self.cache.stats
+
+    # ------------------------------------------------------------------ #
+    # internals
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _expand(grid) -> List[Scenario]:
+        if isinstance(grid, ScenarioGrid):
+            return grid.scenarios()
+        scenarios = list(grid)
+        for item in scenarios:
+            if not isinstance(item, Scenario):
+                raise TypeError(
+                    "sweep expects a ScenarioGrid or a sequence of "
+                    f"Scenario objects, got {type(item).__name__}")
+        return [(_replace(s, index=i) if s.index != i else s)
+                for i, s in enumerate(scenarios)]
+
+    def _effective_flow_config(self, config: Optional[FlowConfig],
+                               effort) -> FlowConfig:
+        flow_config = config if config is not None else self.flow_config
+        flow_config = flow_config if flow_config is not None else FlowConfig()
+        resolved = resolve_effort(effort, self.effort if config is None
+                                  else None)
+        if resolved is not None:
+            flow_config = _replace(flow_config, effort=resolved)
+        return flow_config
+
+    def _pipeline(self, passes: Optional[Sequence],
+                  flow_config: FlowConfig,
+                  parallel: Union[bool, int, None]) -> Pipeline:
+        selection = passes if passes is not None else self.passes
+        if selection is None:
+            selection = default_pass_names(flow_config)
+        parallel = self.parallel_passes if parallel is None else parallel
+        max_workers = (parallel
+                       if isinstance(parallel, int)
+                       and not isinstance(parallel, bool) else None)
+        return Pipeline(list(selection), parallel=bool(parallel),
+                        max_workers=max_workers, cache=self.cache)
+
+    def _run_scenario(self, scenario: Scenario,
+                      passes: Optional[Sequence],
+                      config: Optional[FlowConfig],
+                      effort_default: Optional[AtpgEffort]) -> SweepResult:
+        started = time.perf_counter()
+        design = scenario.build_design()
+        report = self.analyze(design, passes=passes,
+                              effort=scenario.effort or effort_default,
+                              config=config)
+        return SweepResult(
+            index=scenario.index, label=scenario.label,
+            design_signature=design.signature,
+            effort=self._effort_label(scenario, effort_default, config),
+            elapsed_seconds=time.perf_counter() - started,
+            report=report)
+
+    def _effort_label(self, scenario: Scenario,
+                      effort_default: Optional[AtpgEffort],
+                      config: Optional[FlowConfig] = None) -> str:
+        effort = (scenario.effort or effort_default
+                  or (config.effort if config is not None
+                      else (self.flow_config.effort if self.flow_config
+                            else FlowConfig().effort)))
+        return effort.value
+
+    def _process_job(self, scenario: Scenario, passes: Optional[Sequence],
+                     config: Optional[FlowConfig],
+                     effort_default: Optional[AtpgEffort]) -> _ProcessJob:
+        selection = passes if passes is not None else self.passes
+        if selection is not None:
+            names = tuple(p for p in selection if isinstance(p, str))
+            if len(names) != len(selection):
+                raise ValueError(
+                    "ProcessExecutor sweeps require pass *names* (picklable); "
+                    "got pass objects — register them and select by name, or "
+                    "use the serial/thread executor")
+        else:
+            names = None
+        return _ProcessJob(scenario=scenario, passes=names,
+                           flow_config=config if config is not None
+                           else self.flow_config,
+                           effort=effort_default,
+                           parallel_passes=self.parallel_passes)
+
+    def __repr__(self) -> str:
+        return (f"Session(executor={self.executor.name!r}, "
+                f"cache={self.cache.stats}, "
+                f"effort={self.effort.value if self.effort else None!r})")

@@ -37,6 +37,28 @@ class AtpgEffort(str, Enum):
     FULL = "full"
 
 
+def resolve_effort(effort: object,
+                   default: Optional[AtpgEffort] = None) -> Optional[AtpgEffort]:
+    """Coerce an effort spec (enum member, string or None) to an enum member.
+
+    The single effort parser shared by :func:`repro.analyze`, the
+    :class:`repro.api.Session` defaults, the scenario-grid expansion and the
+    CLI.  ``None`` resolves to ``default``; strings are matched
+    case-insensitively against the enum values.
+    """
+    if effort is None:
+        return default
+    if isinstance(effort, AtpgEffort):
+        return effort
+    try:
+        return AtpgEffort(str(effort).strip().lower())
+    except ValueError:
+        names = ", ".join(e.value for e in AtpgEffort)
+        raise ValueError(
+            f"unknown ATPG effort {effort!r}; expected one of: {names}"
+        ) from None
+
+
 @dataclass
 class UntestabilityReport:
     """Classification outcome for one engine run."""

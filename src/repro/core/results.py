@@ -10,6 +10,7 @@ driver ran the analyses.
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set
 
@@ -18,7 +19,8 @@ from repro.core.debug_control import DebugControlResult
 from repro.core.debug_observe import DebugObserveResult
 from repro.core.memory_analysis import MemoryMapResult
 from repro.core.scan_analysis import ScanAnalysisResult
-from repro.faults.categories import FaultClass, OnlineUntestableSource
+from repro.faults.categories import (FaultClass, OnlineUntestableSource,
+                                     source_label)
 from repro.faults.fault import StuckAtFault
 from repro.faults.faultlist import FaultList
 
@@ -116,3 +118,66 @@ class OnlineUntestableReport:
         for summary in self.sources:
             fault_list.classify_many(summary.attributed, FaultClass.UT, summary.source)
         return fault_list.prune(self.online_untestable)
+
+    # ------------------------------------------------------------------ #
+    # serialization — the persistable core of the report
+    # ------------------------------------------------------------------ #
+    def to_json_dict(self) -> Dict[str, object]:
+        """The JSON-serializable core of the report.
+
+        Covers everything Table I and the sweep aggregation need — fault
+        populations as ``"site s-a-V"`` strings, per-source sets, runtimes.
+        The per-analysis detail objects (``scan_result`` & friends) are
+        in-memory conveniences and are *not* serialized; a report restored
+        with :meth:`from_json` has them set to ``None``.
+        """
+        return {
+            "schema": 1,
+            "netlist": self.netlist_name,
+            "total_faults": self.total_faults,
+            "total_online_untestable": self.total_online_untestable,
+            "baseline_untestable": sorted(str(f)
+                                          for f in self.baseline_untestable),
+            "sources": [{
+                "source": source_label(summary.source),
+                "identified": sorted(str(f) for f in summary.identified),
+                "attributed": sorted(str(f) for f in summary.attributed),
+                "runtime_seconds": summary.runtime_seconds,
+            } for summary in self.sources],
+            "table": self.table_rows(),
+            "runtimes": dict(self.runtimes),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_json_dict(), indent=indent, sort_keys=False)
+
+    @classmethod
+    def from_json_dict(cls, data: Dict[str, object]) -> "OnlineUntestableReport":
+        def parse_faults(items) -> Set[StuckAtFault]:
+            return {StuckAtFault.parse(text) for text in items}
+
+        def parse_source(value: str):
+            try:
+                return OnlineUntestableSource(value)
+            except ValueError:
+                return value  # custom pass source — kept as its raw label
+
+        report = cls(
+            netlist_name=data["netlist"],
+            total_faults=int(data["total_faults"]),
+            baseline_untestable=parse_faults(data.get("baseline_untestable", ())),
+            runtimes={k: float(v)
+                      for k, v in (data.get("runtimes") or {}).items()},
+        )
+        for entry in data.get("sources", ()):
+            report.sources.append(SourceSummary(
+                source=parse_source(entry["source"]),
+                identified=parse_faults(entry.get("identified", ())),
+                attributed=parse_faults(entry.get("attributed", ())),
+                runtime_seconds=float(entry.get("runtime_seconds", 0.0)),
+            ))
+        return report
+
+    @classmethod
+    def from_json(cls, text: str) -> "OnlineUntestableReport":
+        return cls.from_json_dict(json.loads(text))

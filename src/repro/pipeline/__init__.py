@@ -12,7 +12,7 @@ order so Table I is reproduced exactly regardless of scheduling.
 Quickstart::
 
     import repro
-    report = repro.analyze(soc, parallel=True)
+    report = repro.Session(parallel_passes=True).analyze(soc)
 
 or, with explicit control::
 
@@ -31,8 +31,8 @@ Custom passes register through the :func:`analysis_pass` decorator — see
 
 from repro.pipeline.base import AnalysisPass, FunctionPass, PassResult
 from repro.pipeline.cache import ArtifactCache, netlist_signature
-from repro.pipeline.context import (MissingArtifactError, PipelineContext,
-                                    SEED_ARTIFACTS)
+from repro.pipeline.context import (CONFIG_FACETS, MissingArtifactError,
+                                    PipelineContext, SEED_ARTIFACTS)
 from repro.pipeline.pipeline import (DependencyCycleError, PassEvent, Pipeline,
                                      PipelineBuilder, PipelineError,
                                      PipelineResult)
@@ -51,6 +51,7 @@ __all__ = [
     "PipelineContext",
     "MissingArtifactError",
     "SEED_ARTIFACTS",
+    "CONFIG_FACETS",
     "Pipeline",
     "PipelineBuilder",
     "PipelineResult",

@@ -80,7 +80,8 @@ class FunctionPass:
                  requires: Tuple[str, ...] = (),
                  provides: Tuple[str, ...] = (),
                  when: Optional[Callable[["PipelineContext"], bool]] = None,  # noqa: F821
-                 cacheable: bool = True) -> None:
+                 cacheable: bool = True,
+                 cache_facets: Optional[Tuple[str, ...]] = None) -> None:
         self._fn = fn
         self.name = name
         self.source = source
@@ -88,6 +89,12 @@ class FunctionPass:
         self.provides = tuple(provides)
         self.when = when
         self.cacheable = cacheable
+        # Which configuration facets influence this pass's result (None =
+        # all of them).  A pass that declares e.g. () or ("effort",) stays
+        # replayable across scenario variants that only change the facets
+        # it does not read — the basis of cross-scenario artifact reuse.
+        self.cache_facets = (tuple(cache_facets)
+                             if cache_facets is not None else None)
         self.__doc__ = fn.__doc__
 
     def applicable(self, ctx: "PipelineContext") -> bool:  # noqa: F821

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import hashlib
 import threading
+from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
 from repro.netlist.module import Netlist
@@ -88,31 +89,85 @@ def fault_restriction_key(faults: Optional[Iterable] = None) -> str:
 
 
 class ArtifactCache:
-    """Thread-safe pass-result cache with hit/miss accounting."""
+    """Thread-safe LRU pass-result cache with hit/miss accounting.
+
+    One cache may be shared by many concurrent pipeline runs — a
+    :class:`repro.api.Session` hands the same instance to every scenario of
+    a sweep, so a ``ThreadExecutor`` sweep replays artifacts a sibling
+    scenario computed moments earlier.  The store is guarded by a lock and
+    bounded: when ``max_entries`` is set, the least-recently-used entry is
+    evicted on insert, so long sweeps cannot grow memory without bound.
+
+    Because each pipeline run executes every pass at most once (and only
+    publishes after running), any *hit* observed while sweeping distinct
+    scenarios is by construction a replay of an artifact some earlier
+    scenario produced — :meth:`repro.api.Session.sweep` snapshots
+    :attr:`stats` around the sweep to report exactly that reuse.
+    """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
-        self._entries: Dict[CacheKey, Any] = {}
+        self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._lock = threading.Lock()
+        self._inflight: Dict[CacheKey, threading.Event] = {}
         self.max_entries = max_entries
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get(self, key: CacheKey) -> Optional[Any]:
         with self._lock:
             if key in self._entries:
                 self.hits += 1
+                self._entries.move_to_end(key)
                 return self._entries[key]
             self.misses += 1
             return None
 
+    def get_or_compute(self, key: CacheKey, factory) -> Tuple[Any, bool]:
+        """Return ``(value, was_hit)``, computing and storing on a miss.
+
+        Concurrent callers of the same key are *single-flighted*: one
+        computes, the rest block and then replay the stored value (counted
+        as hits).  That keeps a thread-pool sweep from duplicating an
+        expensive pass when two scenario variants sharing a netlist reach
+        it simultaneously.  If the computing caller fails, one waiter takes
+        over; the failure propagates to the caller that raised it.
+        """
+        while True:
+            with self._lock:
+                if key in self._entries:
+                    self.hits += 1
+                    self._entries.move_to_end(key)
+                    return self._entries[key], True
+                waiter = self._inflight.get(key)
+                if waiter is None:
+                    self._inflight[key] = threading.Event()
+                    self.misses += 1
+                    break
+            waiter.wait()
+        try:
+            value = factory()
+        except BaseException:
+            self._finish(key)
+            raise
+        self.put(key, value)
+        self._finish(key)
+        return value, False
+
+    def _finish(self, key: CacheKey) -> None:
+        with self._lock:
+            event = self._inflight.pop(key, None)
+        if event is not None:
+            event.set()
+
     def put(self, key: CacheKey, value: Any) -> None:
         with self._lock:
-            if (self.max_entries is not None
-                    and key not in self._entries
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            elif (self.max_entries is not None
                     and len(self._entries) >= self.max_entries):
-                # Drop the oldest entry (insertion order).
-                oldest = next(iter(self._entries))
-                del self._entries[oldest]
+                self._entries.popitem(last=False)  # least recently used
+                self.evictions += 1
             self._entries[key] = value
 
     def clear(self) -> None:
@@ -120,6 +175,7 @@ class ArtifactCache:
             self._entries.clear()
             self.hits = 0
             self.misses = 0
+            self.evictions = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -129,4 +185,5 @@ class ArtifactCache:
     def stats(self) -> Dict[str, int]:
         with self._lock:
             return {"entries": len(self._entries),
-                    "hits": self.hits, "misses": self.misses}
+                    "hits": self.hits, "misses": self.misses,
+                    "evictions": self.evictions}

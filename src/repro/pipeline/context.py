@@ -13,7 +13,7 @@ the parallel pipeline and publish their artifacts from worker threads.
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.results import FlowConfig
 from repro.faults.fault import StuckAtFault
@@ -38,6 +38,13 @@ class MissingArtifactError(KeyError):
 #: Artifact keys seeded by the context itself (no pass provides them).
 SEED_ARTIFACTS = ("netlist", "memory_map", "config")
 
+#: The configuration facets a pass result can depend on, in canonical key
+#: order.  Passes narrow their cache key to a subset via ``cache_facets``
+#: (see :func:`repro.pipeline.registry.analysis_pass`): an effort-blind
+#: pass such as ``scan_analysis`` then replays from cache across scenario
+#: variants that only change the ATPG effort or the memory map.
+CONFIG_FACETS = ("effort", "ties", "memmap", "faults")
+
 
 class PipelineContext:
     """Run-scoped artifact store with typed accessors for the seed inputs."""
@@ -60,7 +67,7 @@ class PipelineContext:
         }
         self._lock = threading.Lock()
         self._signature: Optional[str] = None
-        self._config_key: Optional[str] = None
+        self._facet_fragments: Optional[Dict[str, str]] = None
 
     # ------------------------------------------------------------------ #
     # artifact store
@@ -119,18 +126,47 @@ class PipelineContext:
             self._signature = netlist_signature(self.netlist)
         return self._signature
 
+    def _fragments(self) -> Dict[str, str]:
+        if self._facet_fragments is None:
+            cfg = self.config
+            self._facet_fragments = {
+                "effort": f"effort={cfg.effort.name}",
+                "ties": (f"tie_out={int(cfg.tie_flop_outputs)};"
+                         f"tie_in={int(cfg.tie_flop_inputs)}"),
+                "memmap": f"memmap={memory_map_key(self.memory_map)}",
+                "faults": f"faults={fault_restriction_key(self.initial_faults)}",
+            }
+        return self._facet_fragments
+
+    def config_key_for(self, facets: Optional[Iterable[str]] = None) -> str:
+        """The configuration key restricted to the given facets.
+
+        ``None`` keys on every facet (the always-safe default); an explicit
+        subset — canonicalised to :data:`CONFIG_FACETS` order — lets a pass
+        that is blind to e.g. the ATPG effort share its cached result across
+        scenario variants that only differ there.
+        """
+        fragments = self._fragments()
+        if facets is None:
+            wanted = CONFIG_FACETS
+        else:
+            requested = set(facets)
+            unknown = requested - set(CONFIG_FACETS)
+            if unknown:
+                raise ValueError(
+                    f"unknown cache facet(s) {sorted(unknown)}; "
+                    f"known facets: {', '.join(CONFIG_FACETS)}")
+            wanted = tuple(f for f in CONFIG_FACETS if f in requested)
+        return ";".join(fragments[f] for f in wanted)
+
     @property
     def config_key(self) -> str:
-        """The configuration facets that influence pass results."""
-        if self._config_key is None:
-            cfg = self.config
-            self._config_key = (
-                f"effort={cfg.effort.name};"
-                f"tie_out={int(cfg.tie_flop_outputs)};"
-                f"tie_in={int(cfg.tie_flop_inputs)};"
-                f"memmap={memory_map_key(self.memory_map)};"
-                f"faults={fault_restriction_key(self.initial_faults)}")
-        return self._config_key
+        """The full configuration key (every facet that can influence a pass)."""
+        return self.config_key_for(None)
 
-    def cache_key(self, pass_name: str) -> CacheKey:
-        return (self.signature, self.config_key, pass_name)
+    def cache_key(self, pass_: Union[str, "AnalysisPass"]) -> CacheKey:
+        """Cache key for a pass — facet-restricted when the pass declares so."""
+        if isinstance(pass_, str):
+            return (self.signature, self.config_key, pass_)
+        facets = getattr(pass_, "cache_facets", None)
+        return (self.signature, self.config_key_for(facets), pass_.name)

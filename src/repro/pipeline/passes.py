@@ -76,7 +76,8 @@ def default_pass_names(config: Optional[FlowConfig] = None) -> list:
 # --------------------------------------------------------------------- #
 # foundation passes
 # --------------------------------------------------------------------- #
-@analysis_pass("fault_list", provides=("fault_universe", "fault_set"))
+@analysis_pass("fault_list", provides=("fault_universe", "fault_set"),
+               cache_facets=("faults",))
 def fault_list_pass(ctx: PipelineContext) -> PassResult:
     """Enumerate the stuck-at fault universe (or adopt the caller's)."""
     universe = (list(ctx.initial_faults) if ctx.initial_faults is not None
@@ -88,7 +89,8 @@ def fault_list_pass(ctx: PipelineContext) -> PassResult:
 
 
 @analysis_pass("baseline", requires=("fault_universe",),
-               provides=("baseline_untestable",))
+               provides=("baseline_untestable",),
+               cache_facets=("effort", "faults"))
 def baseline_pass(ctx: PipelineContext) -> PassResult:
     """Faults untestable before manipulation — Table I's "Original" row."""
     baseline = compute_baseline_untestable(
@@ -100,14 +102,17 @@ def baseline_pass(ctx: PipelineContext) -> PassResult:
 # source passes (paper §3.1–§3.3)
 # --------------------------------------------------------------------- #
 @analysis_pass("scan_analysis", source=OnlineUntestableSource.SCAN,
-               requires=("fault_set",), provides=("scan_result",))
+               requires=("fault_set",), provides=("scan_result",),
+               cache_facets=())
 def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
     """§3.1 — prune the scan-chain circuitry faults (no ATPG required).
 
     The identification itself only reads the netlist, but attribution of
     the identified faults needs the fault universe, so ``fault_set`` is a
     declared dependency — selecting this pass alone still pulls in
-    ``fault_list`` and produces a meaningful report.
+    ``fault_list`` and produces a meaningful report.  Because it reads the
+    netlist alone, its cache key carries no configuration facet: every
+    scenario variant sharing the netlist replays it for free.
     """
     scan = identify_scan_untestable(ctx.netlist)
     return PassResult(artifacts={"scan_result": scan},
@@ -116,7 +121,8 @@ def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
 
 @analysis_pass("debug_control", source=OnlineUntestableSource.DEBUG_CONTROL,
                requires=("fault_universe", "baseline_untestable"),
-               provides=("debug_control_result",))
+               provides=("debug_control_result",),
+               cache_facets=("effort", "faults"))
 def debug_control_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.1 — tie the debug control inputs to their mission constants."""
     ctrl = identify_debug_control_untestable(
@@ -128,7 +134,8 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
 
 @analysis_pass("debug_observe", source=OnlineUntestableSource.DEBUG_OBSERVE,
                requires=("fault_universe", "baseline_untestable"),
-               provides=("debug_observe_result",))
+               provides=("debug_observe_result",),
+               cache_facets=("effort", "faults"))
 def debug_observe_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.2 — float the debug-only observation buses."""
     observe = identify_debug_observe_untestable(
@@ -141,7 +148,8 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("memory_analysis", source=OnlineUntestableSource.MEMORY_MAP,
                requires=("fault_universe", "baseline_untestable"),
                provides=("memory_result",),
-               when=lambda ctx: ctx.memory_map is not None)
+               when=lambda ctx: ctx.memory_map is not None,
+               cache_facets=("effort", "ties", "memmap", "faults"))
 def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
     """§3.3 — freeze the address bits the mission memory map never toggles."""
     memory = identify_memory_map_untestable(

@@ -282,25 +282,31 @@ class Pipeline:
     def _execute_body(self, pass_: AnalysisPass, ctx: PipelineContext):
         """Run (or replay from cache) one pass; returns (status, result, s)."""
         started = time.perf_counter()
-        cacheable = self.cache is not None and getattr(pass_, "cacheable", True)
-        if cacheable:
-            cached = self.cache.get(ctx.cache_key(pass_.name))
-            if cached is not None:
-                return "cached", cached, time.perf_counter() - started
-        pass_result = pass_.run(ctx)
-        if not isinstance(pass_result, PassResult):
-            raise PipelineError(
-                f"pass {pass_.name!r} returned {type(pass_result).__name__}, "
-                f"expected PassResult")
-        missing = [a for a in pass_.provides if a not in pass_result.artifacts]
-        if missing:
-            raise PipelineError(
-                f"pass {pass_.name!r} declared but did not provide "
-                f"artifacts: {', '.join(missing)}")
-        runtime = time.perf_counter() - started
-        if cacheable:
-            self.cache.put(ctx.cache_key(pass_.name), pass_result)
-        return "completed", pass_result, runtime
+
+        def compute() -> PassResult:
+            pass_result = pass_.run(ctx)
+            if not isinstance(pass_result, PassResult):
+                raise PipelineError(
+                    f"pass {pass_.name!r} returned "
+                    f"{type(pass_result).__name__}, expected PassResult")
+            missing = [a for a in pass_.provides
+                       if a not in pass_result.artifacts]
+            if missing:
+                raise PipelineError(
+                    f"pass {pass_.name!r} declared but did not provide "
+                    f"artifacts: {', '.join(missing)}")
+            return pass_result
+
+        if self.cache is not None and getattr(pass_, "cacheable", True):
+            # Single-flighted: concurrent runs of the same (signature,
+            # facets, pass) — e.g. two sweep scenarios sharing a netlist —
+            # coalesce into one computation; the others replay it.
+            pass_result, hit = self.cache.get_or_compute(
+                ctx.cache_key(pass_), compute)
+            status = "cached" if hit else "completed"
+        else:
+            pass_result, status = compute(), "completed"
+        return status, pass_result, time.perf_counter() - started
 
     @staticmethod
     def _record(pass_: AnalysisPass, status: str, pass_result: PassResult,

@@ -87,15 +87,24 @@ def analysis_pass(name: str,
                   provides: Iterable[str] = (),
                   when: Optional[Callable] = None,
                   cacheable: bool = True,
+                  cache_facets: Optional[Iterable[str]] = None,
                   registry: Optional[PassRegistry] = None
                   ) -> Callable[[Callable], FunctionPass]:
-    """Decorator turning ``fn(ctx) -> PassResult`` into a registered pass."""
+    """Decorator turning ``fn(ctx) -> PassResult`` into a registered pass.
+
+    ``cache_facets`` names the configuration facets (see
+    :data:`repro.pipeline.context.CONFIG_FACETS`) that influence the pass's
+    result; omit it to key on the full configuration (always safe).
+    """
     target_registry = registry if registry is not None else DEFAULT_REGISTRY
 
     def decorate(fn: Callable[..., PassResult]) -> FunctionPass:
         pass_ = FunctionPass(fn, name=name, source=source,
                              requires=tuple(requires), provides=tuple(provides),
-                             when=when, cacheable=cacheable)
+                             when=when, cacheable=cacheable,
+                             cache_facets=(tuple(cache_facets)
+                                           if cache_facets is not None
+                                           else None))
         target_registry.register(pass_)
         return pass_
 

@@ -1,9 +1,19 @@
-"""Configuration objects for the synthetic CPU core and SoC."""
+"""Configuration objects for the synthetic CPU core and SoC.
+
+Besides the frozen :class:`CpuConfig` / :class:`SoCConfig` dataclasses this
+module hosts the *axis* vocabulary used by scenario sweeps: an axis is a
+named knob over a :class:`SoCConfig` (core size preset, scan style, debug
+interface, memory map, any ``cpu.<field>``) and :func:`expand_axes` turns a
+base configuration plus ``{axis: [values, ...]}`` into the cartesian
+product of labelled variant configurations.  :class:`repro.api.ScenarioGrid`
+builds on these helpers and adds the run-level axes (ATPG effort).
+"""
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field, replace
-from typing import Optional
+from typing import Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.memory.memory_map import MemoryMap
 
@@ -145,3 +155,94 @@ class SoCConfig:
         return SoCConfig(cpu=replace(self.cpu, **overrides),
                          memory_map=self.memory_map,
                          insert_scan=self.insert_scan)
+
+    def with_axis(self, axis: str, value: object) -> "SoCConfig":
+        """Return a copy with one scenario *axis* applied.
+
+        Recognised axes:
+
+        ``size`` (alias ``config``)
+            A preset name (``tiny``/``small``/``date13``) or a
+            :class:`CpuConfig` — replaces the CPU, keeping this config's
+            memory map and scan choice.
+        ``scan``
+            ``bool`` toggles scan insertion; an ``int`` sets the number of
+            scan chains (implying insertion).
+        ``debug``
+            ``bool`` — whether the core embeds the debug logic.
+        ``memory_map``
+            A :class:`MemoryMap` (or ``None`` to fall back to the derived
+            default).
+        ``insert_scan`` or ``cpu.<field>``
+            Direct field overrides (e.g. ``cpu.mult_width``).
+        """
+        if axis in ("size", "config"):
+            cpu = (self.from_name(value).cpu if isinstance(value, str)
+                   else value)
+            if not isinstance(cpu, CpuConfig):
+                raise ValueError(
+                    f"axis {axis!r} expects a preset name or CpuConfig, "
+                    f"got {value!r}")
+            return SoCConfig(cpu=cpu, memory_map=self.memory_map,
+                             insert_scan=self.insert_scan)
+        if axis == "scan":
+            if isinstance(value, bool):
+                return SoCConfig(cpu=self.cpu, memory_map=self.memory_map,
+                                 insert_scan=value)
+            if isinstance(value, int):
+                return SoCConfig(cpu=replace(self.cpu, scan_chains=value),
+                                 memory_map=self.memory_map, insert_scan=True)
+            raise ValueError(
+                f"axis 'scan' expects a bool or chain count, got {value!r}")
+        if axis == "debug":
+            return self.with_cpu(has_debug=bool(value))
+        if axis == "memory_map":
+            if value is not None and not isinstance(value, MemoryMap):
+                raise ValueError(
+                    f"axis 'memory_map' expects a MemoryMap or None (the "
+                    f"derived default), got {value!r}")
+            return SoCConfig(cpu=self.cpu, memory_map=value,
+                             insert_scan=self.insert_scan)
+        if axis == "insert_scan":
+            return SoCConfig(cpu=self.cpu, memory_map=self.memory_map,
+                             insert_scan=bool(value))
+        if axis.startswith("cpu."):
+            return self.with_cpu(**{axis[len("cpu."):]: value})
+        raise ValueError(
+            f"unknown scenario axis {axis!r}; expected size, scan, debug, "
+            f"memory_map, insert_scan or cpu.<field>")
+
+
+def axis_value_label(value: object) -> str:
+    """A short, stable label for one axis value (used in scenario names)."""
+    if isinstance(value, bool):
+        return "on" if value else "off"
+    if isinstance(value, CpuConfig):
+        return value.name
+    if isinstance(value, MemoryMap):
+        return f"map{value.address_width}"
+    if value is None:
+        return "default"
+    return getattr(value, "value", None) or str(value)
+
+
+def expand_axes(base: SoCConfig,
+                axes: Mapping[str, Sequence[object]]
+                ) -> Iterator[Tuple[str, SoCConfig]]:
+    """Expand a base config over config-level axes (cartesian product).
+
+    Yields ``(label, config)`` pairs in deterministic order — axis order as
+    given, values in their listed order.  An empty axis mapping yields the
+    single degenerate point with an empty label.
+    """
+    names: List[str] = list(axes)
+    for axis, values in axes.items():
+        if not values:
+            raise ValueError(f"scenario axis {axis!r} has no values")
+    for point in itertools.product(*(axes[name] for name in names)):
+        config = base
+        parts = []
+        for axis, value in zip(names, point):
+            config = config.with_axis(axis, value)
+            parts.append(f"{axis}={axis_value_label(value)}")
+        yield ",".join(parts), config

@@ -1,0 +1,69 @@
+"""CLI subcommands (analyze / sweep / report) and the pre-subcommand form."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.__main__ import main
+
+
+def run(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestAnalyzeCommand:
+    def test_explicit_subcommand_json(self, capsys):
+        code, out = run(capsys, "analyze", "tiny", "--json")
+        assert code == 0
+        document = json.loads(out)
+        assert document["config"] == "tiny"
+        assert document["netlist"] == "tiny_core"
+        assert document["total_online_untestable"] > 0
+        assert [row["source"] for row in document["table"]] == [
+            "Original", "Scan", "Debug", "Memory", "TOTAL"]
+
+    def test_legacy_form_defaults_to_analyze(self, capsys):
+        code, out = run(capsys, "tiny")
+        assert code == 0
+        assert "TOTAL" in out
+
+    def test_list_passes(self, capsys):
+        code, out = run(capsys, "--list-passes")
+        assert code == 0
+        assert "scan_analysis" in out
+
+    def test_unknown_pass_is_reported(self, capsys):
+        assert main(["analyze", "tiny", "--passes", "nope"]) == 2
+
+
+class TestSweepCommand:
+    def test_sweep_json_and_report_round_trip(self, capsys, tmp_path):
+        out_file = tmp_path / "sweep.json"
+        code, out = run(capsys, "sweep", "--base", "tiny",
+                        "--axis", "debug=on,off", "--executor", "thread",
+                        "--quiet", "--json", "--out", str(out_file))
+        assert code == 0
+        document = json.loads(out)
+        assert len(document["scenarios"]) == 2
+        assert document["executor"] == "thread"
+        assert json.loads(out_file.read_text()) == document
+
+        code, rendered = run(capsys, "report", str(out_file))
+        assert code == 0
+        assert "tiny[debug=on]" in rendered
+        assert "tiny[debug=off]" in rendered
+
+        code, csv_text = run(capsys, "report", str(out_file), "--csv")
+        assert code == 0
+        assert csv_text.splitlines()[0].startswith("scenario,")
+        assert len(csv_text.splitlines()) == 3
+
+    def test_bad_axis_spec(self, capsys):
+        assert main(["sweep", "--axis", "debug"]) == 2
+
+    def test_report_missing_file(self, capsys):
+        assert main(["report", "/nonexistent/sweep.json"]) == 2
