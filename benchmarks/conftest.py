@@ -7,11 +7,18 @@ are session-scoped so the expensive objects are built once per benchmark run.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 import repro
 from repro.soc.config import SoCConfig
 from repro.soc.soc_builder import build_soc
+
+#: Config preset the runtime benchmarks target.  The CI benchmark smoke job
+#: sets ``REPRO_BENCH_CONFIG=small`` to keep the job fast; the default is
+#: the paper's full-size case-study core.
+RUNTIME_BENCH_CONFIG = os.environ.get("REPRO_BENCH_CONFIG", "date13")
 
 
 @pytest.fixture(scope="session")
@@ -24,6 +31,16 @@ def bench_session():
 def date13_soc():
     """The paper's case-study configuration (synthetic e200z0-class core)."""
     return build_soc(SoCConfig.date13())
+
+
+@pytest.fixture(scope="session")
+def runtime_soc(request):
+    """Target of the runtime benchmarks — date13 unless overridden via the
+    ``REPRO_BENCH_CONFIG`` environment variable (CI smoke uses ``small``)."""
+    if RUNTIME_BENCH_CONFIG == "date13":
+        # Lazy so a non-date13 smoke run never builds the full-size core.
+        return request.getfixturevalue("date13_soc")
+    return build_soc(SoCConfig.from_name(RUNTIME_BENCH_CONFIG))
 
 
 @pytest.fixture(scope="session")

@@ -1,28 +1,78 @@
-"""Experiment ``runtime`` — analysis cost (§4).
+"""Experiment ``runtime`` — analysis cost (§4) and the compiled-IR speedup.
 
 The paper stresses that, once the circuit has been manipulated, the
 structural analysis is essentially free: "the modified circuit is analyzed by
 Tetramax in less than 1 second", while the engineering effort lives in the
 identification of the untestability sources.  This benchmark measures the
-same quantities for the pure-Python engine on the full-size synthetic core:
+same quantities for the pure-Python engine on the synthetic core:
 
 * the tied-value classification of the manipulated (debug-tied) circuit,
 * the complete four-source identification flow,
-* and the scan-chain tracing step alone.
+* the scan-chain tracing step alone,
+* and — since PR 3 — the compiled integer-ID fault simulator against the
+  legacy object-graph reference, with verdict equality enforced.
+
+Every stage's wall clock is recorded into ``BENCH_pr3.json`` (path
+overridable via ``REPRO_BENCH_OUT``); the CI benchmark smoke job runs this
+module on a small SoC config and uploads the file as an artifact.
+
+The Table I regression pin: on the date13 configuration the flow's rendered
+summary table must be byte-identical to the golden capture taken from the
+pre-compiled-IR implementation (``golden_table1_date13.txt``).
 """
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
 
 from repro.atpg.engine import StructuralUntestabilityEngine
 from repro.core.flow import OnlineUntestableFlow
 from repro.core.scan_analysis import identify_scan_untestable
 from repro.faults.faultlist import generate_fault_list
 from repro.manipulation.tie import tie_port
+from repro.netlist.cells import LOGIC_0, LOGIC_1
+from repro.simulation.fault_sim import FaultSimulator
+from repro.simulation.legacy import LegacyFaultSimulator
+
+_GOLDEN_TABLE1 = Path(__file__).with_name("golden_table1_date13.txt")
+
+#: Config preset under test — must match the conftest fixture's selection.
+RUNTIME_BENCH_CONFIG = os.environ.get("REPRO_BENCH_CONFIG", "date13")
+
+#: Wall-clock per stage, flushed to BENCH_pr3.json when the module finishes.
+_BENCH: dict = {"config": RUNTIME_BENCH_CONFIG, "stages": {}}
 
 
-def test_runtime_engine_on_manipulated_circuit(date13_soc, benchmark):
-    """Classification time of the debug-tied circuit (the paper's < 1 s step)."""
-    manipulated = date13_soc.cpu.clone("debug_tied")
-    for port, value in date13_soc.debug_interface.control_inputs.items():
+def _record(stage: str, seconds: float, **extra) -> None:
+    entry = {"seconds": round(seconds, 4)}
+    entry.update(extra)
+    _BENCH["stages"][stage] = entry
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_bench_json():
+    yield
+    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_pr3.json"))
+    out.write_text(json.dumps(_BENCH, indent=2, sort_keys=True) + "\n",
+                   encoding="utf-8")
+
+
+def _debug_tied(soc):
+    manipulated = soc.cpu.clone("debug_tied")
+    for port, value in soc.debug_interface.control_inputs.items():
         tie_port(manipulated, port, value)
+    return manipulated
+
+
+def test_runtime_engine_on_manipulated_circuit(runtime_soc, benchmark):
+    """Classification time of the debug-tied circuit (the paper's < 1 s step)."""
+    manipulated = _debug_tied(runtime_soc)
     faults = generate_fault_list(manipulated).faults()
 
     def classify():
@@ -33,22 +83,88 @@ def test_runtime_engine_on_manipulated_circuit(date13_soc, benchmark):
     print(f"Engine classification of {len(faults):,} faults on the manipulated "
           f"circuit: {report.runtime_seconds:.2f}s, "
           f"{len(report.untestable):,} untestable")
+    _record("tie_classification", report.runtime_seconds,
+            faults=len(faults), untestable=len(report.untestable))
     assert report.runtime_seconds < 60.0
     assert report.untestable
 
 
-def test_runtime_full_flow(date13_soc, benchmark):
-    report = benchmark.pedantic(lambda: OnlineUntestableFlow(date13_soc).run(),
+def test_runtime_full_flow(runtime_soc, benchmark):
+    report = benchmark.pedantic(lambda: OnlineUntestableFlow(runtime_soc).run(),
                                 rounds=3, iterations=1, warmup_rounds=0)
     total = sum(report.runtimes.values())
     print()
-    print("Per-phase runtime of the full flow (date13 core):")
+    print(f"Per-phase runtime of the full flow ({RUNTIME_BENCH_CONFIG} core):")
     for phase, seconds in report.runtimes.items():
         print(f"  {phase:16s} {seconds:7.2f}s")
     print(f"  {'total':16s} {total:7.2f}s")
+    _record("full_flow", total, phases={
+        phase: round(seconds, 4) for phase, seconds in report.runtimes.items()})
     assert total < 120.0
 
 
-def test_runtime_scan_tracing(date13_soc, benchmark):
-    result = benchmark(identify_scan_untestable, date13_soc.cpu)
-    assert result.counts()["cells"] == date13_soc.scan.total_cells
+def test_runtime_table1_byte_identical(runtime_soc):
+    """The compiled execution layer must not move Table I by a single byte
+    relative to the legacy implementation's golden capture."""
+    if RUNTIME_BENCH_CONFIG != "date13":
+        pytest.skip("golden Table I is captured for the date13 configuration")
+    report = OnlineUntestableFlow(runtime_soc).run()
+    golden = _GOLDEN_TABLE1.read_text(encoding="utf-8").rstrip("\n")
+    rendered = report.to_table()
+    _BENCH["table1_byte_identical"] = rendered == golden
+    assert rendered == golden
+
+
+def test_runtime_fault_sim_compiled_vs_legacy(runtime_soc):
+    """The compiled fault simulator must beat the legacy object-graph walk
+    while producing exactly the same verdicts."""
+    manipulated = _debug_tied(runtime_soc)
+    all_faults = generate_fault_list(manipulated).faults()
+    # Deterministic fault sample + random mission patterns: enough work for
+    # a stable timing comparison, small enough for the tier-1 budget.
+    step = max(1, len(all_faults) // 120)
+    faults = all_faults[::step][:120]
+    rng = random.Random(2013)
+    controllable = [p for p in manipulated.input_ports()
+                    if manipulated.net(p).tied is None]
+    sim = FaultSimulator(manipulated)
+    controllable += sim.sim.state_nets
+    patterns = [
+        {net: (LOGIC_1 if rng.getrandbits(1) else LOGIC_0)
+         for net in controllable}
+        for _ in range(10)
+    ]
+
+    legacy = LegacyFaultSimulator(manipulated)
+    start = time.perf_counter()
+    legacy_result = legacy.run(faults, patterns, drop_detected=True)
+    legacy_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    compiled_result = sim.run(faults, patterns)
+    compiled_seconds = time.perf_counter() - start
+
+    assert compiled_result.detected == legacy_result.detected
+    assert compiled_result.undetected == legacy_result.undetected
+    assert compiled_result.detecting_pattern == legacy_result.detecting_pattern
+
+    speedup = legacy_seconds / compiled_seconds if compiled_seconds else float("inf")
+    print()
+    print(f"Fault simulation of {len(faults)} faults x {len(patterns)} "
+          f"patterns: legacy {legacy_seconds:.3f}s, "
+          f"compiled {compiled_seconds:.3f}s ({speedup:.1f}x)")
+    _record("fault_sim_legacy", legacy_seconds,
+            faults=len(faults), patterns=len(patterns))
+    _record("fault_sim_compiled", compiled_seconds,
+            faults=len(faults), patterns=len(patterns))
+    _BENCH["fault_sim_speedup"] = round(speedup, 2)
+    # "Measurably faster": demand a comfortable margin so the assertion is
+    # robust to CI noise (locally the gap is an order of magnitude).
+    assert compiled_seconds < 0.8 * legacy_seconds
+
+
+def test_runtime_scan_tracing(runtime_soc, benchmark):
+    result = benchmark(identify_scan_untestable, runtime_soc.cpu)
+    _record("scan_tracing", benchmark.stats.stats.mean
+            if benchmark.stats is not None else 0.0)
+    assert result.counts()["cells"] == runtime_soc.scan.total_cells

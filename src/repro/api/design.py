@@ -161,6 +161,19 @@ class Design:
             self._signature = hasher.hexdigest()
         return self._signature
 
+    @property
+    def compiled(self):
+        """The design netlist's shared compiled execution IR.
+
+        Compiled at most once per netlist signature (globally cached), so
+        handing the same design — or structurally identical rebuilds of it —
+        to many sessions, simulators or ATPG engines never re-levelizes the
+        circuit.
+        """
+        from repro.netlist.compiled import get_compiled
+
+        return get_compiled(self._netlist)
+
     # ------------------------------------------------------------------ #
     def stats(self) -> dict:
         stats = self._netlist.stats()

@@ -8,6 +8,12 @@ TetraMax terms).  :func:`implied_constants` performs that propagation; the
 :class:`ImplicationEngine` additionally answers controllability questions
 (which lines can still be set to 0 and to 1 from the free inputs) using a
 conservative but sound analysis.
+
+The propagation itself runs through the compiled-IR
+:class:`~repro.simulation.simulator.CombinationalSimulator`, so repeated
+constructions here (one per manipulation scenario) all share the netlist's
+cached :class:`~repro.netlist.compiled.CompiledNetlist` and its levelized
+evaluation program.
 """
 
 from __future__ import annotations

@@ -1,6 +1,11 @@
 """PODEM test-pattern generation / redundancy proof for single stuck-at faults.
 
-The generator works on the combinational (full-DFT) view of a netlist:
+The generator works on the combinational (full-DFT) view of a netlist,
+executed over the compiled integer-ID IR (:mod:`repro.netlist.compiled`):
+the five-valued machine is a pair of dense three-valued arrays (good /
+faulty) indexed by net ID, evaluated op-by-op through the shared levelized
+program, and the backtrace / D-frontier / X-path machinery walks the
+precomputed ID-indexed connectivity tables instead of the object graph.
 
 * controllable points — primary-input nets and sequential-cell output nets
   that are not tied by circuit manipulation;
@@ -18,18 +23,11 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.atpg.d_algebra import (
-    DValue,
-    FIVE_X,
-    from_logic,
-    is_definite,
-    is_faulted,
-    evaluate_cell,
-)
 from repro.faults.fault import StuckAtFault
 from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
-from repro.netlist.module import Instance, Netlist, Pin
-from repro.netlist.traversal import topological_instances
+from repro.netlist.compiled import NO_NET, get_compiled
+from repro.netlist.module import Netlist
+from repro.simulation.simulator import scalar3_program
 
 
 class PodemStatus(Enum):
@@ -80,222 +78,248 @@ class Podem:
 
         self.netlist = netlist
         self.backtrack_limit = backtrack_limit
-        self.order = topological_instances(netlist)
+        self.compiled = get_compiled(netlist)
         self.implication = implication or ImplicationEngine(netlist)
+
+        compiled = self.compiled
+        names = compiled.net_names
+        tied = compiled.tied
 
         # Flip-flop output nets frozen to a mission constant.
         self.fixed_state: Dict[str, int] = {}
-        for inst in netlist.sequential_instances():
-            for pin in inst.output_pins():
-                if pin.net is None:
+        self._fixed_ids: Dict[int, int] = {}
+        for fanout in compiled.seq_fanout:
+            for nid in fanout:
+                if nid < 0 or tied[nid] is not None:
                     continue
-                constant = self.implication.constant_of(pin.net.name)
-                if constant is not None and pin.net.tied is None:
-                    self.fixed_state[pin.net.name] = constant
+                constant = self.implication.constant_of(names[nid])
+                if constant is not None:
+                    self.fixed_state[names[nid]] = constant
+                    self._fixed_ids[nid] = constant
 
         self.controllable: Set[str] = set()
-        for port in netlist.input_ports():
-            if netlist.net(port).tied is None:
-                self.controllable.add(port)
-        for inst in netlist.sequential_instances():
-            for pin in inst.output_pins():
-                if (pin.net is not None and pin.net.tied is None
-                        and pin.net.name not in self.fixed_state):
-                    self.controllable.add(pin.net.name)
+        self._controllable_ids: Set[int] = set()
+        for nid in compiled.input_port_ids:
+            if tied[nid] is None:
+                self._controllable_ids.add(nid)
+        for fanout in compiled.seq_fanout:
+            for nid in fanout:
+                if (nid >= 0 and tied[nid] is None
+                        and nid not in self._fixed_ids):
+                    self._controllable_ids.add(nid)
+        self.controllable = {names[nid] for nid in self._controllable_ids}
 
-        self.observation: Set[str] = set(netlist.observable_output_ports())
-        for inst in netlist.sequential_instances():
-            for pin in inst.input_pins():
-                if pin.net is None:
+        self._observation_ids: Set[int] = set(compiled.observable_output_ids)
+        for i, fanin in enumerate(compiled.seq_fanin):
+            inst = compiled.seq_instances[i]
+            for pos, nid in enumerate(fanin):
+                if nid < 0:
                     continue
-                if self.implication.propagation_blocked(inst, pin.port):
+                port = compiled.seq_cell[i].inputs[pos]
+                if self.implication.propagation_blocked(inst, port):
                     continue
-                self.observation.add(pin.net.name)
+                self._observation_ids.add(nid)
+        self.observation: Set[str] = {names[nid] for nid in self._observation_ids}
+
+    @property
+    def order(self) -> list:
+        """Topological order of the combinational instances (shared list)."""
+        return self.compiled.instances
 
     # ------------------------------------------------------------------ #
-    # five-valued simulation with fault injection
+    # fault-site resolution
     # ------------------------------------------------------------------ #
-    def _simulate(self, assignments: Dict[str, int],
-                  fault: StuckAtFault) -> Dict[str, DValue]:
-        values: Dict[str, DValue] = {}
-        for name, net in self.netlist.nets.items():
-            if net.tied is not None:
-                values[name] = from_logic(net.tied)
-            elif name in self.fixed_state:
-                values[name] = from_logic(self.fixed_state[name])
-            elif name in assignments:
-                values[name] = from_logic(assignments[name])
-            else:
-                values[name] = FIVE_X
+    def _fault_refs(self, fault: StuckAtFault) -> Tuple[Optional[int], int, int]:
+        """Resolve ``(stem net id, branch op, branch pin pos)`` for a fault.
 
-        stem_net: Optional[str] = None
-        branch_pin: Optional[Pin] = None
+        A *stem* fault (module port or instance output pin) forces the whole
+        net in the faulty machine; a *branch* fault perturbs one input pin
+        of a combinational op.  Either field may be absent.
+        """
+        compiled = self.compiled
         if fault.is_port_fault:
-            stem_net = fault.site if fault.site in self.netlist.nets else None
-        else:
-            pin = self.netlist.pin_by_name(fault.site)
-            if pin.net is not None:
-                if pin.is_output:
-                    stem_net = pin.net.name
-                else:
-                    branch_pin = pin
+            nid = compiled.id_of(fault.site)
+            return nid, -1, -1
+        kind, index, pos, is_input = compiled.pin_ref(fault.site)
+        nid = compiled.pin_net_id(kind, index, pos, is_input)
+        if nid == NO_NET:
+            return None, -1, -1
+        if not is_input:
+            return nid, -1, -1
+        if kind == "op":
+            return None, index, pos
+        # Branch fault on a sequential input pin: the net itself is not
+        # perturbed within the combinational time frame.
+        return None, -1, -1
 
-        def inject_stem(net_name: str) -> None:
-            good = values[net_name][0]
-            values[net_name] = (good, fault.value)
+    def _fault_excitation_id(self, fault: StuckAtFault) -> Optional[int]:
+        """Net whose good value must be the opposite of the stuck value."""
+        compiled = self.compiled
+        if fault.is_port_fault:
+            return compiled.id_of(fault.site)
+        kind, index, pos, is_input = compiled.pin_ref(fault.site)
+        nid = compiled.pin_net_id(kind, index, pos, is_input)
+        return nid if nid != NO_NET else None
 
-        if stem_net is not None:
-            inject_stem(stem_net)
+    # ------------------------------------------------------------------ #
+    # five-valued simulation with fault injection (good/faulty ID arrays)
+    # ------------------------------------------------------------------ #
+    def _simulate(self, assignments: Dict[int, int], stem: Optional[int],
+                  branch_op: int, branch_pos: int, fault_value: int
+                  ) -> Tuple[List[int], List[int]]:
+        compiled = self.compiled
+        n = compiled.n_nets
+        good = [LOGIC_X] * n
+        faulty = [LOGIC_X] * n
+        for nid, t in enumerate(compiled.tied):
+            if t is not None:
+                good[nid] = t
+                faulty[nid] = t
+        for nid, value in self._fixed_ids.items():
+            good[nid] = value
+            faulty[nid] = value
+        for nid, value in assignments.items():
+            good[nid] = value
+            faulty[nid] = value
+        if stem is not None:
+            faulty[stem] = fault_value
 
-        for inst in self.order:
-            pin_values: Dict[str, DValue] = {}
-            for pin in inst.input_pins():
-                value = values[pin.net.name] if pin.net is not None else FIVE_X
-                if branch_pin is not None and pin is branch_pin:
-                    value = (value[0], fault.value)
-                pin_values[pin.port] = value
-            outputs = evaluate_cell(inst.cell, pin_values)
-            for out_pin in inst.output_pins():
-                if out_pin.net is None:
+        program = scalar3_program(compiled)
+        op_fanin = compiled.op_fanin
+        op_fanout = compiled.op_fanout
+        tied = compiled.tied
+        for i, fn in enumerate(program):
+            good_args = []
+            faulty_args = []
+            for pos, nid in enumerate(op_fanin[i]):
+                if nid < 0:
+                    good_args.append(LOGIC_X)
+                    faulty_args.append(LOGIC_X)
                     continue
-                net = out_pin.net
-                if net.tied is not None:
+                good_args.append(good[nid])
+                faulty_args.append(fault_value
+                                   if (i == branch_op and pos == branch_pos)
+                                   else faulty[nid])
+            good_out = fn(*good_args)
+            faulty_out = fn(*faulty_args)
+            for pos, nid in enumerate(op_fanout[i]):
+                if nid < 0 or tied[nid] is not None:
                     continue
-                values[net.name] = outputs.get(out_pin.port, FIVE_X)
-                if stem_net is not None and net.name == stem_net:
-                    inject_stem(net.name)
-        return values
+                good[nid] = good_out[pos]
+                faulty[nid] = (fault_value if nid == stem else faulty_out[pos])
+        return good, faulty
 
     # ------------------------------------------------------------------ #
     # PODEM machinery
     # ------------------------------------------------------------------ #
-    def _fault_excitation_net(self, fault: StuckAtFault) -> Optional[str]:
-        """Net whose good value must be the opposite of the stuck value."""
-        if fault.is_port_fault:
-            return fault.site if fault.site in self.netlist.nets else None
-        pin = self.netlist.pin_by_name(fault.site)
-        return pin.net.name if pin.net is not None else None
+    def _detected(self, good: List[int], faulty: List[int]) -> bool:
+        for nid in self._observation_ids:
+            g, f = good[nid], faulty[nid]
+            if g != LOGIC_X and f != LOGIC_X and g != f:
+                return True
+        return False
 
-    def _detected(self, values: Dict[str, DValue]) -> bool:
-        return any(is_faulted(values[n]) for n in self.observation if n in values)
-
-    def _branch_pin(self, fault: StuckAtFault) -> Optional[Pin]:
-        """The faulted instance input pin, for branch (input-pin) faults."""
-        if fault.is_port_fault:
-            return None
-        pin = self.netlist.pin_by_name(fault.site)
-        return pin if (pin.net is not None and pin.is_input) else None
-
-    def _d_frontier(self, values: Dict[str, DValue],
-                    fault: StuckAtFault) -> List[Instance]:
-        branch_pin = self._branch_pin(fault)
-        frontier = []
-        for inst in self.order:
+    def _d_frontier(self, good: List[int], faulty: List[int],
+                    branch_op: int, branch_pos: int,
+                    fault_value: int) -> List[int]:
+        compiled = self.compiled
+        frontier: List[int] = []
+        for i in range(compiled.n_ops):
             out_ok = False
-            for out_pin in inst.output_pins():
-                if out_pin.net is None:
+            for nid in compiled.op_fanout[i]:
+                if nid < 0:
                     continue
-                v = values[out_pin.net.name]
-                if not is_faulted(v) and not is_definite(v):
-                    out_ok = True
+                if good[nid] == LOGIC_X or faulty[nid] == LOGIC_X:
+                    out_ok = True  # output still undetermined in five values
             if not out_ok:
                 continue
-            for pin in inst.input_pins():
-                if pin.net is None:
+            for pos, nid in enumerate(compiled.op_fanin[i]):
+                if nid < 0:
                     continue
-                pin_value = values[pin.net.name]
-                if branch_pin is not None and pin is branch_pin:
-                    # A branch fault perturbs the pin, not the net: the pin is
-                    # effectively faulted once its net carries the opposite of
-                    # the stuck value.
-                    pin_value = (pin_value[0], fault.value)
-                if is_faulted(pin_value):
-                    frontier.append(inst)
+                g = good[nid]
+                f = (fault_value if (i == branch_op and pos == branch_pos)
+                     else faulty[nid])
+                if g != LOGIC_X and f != LOGIC_X and g != f:
+                    frontier.append(i)
                     break
         return frontier
 
-    def _x_path_exists(self, values: Dict[str, DValue],
-                       frontier: List[Instance]) -> bool:
-        """Is there a path of X-valued nets from the D-frontier to an observation point?"""
+    def _x_path_exists(self, good: List[int], faulty: List[int],
+                       frontier: List[int]) -> bool:
+        """Is there a path of X-valued nets from the D-frontier to an
+        observation point?"""
         if not frontier:
             return False
-        work: List[str] = []
-        seen: Set[str] = set()
-        for inst in frontier:
-            for pin in inst.output_pins():
-                if pin.net is not None:
-                    work.append(pin.net.name)
+        compiled = self.compiled
+        work: List[int] = []
+        seen: Set[int] = set()
+        for op in frontier:
+            work.extend(nid for nid in compiled.op_fanout[op] if nid >= 0)
         while work:
-            net_name = work.pop()
-            if net_name in seen:
+            nid = work.pop()
+            if nid in seen:
                 continue
-            seen.add(net_name)
-            value = values.get(net_name, FIVE_X)
-            if is_definite(value) and not is_faulted(value):
+            seen.add(nid)
+            g, f = good[nid], faulty[nid]
+            definite = g != LOGIC_X and f != LOGIC_X
+            if definite and g == f:
                 continue
-            if net_name in self.observation:
+            if nid in self._observation_ids:
                 return True
-            net = self.netlist.nets[net_name]
-            for load in net.loads:
-                for out_pin in load.instance.output_pins():
-                    if out_pin.net is not None:
-                        work.append(out_pin.net.name)
+            work.extend(compiled.net_succ[nid])
         return False
 
-    def _objective(self, fault: StuckAtFault, values: Dict[str, DValue],
-                   frontier: List[Instance]) -> Optional[Tuple[str, int]]:
-        """Return (net, value) to pursue next, or None at a dead end."""
-        excite_net = self._fault_excitation_net(fault)
-        if excite_net is None:
-            return None
-        good = values[excite_net][0]
+    def _objective(self, fault: StuckAtFault, excite: int,
+                   good: List[int], frontier: List[int]
+                   ) -> Optional[Tuple[int, int]]:
+        """Return (net id, value) to pursue next, or None at a dead end."""
+        compiled = self.compiled
+        g = good[excite]
         wanted = LOGIC_1 - fault.value
-        if good == LOGIC_X:
-            return (excite_net, wanted)
-        if good == fault.value:
+        if g == LOGIC_X:
+            return (excite, wanted)
+        if g == fault.value:
             return None  # cannot excite under current assignments
         # Fault excited: advance the D-frontier.
-        for inst in frontier:
-            family = _family(inst.cell.name)
+        for op in frontier:
+            family = _family(compiled.op_cell[op].name)
             controlling, _ = _FAMILY_PROPS.get(family, (None, False))
-            non_controlling = (LOGIC_1 - controlling) if controlling is not None else LOGIC_1
-            for pin in inst.input_pins():
-                if pin.net is None:
-                    continue
-                if values[pin.net.name][0] == LOGIC_X:
-                    return (pin.net.name, non_controlling)
+            non_controlling = (LOGIC_1 - controlling
+                               if controlling is not None else LOGIC_1)
+            for nid in compiled.op_fanin[op]:
+                if nid >= 0 and good[nid] == LOGIC_X:
+                    return (nid, non_controlling)
         return None
 
-    def _backtrace(self, net_name: str, value: int,
-                   values: Dict[str, DValue]) -> Optional[Tuple[str, int]]:
+    def _backtrace(self, nid: int, value: int,
+                   good: List[int]) -> Optional[Tuple[int, int]]:
         """Walk backwards from an objective to an unassigned controllable net."""
-        current_net = net_name
+        compiled = self.compiled
+        current = nid
         current_value = value
-        for _ in range(len(self.netlist.nets) + len(self.netlist.instances) + 1):
-            if current_net in self.controllable:
+        limit = compiled.n_nets + compiled.n_ops + len(compiled.seq_instances) + 1
+        for _ in range(limit):
+            if current in self._controllable_ids:
                 # Assignable as long as the good machine has not fixed it yet
                 # (the faulty component may already be pinned at a fault site).
-                if values[current_net][0] == LOGIC_X:
-                    return (current_net, current_value)
+                if good[current] == LOGIC_X:
+                    return (current, current_value)
                 return None
-            net = self.netlist.nets.get(current_net)
-            if net is None or net.driver is None:
-                return None
-            inst = net.driver.instance
-            if inst.is_sequential:
-                return None
-            family = _family(inst.cell.name)
+            op = compiled.net_driver_op[current]
+            if op < 0:
+                return None  # undriven, or driven by a sequential cell
+            family = _family(compiled.op_cell[op].name)
             controlling, inversion = _FAMILY_PROPS.get(family, (None, False))
             target = (LOGIC_1 - current_value) if inversion else current_value
 
-            chosen: Optional[Pin] = None
-            for pin in inst.input_pins():
-                if pin.net is not None and values[pin.net.name][0] == LOGIC_X:
-                    chosen = pin
+            chosen = -1
+            for fanin_nid in compiled.op_fanin[op]:
+                if fanin_nid >= 0 and good[fanin_nid] == LOGIC_X:
+                    chosen = fanin_nid
                     break
-            if chosen is None:
+            if chosen < 0:
                 return None
-            current_net = chosen.net.name
+            current = chosen
             current_value = target
         return None
 
@@ -304,29 +328,37 @@ class Podem:
     # ------------------------------------------------------------------ #
     def generate(self, fault: StuckAtFault) -> PodemResult:
         """Attempt to generate a test for ``fault``."""
-        excite_net = self._fault_excitation_net(fault)
-        if excite_net is None:
+        compiled = self.compiled
+        excite = self._fault_excitation_id(fault)
+        if excite is None:
             # A fault on an unconnected pin can never be excited or observed.
             return PodemResult(PodemStatus.UNTESTABLE, fault)
-        tied = self.netlist.nets[excite_net].tied
+        tied = compiled.tied[excite]
         if tied is not None and tied == fault.value:
             return PodemResult(PodemStatus.UNTESTABLE, fault)
 
-        assignments: Dict[str, int] = {}
-        # Decision stack entries: (net, value, alternative_tried)
+        stem, branch_op, branch_pos = self._fault_refs(fault)
+        names = compiled.net_names
+
+        assignments: Dict[int, int] = {}
+        # Decision stack entries: (net id, value, alternative_tried)
         stack: List[List] = []
         backtracks = 0
         decisions = 0
 
         while True:
-            values = self._simulate(assignments, fault)
-            if self._detected(values):
+            good, faulty = self._simulate(assignments, stem,
+                                          branch_op, branch_pos, fault.value)
+            if self._detected(good, faulty):
+                pattern = {names[nid]: value
+                           for nid, value in assignments.items()}
                 return PodemResult(PodemStatus.DETECTED, fault,
-                                   pattern=dict(assignments),
+                                   pattern=pattern,
                                    backtracks=backtracks, decisions=decisions)
 
-            frontier = self._d_frontier(values, fault)
-            excited = values[excite_net][0] == LOGIC_1 - fault.value
+            frontier = self._d_frontier(good, faulty, branch_op, branch_pos,
+                                        fault.value)
+            excited = good[excite] == LOGIC_1 - fault.value
             dead_end = False
             objective = None
 
@@ -334,35 +366,36 @@ class Podem:
                 # The fault is excited but its effect can no longer advance
                 # (every gate it reaches already has a definite output).
                 dead_end = True
-            elif excited and frontier and not self._x_path_exists(values, frontier):
+            elif excited and frontier and not self._x_path_exists(good, faulty,
+                                                                  frontier):
                 dead_end = True
             else:
-                objective = self._objective(fault, values, frontier)
+                objective = self._objective(fault, excite, good, frontier)
                 if objective is None:
                     dead_end = True
 
             if not dead_end:
                 assert objective is not None
-                pi = self._backtrace(objective[0], objective[1], values)
+                pi = self._backtrace(objective[0], objective[1], good)
                 if pi is None:
                     dead_end = True
                 else:
-                    net, val = pi
-                    assignments[net] = val
-                    stack.append([net, val, False])
+                    nid, value = pi
+                    assignments[nid] = value
+                    stack.append([nid, value, False])
                     decisions += 1
                     continue
 
             # Backtrack.
             while stack:
-                net, val, tried = stack[-1]
+                nid, value, tried = stack[-1]
                 if not tried:
                     stack[-1][2] = True
-                    assignments[net] = LOGIC_1 - val
+                    assignments[nid] = LOGIC_1 - value
                     backtracks += 1
                     break
                 stack.pop()
-                assignments.pop(net, None)
+                assignments.pop(nid, None)
             else:
                 return PodemResult(PodemStatus.UNTESTABLE, fault,
                                    backtracks=backtracks, decisions=decisions)

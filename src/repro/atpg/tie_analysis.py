@@ -18,18 +18,24 @@ The analysis is *sound*: every fault it reports is genuinely untestable in
 the manipulated circuit.  It is deliberately not complete — faults requiring
 a full redundancy proof are left to PODEM (see
 :class:`repro.atpg.engine.StructuralUntestabilityEngine`).
+
+All graph walks (observability search, structural reachability, fault-origin
+fanout cones) run over the ID-indexed connectivity tables of the shared
+:class:`~repro.netlist.compiled.CompiledNetlist`, with per-net results
+memoised in dense arrays.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.atpg.implication import ImplicationEngine
 from repro.faults.categories import FaultClass
 from repro.faults.fault import StuckAtFault
 from repro.netlist.cells import LOGIC_X
-from repro.netlist.module import Netlist, Pin
+from repro.netlist.compiled import NO_NET, get_compiled
+from repro.netlist.module import Netlist
 
 
 @dataclass
@@ -56,81 +62,70 @@ class TieAnalysis:
                  engine: Optional[ImplicationEngine] = None) -> None:
         self.netlist = netlist
         self.engine = engine or ImplicationEngine(netlist)
-        self._observe_cache: Dict[str, bool] = {}
-        self._reach_cache: Dict[str, bool] = {}
-        self._origin_cache: Dict[tuple, bool] = {}
+        self.compiled = get_compiled(netlist)
+        n = self.compiled.n_nets
+        self._observe_cache: List[Optional[bool]] = [None] * n
+        self._reach_cache: List[Optional[bool]] = [None] * n
+        self._origin_cache: Dict[Tuple[int, ...], bool] = {}
 
     # ------------------------------------------------------------------ #
     # observability predicates
     # ------------------------------------------------------------------ #
-    def _net_observable(self, net_name: str) -> bool:
+    def _net_observable(self, nid: int) -> bool:
         """Can a value change on this net reach an observation point, given
         the implied constants?  Observation points are observable output
         ports and sequential-cell inputs whose capture path is not blocked.
         """
-        cached = self._observe_cache.get(net_name)
+        cached = self._observe_cache[nid]
         if cached is not None:
             return cached
         # Mark as False first to terminate on (unexpected) cycles.
-        self._observe_cache[net_name] = False
-        result = self._search_observation(net_name, untrusted=None, visited=None)
-        self._observe_cache[net_name] = result
+        self._observe_cache[nid] = False
+        result = self._search_observation(nid, untrusted=None, visited=None)
+        self._observe_cache[nid] = result
         return result
 
-    def _search_observation(self, net_name: str,
+    def _search_observation(self, nid: int,
                             untrusted: Optional[Set[str]],
-                            visited: Optional[Set[str]]) -> bool:
+                            visited: Optional[Set[int]]) -> bool:
         """One step of the observability traversal, in two trust modes.
 
         ``untrusted=None`` is the normal, globally-cached mode (recursion
         goes through :meth:`_net_observable`).  With an ``untrusted`` cone
-        the traversal refuses to let the cone's implied constants block
-        propagation and tracks termination with the caller's ``visited``
-        set instead of the global cache (the answer then depends on the
-        fault origin, so it must not be memoised per net).
+        (net *names*, for the implication engine) the traversal refuses to
+        let the cone's implied constants block propagation and tracks
+        termination with the caller's ``visited`` ID set instead of the
+        global cache (the answer then depends on the fault origin, so it
+        must not be memoised per net).
         """
-        net = self.netlist.nets[net_name]
-        if net.is_output_port and net_name not in self.netlist.unobservable_ports:
+        compiled = self.compiled
+        if compiled.is_observable_output[nid]:
             return True
-        for pin in net.loads:
-            inst = pin.instance
-            if self.engine.propagation_blocked(inst, pin.port,
-                                               untrusted_nets=untrusted):
+        engine = self.engine
+        for op, pos in compiled.net_load_ops[nid]:
+            inst = compiled.instances[op]
+            port = compiled.op_cell[op].inputs[pos]
+            if engine.propagation_blocked(inst, port, untrusted_nets=untrusted):
                 continue
-            if inst.is_sequential:
-                return True
-            for out_pin in inst.output_pins():
-                if out_pin.net is None:
+            for out in compiled.op_fanout[op]:
+                if out < 0:
                     continue
-                next_net = out_pin.net.name
                 if untrusted is None:
-                    if self._net_observable(next_net):
+                    if self._net_observable(out):
                         return True
-                elif next_net not in visited:
-                    visited.add(next_net)
-                    if self._search_observation(next_net, untrusted, visited):
+                elif out not in visited:
+                    visited.add(out)
+                    if self._search_observation(out, untrusted, visited):
                         return True
+        for sq, pos in compiled.net_load_seqs[nid]:
+            inst = compiled.seq_instances[sq]
+            port = compiled.seq_cell[sq].inputs[pos]
+            if not engine.propagation_blocked(inst, port,
+                                              untrusted_nets=untrusted):
+                return True
         return False
 
-    def _fanout_cone_nets(self, origins: tuple) -> Set[str]:
-        """All nets the fault effect can sit on within one time frame: the
-        origin nets plus everything downstream through combinational logic."""
-        cone: Set[str] = set()
-        work = list(origins)
-        while work:
-            net_name = work.pop()
-            if net_name in cone:
-                continue
-            cone.add(net_name)
-            for pin in self.netlist.nets[net_name].loads:
-                if pin.instance.is_sequential:
-                    continue
-                for out_pin in pin.instance.output_pins():
-                    if out_pin.net is not None:
-                        work.append(out_pin.net.name)
-        return cone
-
-    def _observable_from(self, origins: tuple) -> bool:
+    def _observable_from(self, origins: Tuple[int, ...]) -> bool:
         """Origin-aware observability recheck.
 
         The cached :meth:`_net_observable` trusts every implied constant when
@@ -144,45 +139,48 @@ class TieAnalysis:
         cached = self._origin_cache.get(origins)
         if cached is not None:
             return cached
-        cone = self._fanout_cone_nets(origins)
-        visited: Set[str] = set()
+        compiled = self.compiled
+        cone_ids: Set[int] = set()
+        for origin in origins:
+            cone_ids |= compiled.fanout_nets(origin)
+        names = compiled.net_names
+        cone_names = {names[nid] for nid in cone_ids}
+        visited: Set[int] = set()
         result = False
         for origin in origins:
             if origin not in visited:
                 visited.add(origin)
-                if self._search_observation(origin, untrusted=cone,
+                if self._search_observation(origin, untrusted=cone_names,
                                             visited=visited):
                     result = True
                     break
         self._origin_cache[origins] = result
         return result
 
-    def _net_reaches_any_observation(self, net_name: str) -> bool:
+    def _net_reaches_any_observation(self, nid: int) -> bool:
         """Pure structural reachability to *any* observation point, ignoring
         constants but honouring floating (unobservable) output ports.
         Used to distinguish UO (nothing observable is even reachable)
         from UB (reachable but blocked by constants)."""
-        cached = self._reach_cache.get(net_name)
+        cached = self._reach_cache[nid]
         if cached is not None:
             return cached
-        self._reach_cache[net_name] = False
-        net = self.netlist.nets[net_name]
+        self._reach_cache[nid] = False
+        compiled = self.compiled
         result = False
-        if net.is_output_port and net_name not in self.netlist.unobservable_ports:
+        if compiled.is_observable_output[nid]:
             result = True
+        elif compiled.net_load_seqs[nid]:
+            result = True  # a flip-flop captures the value
         else:
-            for pin in net.loads:
-                inst = pin.instance
-                if inst.is_sequential:
-                    result = True
-                    break
-                for out_pin in inst.output_pins():
-                    if out_pin.net is not None and self._net_reaches_any_observation(out_pin.net.name):
+            for op, _pos in compiled.net_load_ops[nid]:
+                for out in compiled.op_fanout[op]:
+                    if out >= 0 and self._net_reaches_any_observation(out):
                         result = True
                         break
                 if result:
                     break
-        self._reach_cache[net_name] = result
+        self._reach_cache[nid] = result
         return result
 
     # ------------------------------------------------------------------ #
@@ -190,52 +188,56 @@ class TieAnalysis:
     # ------------------------------------------------------------------ #
     def classify_fault(self, fault: StuckAtFault) -> Optional[FaultClass]:
         """Return UT/UB/UO if the fault is provably untestable, else None."""
+        compiled = self.compiled
         if fault.is_port_fault:
-            net_name = fault.site if fault.site in self.netlist.nets else None
-            if net_name is None:
+            nid = compiled.id_of(fault.site)
+            if nid is None:
                 return FaultClass.UO
-            constant = self.engine.constant_of(net_name)
+            constant = self.engine.constant_of(fault.site)
             if constant is not None and constant == fault.value:
                 return FaultClass.UT
-            net = self.netlist.nets[net_name]
-            if net.is_output_port:
-                if net_name in self.netlist.unobservable_ports:
+            if compiled.is_output_port[nid]:
+                if fault.site in self.netlist.unobservable_ports:
                     return FaultClass.UO
                 return None
-            return self._observability_class(net_name)
+            return self._observability_class(nid)
 
-        pin = self.netlist.pin_by_name(fault.site)
-        if pin.net is None:
+        kind, index, pos, is_input = compiled.pin_ref(fault.site)
+        nid = compiled.pin_net_id(kind, index, pos, is_input)
+        if nid == NO_NET:
             return FaultClass.UO
-        net_name = pin.net.name
 
-        constant = self.engine.constant_of(net_name)
+        constant = self.engine.constant_of(compiled.net_names[nid])
         if constant is not None and constant == fault.value:
             return FaultClass.UT
 
-        if pin.is_output:
-            return self._observability_class(net_name)
+        if not is_input:
+            return self._observability_class(nid)
 
         # Branch fault on an instance input: the effect must first pass
         # through this instance, then reach an observation point.
-        inst = pin.instance
-        if self.engine.propagation_blocked(inst, pin.port):
+        if kind == "seq":
+            inst = compiled.seq_instances[index]
+            port = compiled.seq_cell[index].inputs[pos]
+            if self.engine.propagation_blocked(inst, port):
+                return FaultClass.UB
+            return self._sequential_branch_class(index, port, fault)
+
+        inst = compiled.instances[index]
+        port = compiled.op_cell[index].inputs[pos]
+        if self.engine.propagation_blocked(inst, port):
             return FaultClass.UB
-        if inst.is_sequential:
-            return self._sequential_branch_class(inst, pin, fault)
-        out_nets = tuple(out_pin.net.name for out_pin in inst.output_pins()
-                         if out_pin.net is not None)
-        if any(self._net_observable(net_name) for net_name in out_nets):
+        out_ids = tuple(out for out in compiled.op_fanout[index] if out >= 0)
+        if any(self._net_observable(out) for out in out_ids):
             return None
-        if not any(self._net_reaches_any_observation(net_name)
-                   for net_name in out_nets):
+        if not any(self._net_reaches_any_observation(out) for out in out_ids):
             return FaultClass.UO  # nothing observable is even reachable
-        if self._observable_from(out_nets):
+        if self._observable_from(out_ids):
             return None  # only blocked by constants the fault itself upsets
         return FaultClass.UB
 
-    def _sequential_branch_class(self, inst, pin, fault: StuckAtFault
-                                 ) -> Optional[FaultClass]:
+    def _sequential_branch_class(self, seq_index: int, port: str,
+                                 fault: StuckAtFault) -> Optional[FaultClass]:
         """Classification of a fault on a flip-flop input pin.
 
         In the DFT view a value captured into a flip-flop is observable, so
@@ -245,44 +247,48 @@ class TieAnalysis:
         cannot make the stored value differ from that constant can never be
         observed (e.g. a stuck clock on a register frozen at 0).
         """
+        compiled = self.compiled
+        cell = compiled.seq_cell[seq_index]
+        names = compiled.net_names
         q_constants = []
-        for out_pin in inst.output_pins():
-            if out_pin.net is None:
+        for out in compiled.seq_fanout[seq_index]:
+            if out < 0:
                 continue
-            constant = self.engine.constant_of(out_pin.net.name)
+            constant = self.engine.constant_of(names[out])
             if constant is None:
                 return None  # the state still moves: the fault is capturable
             q_constants.append(constant)
         if not q_constants:
             return FaultClass.UO
 
-        if pin.port == inst.cell.role_pin("clock"):
+        if port == cell.role_pin("clock"):
             # A stuck clock stops the register from updating: it keeps holding
             # its mission constant, so the fault can never be observed.
             return FaultClass.UB
 
         pin_values = {}
-        for in_pin in inst.input_pins():
-            if in_pin is pin:
-                pin_values[in_pin.port] = fault.value
-            elif in_pin.net is not None:
-                value = self.engine.constant_of(in_pin.net.name)
-                pin_values[in_pin.port] = value if value is not None else LOGIC_X
+        for in_pos, in_nid in enumerate(compiled.seq_fanin[seq_index]):
+            in_port = cell.inputs[in_pos]
+            if in_port == port:
+                pin_values[in_port] = fault.value
+            elif in_nid >= 0:
+                value = self.engine.constant_of(names[in_nid])
+                pin_values[in_port] = value if value is not None else LOGIC_X
             else:
-                pin_values[in_pin.port] = LOGIC_X
-        faulty_next = inst.cell.evaluate(pin_values).get("__next__", LOGIC_X)
+                pin_values[in_port] = LOGIC_X
+        faulty_next = cell.evaluate(pin_values).get("__next__", LOGIC_X)
         if faulty_next != LOGIC_X and faulty_next == q_constants[0]:
             # Even with the fault present the register keeps its mission
             # constant, so the fault can never produce a visible effect.
             return FaultClass.UB
         return None
 
-    def _observability_class(self, net_name: str) -> Optional[FaultClass]:
-        if self._net_observable(net_name):
+    def _observability_class(self, nid: int) -> Optional[FaultClass]:
+        if self._net_observable(nid):
             return None
-        if not self._net_reaches_any_observation(net_name):
+        if not self._net_reaches_any_observation(nid):
             return FaultClass.UO  # nothing observable is even reachable
-        if self._observable_from((net_name,)):
+        if self._observable_from((nid,)):
             return None  # only blocked by constants the fault itself upsets
         return FaultClass.UB
 

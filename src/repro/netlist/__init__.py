@@ -5,8 +5,9 @@ built on: a technology-independent standard-cell library with three-valued
 semantics (:mod:`repro.netlist.cells`), the netlist graph itself
 (:mod:`repro.netlist.module`), a convenience builder used by the SoC
 generators (:mod:`repro.netlist.builder`), traversal / levelisation helpers
-(:mod:`repro.netlist.traversal`) and a structural-Verilog reader/writer
-(:mod:`repro.netlist.verilog`).
+(:mod:`repro.netlist.traversal`), the compiled integer-ID execution IR every
+engine runs on (:mod:`repro.netlist.compiled`) and a structural-Verilog
+reader/writer (:mod:`repro.netlist.verilog`).
 """
 
 from repro.netlist.cells import (
@@ -19,6 +20,14 @@ from repro.netlist.cells import (
 )
 from repro.netlist.module import Instance, Net, Netlist, Pin
 from repro.netlist.builder import NetlistBuilder
+from repro.netlist.compiled import (
+    CompiledNetlist,
+    compile_netlist,
+    compile_stats,
+    get_compiled,
+    netlist_signature,
+    reset_compile_stats,
+)
 from repro.netlist.traversal import (
     combinational_levels,
     fanin_cone,
@@ -43,6 +52,12 @@ __all__ = [
     "Netlist",
     "Pin",
     "NetlistBuilder",
+    "CompiledNetlist",
+    "compile_netlist",
+    "compile_stats",
+    "get_compiled",
+    "netlist_signature",
+    "reset_compile_stats",
     "combinational_levels",
     "fanin_cone",
     "fanout_cone",

@@ -134,6 +134,11 @@ class Netlist:
         # Free-form annotations attached by generators and analyses, e.g.
         # the list of debug-related input ports or the scan chain order.
         self.annotations: Dict[str, object] = {}
+        # Bumped on every structural mutation; the compiled-netlist cache
+        # (:mod:`repro.netlist.compiled`) uses it to revalidate cheaply.
+        # Tie values and unobservable ports are mutated directly on the
+        # graph, so the cache fingerprints those separately.
+        self._mutations = 0
 
     # ------------------------------------------------------------------ #
     # construction primitives
@@ -145,6 +150,7 @@ class Netlist:
         if name in self.ports:
             raise ValueError(f"port {name!r} already declared on module {self.name!r}")
         self.ports[name] = direction
+        self._mutations += 1
         net = self.get_or_create_net(name)
         if direction == INPUT:
             net.is_input_port = True
@@ -157,6 +163,7 @@ class Netlist:
         if net is None:
             net = Net(name)
             self.nets[name] = net
+            self._mutations += 1
         return net
 
     def net(self, name: str) -> Net:
@@ -173,6 +180,7 @@ class Netlist:
         cell = self.library.get(cell_name)
         inst = Instance(name, cell)
         self.instances[name] = inst
+        self._mutations += 1
         for port, net_name in connections.items():
             self.connect(inst.pin(port), net_name)
         return inst
@@ -192,6 +200,7 @@ class Netlist:
         else:
             net.loads.append(pin)
         pin.net = net
+        self._mutations += 1
         return net
 
     def disconnect(self, pin: Pin) -> None:
@@ -204,9 +213,11 @@ class Netlist:
         elif pin in net.loads:
             net.loads.remove(pin)
         pin.net = None
+        self._mutations += 1
 
     def remove_instance(self, name: str) -> None:
         inst = self.instances.pop(name)
+        self._mutations += 1
         for pin in inst.pins.values():
             self.disconnect(pin)
 

@@ -24,40 +24,12 @@ import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
 
-from repro.netlist.module import Netlist
+# The structural digest lives with the compiled-netlist IR (which keys its
+# own cache on it); re-exported here because this module is its historical
+# home and everything cache-related imports it from here.
+from repro.netlist.compiled import netlist_signature  # noqa: F401
 
 CacheKey = Tuple[str, str, str]  # (netlist signature, config key, pass name)
-
-
-def netlist_signature(netlist: Netlist) -> str:
-    """A stable digest of the netlist structure.
-
-    Covers the name, ports, unobservable ports, every instance with its
-    cell and pin connectivity, and every tied net — i.e. everything the
-    analyses read.  Two structurally identical clones hash the same.
-    """
-    hasher = hashlib.sha256()
-
-    def feed(text: str) -> None:
-        hasher.update(text.encode())
-        hasher.update(b"\x00")
-
-    feed(netlist.name)
-    for port, direction in sorted(netlist.ports.items()):
-        feed(f"P{port}:{direction}")
-    for port in sorted(netlist.unobservable_ports):
-        feed(f"U{port}")
-    for inst_name in sorted(netlist.instances):
-        inst = netlist.instances[inst_name]
-        feed(f"I{inst_name}:{inst.cell.name}")
-        for port in sorted(inst.pins):
-            pin = inst.pins[port]
-            feed(f"p{port}={pin.net.name if pin.net is not None else ''}")
-    for net_name in sorted(netlist.nets):
-        tied = netlist.nets[net_name].tied
-        if tied is not None:
-            feed(f"T{net_name}={tied}")
-    return hasher.hexdigest()
 
 
 def memory_map_key(memory_map) -> str:

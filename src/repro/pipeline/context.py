@@ -120,6 +120,19 @@ class PipelineContext:
     # caching
     # ------------------------------------------------------------------ #
     @property
+    def compiled(self):
+        """The shared :class:`~repro.netlist.compiled.CompiledNetlist` of the
+        target netlist.
+
+        Resolved through the global signature-keyed compile cache, so every
+        pass of this run — and every sibling scenario of a Session sweep
+        targeting a structurally identical netlist — consumes one build.
+        """
+        from repro.netlist.compiled import get_compiled
+
+        return get_compiled(self.netlist)
+
+    @property
     def signature(self) -> str:
         """Structural signature of the target netlist (computed once)."""
         if self._signature is None:

@@ -51,10 +51,16 @@ class CoverageComparison:
 
 
 class FaultGrader:
-    """Grades functional patterns against a core with mission-mode observability."""
+    """Grades functional patterns against a core with mission-mode observability.
+
+    ``drop_detected`` (on by default) applies fault dropping across the
+    pattern windows: once any window detects a fault, the fault leaves the
+    simulation for all subsequent windows — the same speed-up the serial
+    :class:`~repro.simulation.fault_sim.FaultSimulator` applies per pattern.
+    """
 
     def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
-                 word_size: int = 64) -> None:
+                 word_size: int = 64, drop_detected: bool = True) -> None:
         # Mission-mode observation: the system-bus outputs plus the values
         # captured into the architectural state (a captured error eventually
         # propagates to memory over the following cycles of the self-test
@@ -63,6 +69,7 @@ class FaultGrader:
         # explicitly excluded: in the field no debugger reads them.
         self.netlist = netlist
         self.word_size = word_size
+        self.drop_detected = drop_detected
         exclude: set = set(netlist.unobservable_ports)
         debug_spec = netlist.annotations.get("debug_interface")
         if isinstance(debug_spec, dict):
@@ -100,7 +107,8 @@ class FaultGrader:
                         words[net] |= 1 << index
             newly = self.simulator.detected_faults(remaining, words, len(window))
             detected |= newly
-            remaining -= newly
+            if self.drop_detected:
+                remaining -= newly  # fault dropping: skip in later windows
         return detected
 
     # ------------------------------------------------------------------ #

@@ -1,0 +1,215 @@
+"""The pre-compiled-IR reference simulators (string-keyed object-graph walk).
+
+These are the original, straightforward implementations of the three-valued
+combinational simulator and the serial fault simulator: they traverse the
+:class:`~repro.netlist.module.Netlist` object graph through string-keyed
+dicts and evaluate cells via their ``eval_fn``.  They are kept as the
+*reference semantics* for the compiled execution layer:
+
+* the property tests cross-check the compiled engines against them on random
+  circuits;
+* ``benchmarks/test_runtime.py`` measures the compiled engines' speedup over
+  them and asserts verdict equality.
+
+They are not exported from :mod:`repro.simulation`; production code uses the
+compiled-IR :class:`~repro.simulation.simulator.CombinationalSimulator` and
+:class:`~repro.simulation.fault_sim.FaultSimulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set
+
+from repro.faults.fault import StuckAtFault
+from repro.netlist.cells import LOGIC_X
+from repro.netlist.module import Netlist, Pin
+from repro.netlist.traversal import topological_instances
+
+
+class LegacyCombinationalSimulator:
+    """Evaluates the combinational network by walking the object graph."""
+
+    def __init__(self, netlist: Netlist) -> None:
+        self.netlist = netlist
+        self.order = topological_instances(netlist)
+        self._state_nets = [
+            pin.net.name
+            for inst in netlist.sequential_instances()
+            for pin in inst.output_pins()
+            if pin.net is not None
+        ]
+
+    @property
+    def state_nets(self) -> list:
+        return list(self._state_nets)
+
+    def evaluate(self, inputs: Mapping[str, int],
+                 state: Optional[Mapping[str, int]] = None,
+                 overrides: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        values: Dict[str, int] = {}
+
+        for name, net in self.netlist.nets.items():
+            if net.tied is not None:
+                values[name] = net.tied
+            else:
+                values[name] = LOGIC_X
+
+        for name in self.netlist.input_ports():
+            net = self.netlist.net(name)
+            if net.tied is None:
+                values[name] = inputs.get(name, LOGIC_X)
+
+        if state:
+            for name, value in state.items():
+                if name in values and self.netlist.nets[name].tied is None:
+                    values[name] = value
+
+        if overrides:
+            values.update(overrides)
+
+        for inst in self.order:
+            pin_values = {}
+            for pin in inst.input_pins():
+                pin_values[pin.port] = (
+                    values[pin.net.name] if pin.net is not None else LOGIC_X
+                )
+            outputs = inst.cell.evaluate(pin_values)
+            for pin in inst.output_pins():
+                if pin.net is None:
+                    continue
+                net = pin.net
+                if overrides and net.name in overrides:
+                    continue
+                if net.tied is not None:
+                    continue
+                values[net.name] = outputs.get(pin.port, LOGIC_X)
+
+        return values
+
+    def next_state(self, values: Mapping[str, int]) -> Dict[str, int]:
+        nxt: Dict[str, int] = {}
+        for inst in self.netlist.sequential_instances():
+            pin_values = {}
+            for pin in inst.input_pins():
+                pin_values[pin.port] = (
+                    values[pin.net.name] if pin.net is not None else LOGIC_X
+                )
+            result = inst.cell.evaluate(pin_values)
+            new_value = result.get("__next__", LOGIC_X)
+            for pin in inst.output_pins():
+                if pin.net is not None:
+                    if pin.net.tied is not None:
+                        nxt[pin.net.name] = pin.net.tied
+                    else:
+                        nxt[pin.net.name] = new_value
+        return nxt
+
+
+class LegacyFaultSimulator:
+    """Serial single-fault simulator over the netlist object graph.
+
+    For each pattern the good machine is simulated once; each fault is then
+    simulated by re-walking the full topological order, re-evaluating only
+    instances whose inputs changed.
+    """
+
+    def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
+                 state_input_roles: Optional[Sequence[str]] = None) -> None:
+        from repro.simulation.simulator import observed_state_input_nets
+
+        self.netlist = netlist
+        self.sim = LegacyCombinationalSimulator(netlist)
+        self.observe_state_inputs = observe_state_inputs
+        self.state_input_roles = (tuple(state_input_roles)
+                                  if state_input_roles is not None else None)
+        nets: Set[str] = set(netlist.observable_output_ports())
+        if observe_state_inputs:
+            for inst in netlist.sequential_instances():
+                nets.update(observed_state_input_nets(inst, self.state_input_roles))
+        self._observation_nets = nets
+
+    # ------------------------------------------------------------------ #
+    def good_values(self, pattern: Mapping[str, int]) -> Dict[str, int]:
+        return self.sim.evaluate(pattern, state=pattern)
+
+    def faulty_values(self, fault: StuckAtFault,
+                      pattern: Mapping[str, int],
+                      good: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
+        good = good if good is not None else self.good_values(pattern)
+        values = dict(good)
+
+        faulty_pin: Optional[Pin] = None
+        if fault.is_port_fault:
+            values[fault.site] = fault.value
+        else:
+            pin = self.netlist.pin_by_name(fault.site)
+            if pin.net is None:
+                return values
+            if pin.is_output:
+                values[pin.net.name] = fault.value
+            else:
+                faulty_pin = pin
+
+        for inst in self.sim.order:
+            pin_values = {}
+            changed_input = False
+            for pin in inst.input_pins():
+                if pin.net is None:
+                    pin_values[pin.port] = LOGIC_X
+                    continue
+                value = values[pin.net.name]
+                if faulty_pin is not None and pin is faulty_pin:
+                    value = fault.value
+                    changed_input = True
+                elif value != good[pin.net.name]:
+                    changed_input = True
+                pin_values[pin.port] = value
+            if not changed_input:
+                continue
+            outputs = inst.cell.evaluate(pin_values)
+            for out_pin in inst.output_pins():
+                if out_pin.net is None:
+                    continue
+                net = out_pin.net
+                if net.tied is not None:
+                    continue
+                if not fault.is_port_fault and out_pin.name == fault.site:
+                    continue  # stuck output stays at the fault value
+                values[net.name] = outputs.get(out_pin.port, LOGIC_X)
+
+        return values
+
+    def detects(self, fault: StuckAtFault, pattern: Mapping[str, int],
+                good: Optional[Mapping[str, int]] = None) -> bool:
+        good = good if good is not None else self.good_values(pattern)
+        faulty = self.faulty_values(fault, pattern, good)
+        for net in self._observation_nets:
+            g, f = good.get(net, LOGIC_X), faulty.get(net, LOGIC_X)
+            if g != LOGIC_X and f != LOGIC_X and g != f:
+                return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    def run(self, faults: Iterable[StuckAtFault],
+            patterns: Sequence[Mapping[str, int]],
+            drop_detected: bool = True):
+        from repro.simulation.fault_sim import FaultSimResult
+
+        result = FaultSimResult()
+        remaining: List[StuckAtFault] = list(faults)
+        for index, pattern in enumerate(patterns):
+            if not remaining:
+                break
+            good = self.good_values(pattern)
+            still_undetected: List[StuckAtFault] = []
+            for fault in remaining:
+                if self.detects(fault, pattern, good):
+                    result.detected.add(fault)
+                    result.detecting_pattern[fault] = index
+                    if not drop_detected:
+                        still_undetected.append(fault)
+                else:
+                    still_undetected.append(fault)
+            remaining = still_undetected
+        result.undetected.update(remaining)
+        return result

@@ -7,89 +7,105 @@ pattern-parallel serial-fault simulation that the random-pattern phase of the
 untestability engine and the SBST fault-grading flow use to knock out the
 bulk of detectable faults cheaply.
 
+The simulator runs on the compiled netlist IR: net words live in a flat list
+indexed by net ID, gates are evaluated through the word-level cell function
+table — built **once at module import** (:data:`_WORD_OPS`) and resolved to a
+per-op array once per *compiled netlist* (not per simulator construction) —
+and each faulty machine only re-evaluates the precomputed fanout cone of its
+fault site.
+
 X values are not representable here; callers must supply fully-specified
 patterns (the ATPG/implication machinery handles the three-valued cases).
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.faults.fault import StuckAtFault
-from repro.netlist.module import Netlist, Pin
+from repro.netlist.compiled import NO_NET, CompiledNetlist
+from repro.netlist.module import Netlist
 from repro.simulation.simulator import CombinationalSimulator, observed_state_input_nets
 from repro.utils.bitvec import mask
 
-# Word-level evaluation functions per cell, operating on Python-int bit
-# vectors plus the all-ones mask of the pattern word.
-_WordFn = Callable[[Dict[str, int], int], Dict[str, int]]
 
+def _make_word_ops() -> Dict[str, Callable]:
+    """Word-level evaluation functions per cell.
 
-def _make_word_functions() -> Dict[str, _WordFn]:
-    def inv(v: Dict[str, int], m: int) -> Dict[str, int]:
-        return {"Y": ~v["A"] & m}
+    Each function takes the all-ones mask of the pattern word followed by
+    one bit-vector word per input pin (in cell order) and returns one word
+    per output pin.  Built a single time when this module is imported.
+    """
+    def and_n(m, *args):
+        acc = m
+        for a in args:
+            acc &= a
+        return (acc,)
 
-    def buf(v: Dict[str, int], m: int) -> Dict[str, int]:
-        return {"Y": v["A"]}
+    def nand_n(m, *args):
+        acc = m
+        for a in args:
+            acc &= a
+        return (~acc & m,)
 
-    def and_n(names: Sequence[str]) -> _WordFn:
-        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
-            acc = m
-            for n in names:
-                acc &= v[n]
-            return {"Y": acc}
-        return fn
+    def or_n(m, *args):
+        acc = 0
+        for a in args:
+            acc |= a
+        return (acc,)
 
-    def nand_n(names: Sequence[str]) -> _WordFn:
-        inner = and_n(names)
-        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
-            return {"Y": ~inner(v, m)["Y"] & m}
-        return fn
+    def nor_n(m, *args):
+        acc = 0
+        for a in args:
+            acc |= a
+        return (~acc & m,)
 
-    def or_n(names: Sequence[str]) -> _WordFn:
-        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
-            acc = 0
-            for n in names:
-                acc |= v[n]
-            return {"Y": acc}
-        return fn
-
-    def nor_n(names: Sequence[str]) -> _WordFn:
-        inner = or_n(names)
-        def fn(v: Dict[str, int], m: int) -> Dict[str, int]:
-            return {"Y": ~inner(v, m)["Y"] & m}
-        return fn
-
-    fns: Dict[str, _WordFn] = {
-        "TIE0": lambda v, m: {"Y": 0},
-        "TIE1": lambda v, m: {"Y": m},
-        "BUF": buf,
-        "INV": inv,
-        "XOR2": lambda v, m: {"Y": (v["A"] ^ v["B"]) & m},
-        "XNOR2": lambda v, m: {"Y": ~(v["A"] ^ v["B"]) & m},
-        "MUX2": lambda v, m: {"Y": (v["D0"] & ~v["S"] | v["D1"] & v["S"]) & m},
-        "AO21": lambda v, m: {"Y": (v["A"] & v["B"] | v["C"]) & m},
-        "OA21": lambda v, m: {"Y": (v["A"] | v["B"]) & v["C"] & m},
-        "AOI21": lambda v, m: {"Y": ~(v["A"] & v["B"] | v["C"]) & m},
-        "OAI21": lambda v, m: {"Y": ~((v["A"] | v["B"]) & v["C"]) & m},
-        "HA": lambda v, m: {"S": (v["A"] ^ v["B"]) & m, "CO": v["A"] & v["B"]},
-        "FA": lambda v, m: {
-            "S": (v["A"] ^ v["B"] ^ v["CI"]) & m,
-            "CO": (v["A"] & v["B"] | v["A"] & v["CI"] | v["B"] & v["CI"]) & m,
-        },
+    fns: Dict[str, Callable] = {
+        "TIE0": lambda m: (0,),
+        "TIE1": lambda m: (m,),
+        "BUF": lambda m, a: (a,),
+        "INV": lambda m, a: (~a & m,),
+        "XOR2": lambda m, a, b: ((a ^ b) & m,),
+        "XNOR2": lambda m, a, b: (~(a ^ b) & m,),
+        "MUX2": lambda m, d0, d1, s: ((d0 & ~s | d1 & s) & m,),
+        "AO21": lambda m, a, b, c: ((a & b | c) & m,),
+        "OA21": lambda m, a, b, c: ((a | b) & c & m,),
+        "AOI21": lambda m, a, b, c: (~(a & b | c) & m,),
+        "OAI21": lambda m, a, b, c: (~((a | b) & c) & m,),
+        "HA": lambda m, a, b: ((a ^ b) & m, a & b),
+        "FA": lambda m, a, b, ci: (
+            (a ^ b ^ ci) & m,
+            (a & b | a & ci | b & ci) & m,
+        ),
     }
-    names = ("A", "B", "C", "D")
     for arity in (2, 3, 4):
-        fns[f"AND{arity}"] = and_n(names[:arity])
-        fns[f"NAND{arity}"] = nand_n(names[:arity])
-        fns[f"OR{arity}"] = or_n(names[:arity])
-        fns[f"NOR{arity}"] = nor_n(names[:arity])
+        fns[f"AND{arity}"] = and_n
+        fns[f"NAND{arity}"] = nand_n
+        fns[f"OR{arity}"] = or_n
+        fns[f"NOR{arity}"] = nor_n
     # Sequential cells appear in the combinational view only through their
     # outputs (state) and inputs (observation); they are never evaluated here.
     return fns
 
 
-_WORD_FUNCTIONS = _make_word_functions()
+#: The word-level cell function table, built once at import time.
+_WORD_OPS = _make_word_ops()
+
+
+def _build_word_program(compiled: CompiledNetlist) -> List[Callable]:
+    """Resolve the per-op word functions for a compiled netlist (memoised)."""
+    program: List[Callable] = []
+    for cell in compiled.op_cell:
+        fn = _WORD_OPS.get(cell.name)
+        if fn is None:
+            raise NotImplementedError(
+                f"no word-level model for cell {cell.name!r}")
+        program.append(fn)
+    return program
+
+
+def word_program(compiled: CompiledNetlist) -> List[Callable]:
+    return compiled.extension("word_program", _build_word_program)
 
 
 class ParallelPatternSimulator:
@@ -113,10 +129,9 @@ class ParallelPatternSimulator:
         self.state_input_roles = (tuple(state_input_roles)
                                   if state_input_roles is not None else None)
         self._observation_nets = self._compute_observation_nets()
-        for inst in self.sim.order:
-            if inst.cell.name not in _WORD_FUNCTIONS:
-                raise NotImplementedError(
-                    f"no word-level model for cell {inst.cell.name!r}")
+        # Resolving the word program eagerly also validates that every
+        # combinational cell has a word-level model.
+        word_program(self.sim.compiled)
 
     def _compute_observation_nets(self) -> Set[str]:
         nets: Set[str] = set(self.netlist.observable_output_ports())
@@ -126,7 +141,36 @@ class ParallelPatternSimulator:
                 nets.update(observed_state_input_nets(inst, self.state_input_roles))
         return nets
 
+    def _observation_ids(self, compiled: CompiledNetlist) -> List[int]:
+        net_id = compiled.net_id
+        return [net_id[name] for name in self._observation_nets
+                if name in net_id]
+
     # ------------------------------------------------------------------ #
+    def _good_words(self, compiled: CompiledNetlist,
+                    patterns: Mapping[str, int],
+                    n_patterns: int) -> Tuple[List[int], int]:
+        word_mask = mask(n_patterns)
+        program = word_program(compiled)
+        tied = compiled.tied
+        net_id = compiled.net_id
+        values = [0] * compiled.n_nets
+        for nid, t in enumerate(tied):
+            if t is not None:
+                values[nid] = word_mask if t else 0
+        for name, word in patterns.items():
+            nid = net_id.get(name)
+            if nid is not None and tied[nid] is None:
+                values[nid] = word & word_mask
+        op_fanout = compiled.op_fanout
+        for i, fanin in enumerate(compiled.op_fanin):
+            args = [values[nid] if nid >= 0 else 0 for nid in fanin]
+            out = program[i](word_mask, *args)
+            for pos, nid in enumerate(op_fanout[i]):
+                if nid >= 0 and tied[nid] is None:
+                    values[nid] = out[pos]
+        return values, word_mask
+
     def good_simulation(self, patterns: Mapping[str, int],
                         n_patterns: int) -> Dict[str, int]:
         """Simulate ``n_patterns`` patterns at once.
@@ -135,121 +179,109 @@ class ParallelPatternSimulator:
         flip-flop outputs) to bit-vector words; missing nets default to 0.
         Returns a word per net.
         """
-        word_mask = mask(n_patterns)
-        values: Dict[str, int] = {}
-        for name, net in self.netlist.nets.items():
-            if net.tied is not None:
-                values[name] = word_mask if net.tied else 0
-            else:
-                values[name] = patterns.get(name, 0) & word_mask
+        compiled = self.sim._refresh()
+        values, _ = self._good_words(compiled, patterns, n_patterns)
+        return dict(zip(compiled.net_names, values))
 
-        for inst in self.sim.order:
-            pin_values = {
-                pin.port: (values[pin.net.name] if pin.net is not None else 0)
-                for pin in inst.input_pins()
-            }
-            outputs = _WORD_FUNCTIONS[inst.cell.name](pin_values, word_mask)
-            for pin in inst.output_pins():
-                if pin.net is None or pin.net.tied is not None:
+    # ------------------------------------------------------------------ #
+    def _resolve(self, compiled: CompiledNetlist,
+                 fault: StuckAtFault) -> Tuple:
+        if fault.is_port_fault:
+            nid = compiled.id_of(fault.site)
+            return ("net", nid) if nid is not None else ("inert",)
+        kind, index, pos, is_input = compiled.pin_ref(fault.site)
+        table = ((compiled.op_fanin if is_input else compiled.op_fanout)
+                 if kind == "op"
+                 else (compiled.seq_fanin if is_input else compiled.seq_fanout))
+        nid = table[index][pos]
+        if nid == NO_NET:
+            return ("inert",)
+        if not is_input:
+            return ("net", nid)
+        if kind == "seq":
+            # The perturbed value is only seen by the flip-flop capture; the
+            # combinational time frame is unchanged.
+            return ("inert",)
+        return ("branch", index, pos)
+
+    def _detects(self, compiled: CompiledNetlist, program, site: Tuple,
+                 fault_value: int, good: List[int], word_mask: int,
+                 obs_ids: List[int]) -> bool:
+        fault_word = word_mask if fault_value else 0
+        forced = -1
+        branch_op = -1
+        branch_pos = -1
+        overlay: Dict[int, int] = {}
+
+        if site[0] == "net":
+            forced = site[1]
+            if good[forced] == fault_word:
+                return False
+            overlay[forced] = fault_word
+            cone = compiled.fanout_ops(forced)
+        elif site[0] == "branch":
+            branch_op, branch_pos = site[1], site[2]
+            cone = compiled.branch_cone(branch_op)
+        else:
+            return False
+
+        tied = compiled.tied
+        op_fanout = compiled.op_fanout
+        for op in cone:
+            changed = False
+            args = []
+            for pos, nid in enumerate(compiled.op_fanin[op]):
+                if nid < 0:
+                    args.append(0)
                     continue
-                values[pin.net.name] = outputs.get(pin.port, 0) & word_mask
-        return values
+                if op == branch_op and pos == branch_pos:
+                    args.append(fault_word)
+                    changed = True
+                    continue
+                value = overlay.get(nid)
+                if value is None:
+                    args.append(good[nid])
+                else:
+                    args.append(value)
+                    if value != good[nid]:
+                        changed = True
+            if not changed:
+                continue
+            out = program[op](word_mask, *args)
+            for pos, nid in enumerate(op_fanout[op]):
+                if nid < 0 or tied[nid] is not None or nid == forced:
+                    continue
+                overlay[nid] = out[pos] & word_mask
+
+        for nid in obs_ids:
+            value = overlay.get(nid)
+            if value is not None and (value ^ good[nid]) & word_mask:
+                return True
+        return False
 
     def detected_faults(self, faults: Iterable[StuckAtFault],
                         patterns: Mapping[str, int],
                         n_patterns: int,
                         good: Optional[Dict[str, int]] = None) -> Set[StuckAtFault]:
         """Return the subset of ``faults`` detected by any of the patterns."""
+        compiled = self.sim._refresh()
+        program = word_program(compiled)
         word_mask = mask(n_patterns)
-        good = good if good is not None else self.good_simulation(patterns, n_patterns)
-        detected: Set[StuckAtFault] = set()
+        if good is None:
+            good_words, _ = self._good_words(compiled, patterns, n_patterns)
+        else:
+            net_id = compiled.net_id
+            good_words = [0] * compiled.n_nets
+            for name, word in good.items():
+                nid = net_id.get(name)
+                if nid is not None:
+                    good_words[nid] = word
+        obs_ids = self._observation_ids(compiled)
 
+        detected: Set[StuckAtFault] = set()
         for fault in faults:
-            if self._detects(fault, patterns, good, word_mask):
+            site = self._resolve(compiled, fault)
+            if self._detects(compiled, program, site, fault.value,
+                             good_words, word_mask, obs_ids):
                 detected.add(fault)
         return detected
-
-    def _fanout_instance_cone(self, start_net: str) -> Set[str]:
-        """Names of combinational instances structurally downstream of a net."""
-        cone: Set[str] = set()
-        visited: Set[str] = set()
-        work = [start_net]
-        while work:
-            net_name = work.pop()
-            if net_name in visited:
-                continue
-            visited.add(net_name)
-            net = self.netlist.nets.get(net_name)
-            if net is None:
-                continue
-            for pin in net.loads:
-                inst = pin.instance
-                if inst.is_sequential or inst.name in cone:
-                    continue
-                cone.add(inst.name)
-                for out_pin in inst.output_pins():
-                    if out_pin.net is not None:
-                        work.append(out_pin.net.name)
-        return cone
-
-    def _detects(self, fault: StuckAtFault, patterns: Mapping[str, int],
-                 good: Dict[str, int], word_mask: int) -> bool:
-        values = dict(good)
-        fault_word = word_mask if fault.value else 0
-
-        faulty_pin: Optional[Pin] = None
-        start_net: Optional[str] = None
-        if fault.is_port_fault:
-            if fault.site not in values:
-                return False
-            values[fault.site] = fault_word
-            start_net = fault.site
-        else:
-            pin = self.netlist.pin_by_name(fault.site)
-            if pin.net is None:
-                return False
-            if pin.is_output:
-                values[pin.net.name] = fault_word
-                start_net = pin.net.name
-            else:
-                faulty_pin = pin
-
-        # Only instances structurally downstream of the fault site can change.
-        if faulty_pin is not None:
-            cone = {faulty_pin.instance.name} if not faulty_pin.instance.is_sequential else set()
-            for out_pin in faulty_pin.instance.output_pins():
-                if out_pin.net is not None:
-                    cone |= self._fanout_instance_cone(out_pin.net.name)
-        else:
-            cone = self._fanout_instance_cone(start_net) if start_net else set()
-
-        for inst in self.sim.order:
-            if inst.name not in cone:
-                continue
-            changed = False
-            pin_values = {}
-            for pin in inst.input_pins():
-                if pin.net is None:
-                    pin_values[pin.port] = 0
-                    continue
-                value = values[pin.net.name]
-                if faulty_pin is not None and pin is faulty_pin:
-                    value = fault_word
-                    changed = True
-                elif value != good[pin.net.name]:
-                    changed = True
-                pin_values[pin.port] = value
-            if not changed:
-                continue
-            outputs = _WORD_FUNCTIONS[inst.cell.name](pin_values, word_mask)
-            for out_pin in inst.output_pins():
-                if out_pin.net is None or out_pin.net.tied is not None:
-                    continue
-                if not fault.is_port_fault and out_pin.name == fault.site:
-                    continue
-                values[out_pin.net.name] = outputs.get(out_pin.port, 0) & word_mask
-
-        for net in self._observation_nets:
-            if (values.get(net, 0) ^ good.get(net, 0)) & word_mask:
-                return True
-        return False

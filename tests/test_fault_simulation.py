@@ -123,14 +123,14 @@ class TestParallelPatternSimulator:
 
     def test_word_models_match_cell_semantics(self, library):
         """Every word-level model agrees with the 2-valued cell evaluation."""
-        from repro.simulation.parallel import _WORD_FUNCTIONS
+        from repro.simulation.parallel import _WORD_OPS
 
-        for cell_name, word_fn in _WORD_FUNCTIONS.items():
+        for cell_name, word_fn in _WORD_OPS.items():
             cell = library.get(cell_name)
             inputs = cell.inputs
             for values in itertools.product((0, 1), repeat=len(inputs)):
                 scalar = cell.evaluate(dict(zip(inputs, values)))
-                words = word_fn({pin: value for pin, value in zip(inputs, values)}, 1)
-                for out_pin, expected in scalar.items():
-                    assert (words[out_pin] & 1) == expected, (
+                words = word_fn(1, *values)
+                for pos, out_pin in enumerate(cell.outputs):
+                    assert (words[pos] & 1) == scalar[out_pin], (
                         f"{cell_name} mismatch on {values} pin {out_pin}")

@@ -158,6 +158,71 @@ def test_collapse_classes_share_detection_sets(netlist):
         assert len(signatures) == 1, members
 
 
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_circuits())
+def test_bit_parallel_matches_three_valued_on_specified_patterns(netlist):
+    """On fully-specified patterns the two-valued bit-parallel simulation
+    must agree with the three-valued CombinationalSimulator on every net."""
+    patterns = list(all_input_patterns(_input_names()))
+    words = ParallelPatternSimulator(netlist).good_simulation(
+        _pack_patterns(patterns), len(patterns))
+    sim = CombinationalSimulator(netlist)
+    for index, pattern in enumerate(patterns):
+        values = sim.evaluate(pattern, state=pattern)
+        for net, value in values.items():
+            assert value in (LOGIC_0, LOGIC_1), net  # fully specified
+            assert (words[net] >> index) & 1 == value, (net, index)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_circuits())
+def test_compiled_simulator_matches_legacy_including_x(netlist):
+    """The compiled two-bit-plane evaluator must agree with the legacy
+    object-graph simulator on every net, X inputs included."""
+    from repro.simulation.legacy import LegacyCombinationalSimulator
+
+    compiled_sim = CombinationalSimulator(netlist)
+    legacy_sim = LegacyCombinationalSimulator(netlist)
+    names = _input_names()
+    # Definite corners plus patterns with X on a rotating subset of inputs.
+    patterns = list(all_input_patterns(names))
+    for start in range(len(names)):
+        pattern = {name: 2 if (k + start) % 2 else (k % 2)
+                   for k, name in enumerate(names)}
+        patterns.append(pattern)
+    patterns.append({name: 2 for name in names})
+    for pattern in patterns:
+        assert compiled_sim.evaluate(pattern) == legacy_sim.evaluate(pattern)
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(random_circuits())
+def test_compiled_and_legacy_fault_simulation_verdicts_agree(netlist):
+    """The compiled (batched, cone-limited) fault simulator must reproduce
+    the legacy serial simulator's verdicts exactly — detected set, first
+    detecting pattern, and per-pattern detects()."""
+    from repro.simulation.legacy import LegacyFaultSimulator
+
+    faults = generate_fault_list(netlist, include_ports=False).faults()
+    patterns = list(all_input_patterns(_input_names()))
+    compiled_result = FaultSimulator(netlist).run(faults, patterns)
+    legacy_result = LegacyFaultSimulator(netlist).run(faults, patterns,
+                                                      drop_detected=True)
+    assert compiled_result.detected == legacy_result.detected
+    assert compiled_result.undetected == legacy_result.undetected
+    assert compiled_result.detecting_pattern == legacy_result.detecting_pattern
+
+    compiled_sim = FaultSimulator(netlist)
+    legacy_sim = LegacyFaultSimulator(netlist)
+    for fault in faults[:8]:
+        for pattern in patterns[:4]:
+            assert (compiled_sim.detects(fault, pattern)
+                    == legacy_sim.detects(fault, pattern)), str(fault)
+
+
 @settings(max_examples=30, deadline=None,
           suppress_health_check=[HealthCheck.too_slow])
 @given(random_circuits())
