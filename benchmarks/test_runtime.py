@@ -9,12 +9,16 @@ same quantities for the pure-Python engine on the synthetic core:
 * the tied-value classification of the manipulated (debug-tied) circuit,
 * the complete four-source identification flow,
 * the scan-chain tracing step alone,
-* and — since PR 3 — the compiled integer-ID fault simulator against the
-  legacy object-graph reference, with verdict equality enforced.
+* the compiled integer-ID fault simulator against the legacy object-graph
+  reference, with verdict equality enforced,
+* and — since PR 4 — the sharded full-fault-grading engine at ``jobs=4``
+  against the serial grader, with detected-set equality enforced.
 
-Every stage's wall clock is recorded into ``BENCH_pr3.json`` (path
-overridable via ``REPRO_BENCH_OUT``); the CI benchmark smoke job runs this
-module on a small SoC config and uploads the file as an artifact.
+Every stage's wall clock is recorded into ``BENCH_latest.json`` (path
+overridable via ``REPRO_BENCH_OUT``) — a PR-agnostic name so CI can diff
+it against the committed baseline
+(``benchmarks/BENCH_baseline_small.json``) with
+``benchmarks/check_bench_regression.py`` and fail on a stage regression.
 
 The Table I regression pin: on the date13 configuration the flow's rendered
 summary table must be byte-identical to the golden capture taken from the
@@ -37,6 +41,9 @@ from repro.core.scan_analysis import identify_scan_untestable
 from repro.faults.faultlist import generate_fault_list
 from repro.manipulation.tie import tie_port
 from repro.netlist.cells import LOGIC_0, LOGIC_1
+from repro.sbst.grading import FaultGrader
+from repro.sbst.monitor import ToggleMonitor
+from repro.sbst.program_gen import generate_sbst_suite
 from repro.simulation.fault_sim import FaultSimulator
 from repro.simulation.legacy import LegacyFaultSimulator
 
@@ -45,7 +52,7 @@ _GOLDEN_TABLE1 = Path(__file__).with_name("golden_table1_date13.txt")
 #: Config preset under test — must match the conftest fixture's selection.
 RUNTIME_BENCH_CONFIG = os.environ.get("REPRO_BENCH_CONFIG", "date13")
 
-#: Wall-clock per stage, flushed to BENCH_pr3.json when the module finishes.
+#: Wall-clock per stage, flushed to BENCH_latest.json when the module finishes.
 _BENCH: dict = {"config": RUNTIME_BENCH_CONFIG, "stages": {}}
 
 
@@ -58,7 +65,7 @@ def _record(stage: str, seconds: float, **extra) -> None:
 @pytest.fixture(scope="module", autouse=True)
 def _write_bench_json():
     yield
-    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_pr3.json"))
+    out = Path(os.environ.get("REPRO_BENCH_OUT", "BENCH_latest.json"))
     out.write_text(json.dumps(_BENCH, indent=2, sort_keys=True) + "\n",
                    encoding="utf-8")
 
@@ -168,3 +175,41 @@ def test_runtime_scan_tracing(runtime_soc, benchmark):
     _record("scan_tracing", benchmark.stats.stats.mean
             if benchmark.stats is not None else 0.0)
     assert result.counts()["cells"] == runtime_soc.scan.total_cells
+
+
+def test_runtime_full_fault_grading_sharded(runtime_soc):
+    """Full-population mission-mode fault grading: the sharded engine at
+    ``jobs=4`` must beat the serial reference grader with an identical
+    detected set.  On the date13 core the PR's acceptance pin is a >= 2x
+    speedup; the event-driven cone walk supplies it even on one CPU, and
+    the process backend stacks real parallelism on top where cores exist.
+    """
+    programs = generate_sbst_suite(runtime_soc.config.cpu)
+    patterns = ToggleMonitor(runtime_soc.cpu).run_suite(programs)
+    faults = generate_fault_list(runtime_soc.cpu).faults()
+
+    serial = FaultGrader(runtime_soc.cpu)
+    start = time.perf_counter()
+    serial_detected = serial.grade(patterns, faults)
+    serial_seconds = time.perf_counter() - start
+
+    sharded = FaultGrader(runtime_soc.cpu, jobs=4, backend="process")
+    start = time.perf_counter()
+    sharded_detected = sharded.grade(patterns, faults)
+    sharded_seconds = time.perf_counter() - start
+
+    assert sharded_detected == serial_detected
+
+    speedup = (serial_seconds / sharded_seconds
+               if sharded_seconds else float("inf"))
+    print()
+    print(f"Full fault grading of {len(faults):,} faults x {len(patterns)} "
+          f"patterns: serial {serial_seconds:.2f}s, "
+          f"sharded --jobs 4 {sharded_seconds:.2f}s ({speedup:.1f}x)")
+    _record("full_fault_grading", sharded_seconds,
+            serial_seconds=round(serial_seconds, 4), jobs=4,
+            faults=len(faults), patterns=len(patterns),
+            detected=len(sharded_detected))
+    _BENCH["full_fault_grading_speedup"] = round(speedup, 2)
+    if RUNTIME_BENCH_CONFIG == "date13":
+        assert speedup >= 2.0

@@ -1,8 +1,8 @@
 """Setup shim.
 
-The project is fully described by ``pyproject.toml``; this file exists so
-that editable installs keep working in offline environments where the
-``wheel`` package is unavailable (``pip install -e . --no-use-pep517``).
+The project is fully described by ``pyproject.toml`` (PEP 621); this file
+exists so that editable installs keep working in offline environments where
+the ``wheel`` package is unavailable (``pip install -e . --no-use-pep517``).
 """
 
 from setuptools import setup

@@ -24,6 +24,19 @@ Three subcommands mirror the Session/Design API:
     Re-render a persisted sweep (table, JSON or CSV)::
 
         python -m repro report sweep.json --csv
+
+``corpus``
+    Run the golden scenario corpus and byte-compare every rendered Table I
+    against its committed capture (``--update`` refreshes the captures
+    intentionally)::
+
+        python -m repro corpus
+        python -m repro corpus --jobs 2 --backend process
+        python -m repro corpus --update --only tiny_full
+
+``analyze``, ``sweep`` and ``corpus`` accept ``--jobs N`` (plus
+``--backend serial|thread|process``) to shard the fault-population
+engines across workers — results are identical to the serial run.
 """
 
 from __future__ import annotations
@@ -35,14 +48,29 @@ import time
 from typing import List, Optional
 
 from repro.api import EXECUTORS, ScenarioGrid, Session
+from repro.api.corpus import (DEFAULT_CORPUS_DIR, CorpusError, diff_text,
+                              run_corpus)
 from repro.api.sweep import SweepReport
 from repro.atpg.engine import AtpgEffort
 from repro.core.report import render_source_details
 from repro.faults.categories import source_label
 from repro.pipeline import DEFAULT_REGISTRY
+from repro.simulation.sharded import SHARD_BACKENDS
 from repro.soc.config import SoCConfig
 
-COMMANDS = ("analyze", "sweep", "report")
+COMMANDS = ("analyze", "sweep", "report", "corpus")
+
+
+def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-population sharding knobs shared by several subcommands."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=("shard the fault-population engines over N workers "
+              "(identical results; default: serial)"))
+    parser.add_argument(
+        "--backend", default=None, choices=list(SHARD_BACKENDS),
+        help=("worker backend for --jobs (default: process where fork is "
+              "available, else thread)"))
 
 
 # --------------------------------------------------------------------- #
@@ -85,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--list-passes", action="store_true",
         help="list the registered analysis passes and exit")
+    _add_sharding_arguments(analyze)
 
     sweep = sub.add_parser(
         "sweep", help="run a scenario grid through an executor backend")
@@ -118,6 +147,27 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true",
         help="suppress per-scenario progress lines on stderr")
+    _add_sharding_arguments(sweep)
+
+    corpus = sub.add_parser(
+        "corpus",
+        help="run the golden scenario corpus and diff every Table I")
+    corpus.add_argument(
+        "--dir", default=str(DEFAULT_CORPUS_DIR), metavar="DIR",
+        help=f"corpus directory (default: {DEFAULT_CORPUS_DIR})")
+    corpus.add_argument(
+        "--only", action="append", default=[], metavar="NAME",
+        help="restrict to the named corpus entries (repeatable)")
+    corpus.add_argument(
+        "--update", action="store_true",
+        help="rewrite the golden captures instead of diffing against them")
+    corpus.add_argument(
+        "--json", action="store_true",
+        help="emit the per-entry outcomes as JSON on stdout")
+    corpus.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-entry progress lines on stderr")
+    _add_sharding_arguments(corpus)
 
     report = sub.add_parser(
         "report", help="re-render a persisted sweep report")
@@ -191,7 +241,8 @@ def _cmd_analyze(args) -> int:
         return 2
 
     started = time.perf_counter()
-    session = Session(effort=args.effort, parallel_passes=args.parallel)
+    session = Session(effort=args.effort, parallel_passes=args.parallel,
+                      jobs=args.jobs, shard_backend=args.backend)
     try:
         report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
@@ -247,7 +298,8 @@ def _cmd_sweep(args) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    session = Session(executor=args.executor, max_workers=args.workers)
+    session = Session(executor=args.executor, max_workers=args.workers,
+                      jobs=args.jobs, shard_backend=args.backend)
     passes = _split_passes(args.passes)
 
     if not args.quiet:
@@ -281,6 +333,46 @@ def _cmd_sweep(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# corpus
+# --------------------------------------------------------------------- #
+def _cmd_corpus(args) -> int:
+    try:
+        outcomes = run_corpus(args.dir, jobs=args.jobs,
+                              shard_backend=args.backend,
+                              update=args.update, only=args.only or None)
+    except CorpusError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    failed = [outcome for outcome in outcomes if not outcome.ok]
+    if not args.quiet:
+        for outcome in outcomes:
+            print(f"  {outcome.name:<24} {outcome.status:<14} "
+                  f"({outcome.elapsed_seconds:.2f}s)", file=sys.stderr)
+        for outcome in failed:
+            if outcome.status == "diff":
+                print(f"--- Table I diff for {outcome.name} ---",
+                      file=sys.stderr)
+                print(diff_text(outcome), file=sys.stderr)
+            elif outcome.status == "missing-golden":
+                print(f"--- no golden capture for {outcome.name}; run "
+                      f"'python -m repro corpus --update --only "
+                      f"{outcome.name}' to create it ---", file=sys.stderr)
+
+    if args.json:
+        print(json.dumps([{
+            "name": outcome.name,
+            "status": outcome.status,
+            "elapsed_seconds": round(outcome.elapsed_seconds, 4),
+        } for outcome in outcomes], indent=2))
+    else:
+        verb = "updated" if args.update else "checked"
+        print(f"corpus: {len(outcomes)} entries {verb}, "
+              f"{len(failed)} failures")
+    return 1 if failed else 0
+
+
+# --------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------- #
 def _cmd_report(args) -> int:
@@ -305,7 +397,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(_normalize_argv(argv))
     handler = {"analyze": _cmd_analyze,
                "sweep": _cmd_sweep,
-               "report": _cmd_report}[args.command]
+               "report": _cmd_report,
+               "corpus": _cmd_corpus}[args.command]
     return handler(args)
 
 

@@ -27,6 +27,8 @@ The pieces compose:
   outcomes and the aggregated, serializable multi-scenario report.
 """
 
+from repro.api.corpus import (DEFAULT_CORPUS_DIR, CorpusEntry, CorpusError,
+                              CorpusOutcome, load_corpus, run_corpus)
 from repro.api.design import Design
 from repro.api.executors import (EXECUTORS, Executor, ProcessExecutor,
                                  SerialExecutor, ThreadExecutor,
@@ -49,4 +51,10 @@ __all__ = [
     "EXECUTORS",
     "resolve_executor",
     "DEFAULT_CACHE_ENTRIES",
+    "CorpusEntry",
+    "CorpusError",
+    "CorpusOutcome",
+    "DEFAULT_CORPUS_DIR",
+    "load_corpus",
+    "run_corpus",
 ]

@@ -1,0 +1,196 @@
+"""The golden scenario corpus: named SoC scenarios with pinned Table I.
+
+A corpus directory holds one JSON spec per scenario plus a ``golden/``
+subdirectory of committed Table I captures::
+
+    benchmarks/corpus/
+        tiny_full.json            {"base": "tiny", "axes": {...}, ...}
+        ...
+        golden/
+            tiny_full.table.txt   the expected rendered Table I, byte-exact
+
+Each spec names a base configuration preset, an ordered mapping of scenario
+axes (the :meth:`repro.soc.config.SoCConfig.with_axis` vocabulary — size,
+scan, debug, ``cpu.<field>``, ...) and an ATPG effort.  :func:`run_corpus`
+builds every scenario, runs the full identification flow and byte-compares
+the rendered Table I against the golden capture; with ``update=True`` it
+rewrites the captures instead (the intentional-refresh workflow).
+
+Because sharded execution is verdict-identical by design, the corpus is the
+end-to-end regression net for :mod:`repro.simulation.sharded`: CI runs it
+serially *and* with ``--jobs 2`` on the process backend and fails on any
+diff.  ``python -m repro corpus`` is the command-line entry point.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.soc.config import SoCConfig
+
+#: Default corpus location, relative to the repository root.
+DEFAULT_CORPUS_DIR = Path("benchmarks") / "corpus"
+
+#: Suffix of a golden capture file inside ``<corpus>/golden/``.
+GOLDEN_SUFFIX = ".table.txt"
+
+
+class CorpusError(ValueError):
+    """A corpus spec is malformed or names unknown configuration."""
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One scenario of the golden corpus."""
+
+    name: str
+    base: str
+    axes: Tuple[Tuple[str, object], ...]
+    effort: str
+    description: str
+    path: Path
+
+    @property
+    def golden_path(self) -> Path:
+        return self.path.parent / "golden" / f"{self.name}{GOLDEN_SUFFIX}"
+
+    def build_config(self) -> SoCConfig:
+        """Expand base preset + axes into the scenario's SoCConfig."""
+        config = SoCConfig.from_name(self.base)
+        for axis, value in self.axes:
+            config = config.with_axis(axis, value)
+        return config
+
+    def label(self) -> str:
+        parts = [f"base={self.base}"]
+        parts.extend(f"{axis}={value}" for axis, value in self.axes)
+        parts.append(f"effort={self.effort}")
+        return ",".join(parts)
+
+
+@dataclass
+class CorpusOutcome:
+    """Result of checking (or refreshing) one corpus entry."""
+
+    name: str
+    status: str           # "match" | "diff" | "missing-golden" | "updated"
+    elapsed_seconds: float = 0.0
+    rendered: str = ""
+    golden: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status in ("match", "updated")
+
+
+def _parse_entry(path: Path) -> CorpusEntry:
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise CorpusError(f"cannot read corpus spec {path}: {exc}") from exc
+    if not isinstance(data, dict):
+        raise CorpusError(f"corpus spec {path} must be a JSON object")
+    base = data.get("base")
+    if not isinstance(base, str) or base not in SoCConfig.named_configs():
+        known = ", ".join(sorted(SoCConfig.named_configs()))
+        raise CorpusError(
+            f"corpus spec {path}: 'base' must be one of: {known}")
+    axes = data.get("axes", {})
+    if not isinstance(axes, dict):
+        raise CorpusError(f"corpus spec {path}: 'axes' must be an object")
+    effort = data.get("effort", "tie")
+    return CorpusEntry(
+        name=path.stem,
+        base=base,
+        axes=tuple(axes.items()),
+        effort=str(effort),
+        description=str(data.get("description", "")),
+        path=path,
+    )
+
+
+def load_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR
+                ) -> List[CorpusEntry]:
+    """Load every ``*.json`` spec of a corpus directory, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        raise CorpusError(f"corpus directory {directory} does not exist")
+    entries = [_parse_entry(path)
+               for path in sorted(directory.glob("*.json"))]
+    if not entries:
+        raise CorpusError(f"corpus directory {directory} has no *.json specs")
+    return entries
+
+
+def render_entry(entry: CorpusEntry, session=None) -> str:
+    """Run the identification flow for one entry; rendered Table I + '\\n'."""
+    from repro.api.session import Session
+
+    session = session if session is not None else Session()
+    report = session.analyze(entry.build_config(), effort=entry.effort)
+    return report.to_table() + "\n"
+
+
+def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
+               session=None,
+               jobs: Optional[int] = None,
+               shard_backend: Optional[str] = None,
+               update: bool = False,
+               only: Optional[Sequence[str]] = None) -> List[CorpusOutcome]:
+    """Run (or refresh) the corpus; one outcome per entry, sorted by name.
+
+    ``jobs``/``shard_backend`` configure fault-population sharding for the
+    underlying analyses — the whole point of the corpus is that they must
+    not move a single byte of any capture.
+    """
+    from repro.api.session import Session
+
+    entries = load_corpus(directory)
+    if only:
+        wanted = set(only)
+        unknown = wanted - {entry.name for entry in entries}
+        if unknown:
+            raise CorpusError(
+                f"unknown corpus entries: {', '.join(sorted(unknown))}")
+        entries = [entry for entry in entries if entry.name in wanted]
+
+    if session is None:
+        session = Session(jobs=jobs, shard_backend=shard_backend)
+
+    outcomes: List[CorpusOutcome] = []
+    for entry in entries:
+        started = time.perf_counter()
+        rendered = render_entry(entry, session)
+        elapsed = time.perf_counter() - started
+        golden_path = entry.golden_path
+        if update:
+            golden_path.parent.mkdir(parents=True, exist_ok=True)
+            golden_path.write_text(rendered, encoding="utf-8")
+            outcomes.append(CorpusOutcome(entry.name, "updated", elapsed,
+                                          rendered, rendered))
+            continue
+        if not golden_path.is_file():
+            outcomes.append(CorpusOutcome(entry.name, "missing-golden",
+                                          elapsed, rendered, None))
+            continue
+        golden = golden_path.read_text(encoding="utf-8")
+        status = "match" if rendered == golden else "diff"
+        outcomes.append(CorpusOutcome(entry.name, status, elapsed,
+                                      rendered, golden))
+    return outcomes
+
+
+def diff_text(outcome: CorpusOutcome) -> str:
+    """A unified diff of golden vs rendered for a failing outcome."""
+    import difflib
+
+    golden = (outcome.golden or "").splitlines(keepends=True)
+    rendered = outcome.rendered.splitlines(keepends=True)
+    return "".join(difflib.unified_diff(
+        golden, rendered,
+        fromfile=f"golden/{outcome.name}{GOLDEN_SUFFIX}",
+        tofile=f"rendered/{outcome.name}", lineterm="\n"))

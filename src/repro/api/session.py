@@ -84,7 +84,9 @@ class Session:
                  passes: Optional[Sequence] = None,
                  effort: Union[AtpgEffort, str, None] = None,
                  flow_config: Optional[FlowConfig] = None,
-                 parallel_passes: Union[bool, int] = False) -> None:
+                 parallel_passes: Union[bool, int] = False,
+                 jobs: Optional[int] = None,
+                 shard_backend: Optional[str] = None) -> None:
         self.executor = resolve_executor(executor, max_workers)
         self.max_workers = max_workers
         self.cache = (cache if cache is not None
@@ -93,6 +95,12 @@ class Session:
         self.effort = resolve_effort(effort)
         self.flow_config = flow_config
         self.parallel_passes = parallel_passes
+        #: Fault-population sharding defaults (repro.simulation.sharded):
+        #: worker count and backend the classification engines use.  The
+        #: results are knob-independent, so sharded and serial analyses
+        #: share cache entries.
+        self.jobs = jobs
+        self.shard_backend = shard_backend
 
     # ------------------------------------------------------------------ #
     # single-design analysis
@@ -108,16 +116,19 @@ class Session:
                 parallel: Union[bool, int, None] = None,
                 config: Optional[FlowConfig] = None,
                 memory_map=None,
-                faults: Optional[Iterable] = None) -> OnlineUntestableReport:
+                faults: Optional[Iterable] = None,
+                jobs: Optional[int] = None) -> OnlineUntestableReport:
         """Analyze one design, applying session defaults where not overridden.
 
         ``target`` is anything :meth:`design` accepts.  Results are memoised
         per pass in the session cache, so re-analyzing the same design (or a
         structural clone, or a variant that only changes facets a pass does
-        not read) replays instead of recomputing.
+        not read) replays instead of recomputing.  ``jobs`` > 1 shards the
+        fault population across workers (identical results, see
+        :mod:`repro.simulation.sharded`).
         """
         design = self.design(target, memory_map=memory_map)
-        flow_config = self._effective_flow_config(config, effort)
+        flow_config = self._effective_flow_config(config, effort, jobs)
         pipeline = self._pipeline(passes, flow_config, parallel)
         result = pipeline.run(design.netlist, config=flow_config,
                               memory_map=design.memory_map, faults=faults)
@@ -227,13 +238,25 @@ class Session:
                 for i, s in enumerate(scenarios)]
 
     def _effective_flow_config(self, config: Optional[FlowConfig],
-                               effort) -> FlowConfig:
+                               effort,
+                               jobs: Optional[int] = None) -> FlowConfig:
         flow_config = config if config is not None else self.flow_config
         flow_config = flow_config if flow_config is not None else FlowConfig()
         resolved = resolve_effort(effort, self.effort if config is None
                                   else None)
         if resolved is not None:
             flow_config = _replace(flow_config, effort=resolved)
+        if jobs is not None:
+            # Explicit per-call jobs wins over both the session default
+            # and whatever the flow config carries (so jobs=1 can force a
+            # serial run of a sharded config).
+            flow_config = _replace(flow_config, jobs=jobs)
+        elif self.jobs is not None and flow_config.jobs == 1:
+            flow_config = _replace(flow_config, jobs=self.jobs)
+        if (self.shard_backend is not None
+                and flow_config.shard_backend is None):
+            flow_config = _replace(flow_config,
+                                   shard_backend=self.shard_backend)
         return flow_config
 
     def _pipeline(self, passes: Optional[Sequence],
@@ -287,9 +310,17 @@ class Session:
                     "use the serial/thread executor")
         else:
             names = None
+        # Ship the *effective* flow config so session-level defaults —
+        # including the fault-population sharding knobs — survive the
+        # process boundary (worker sessions are built bare).
+        flow_config = (self._effective_flow_config(config, None)
+                       if (self.jobs is not None
+                           or self.shard_backend is not None
+                           or config is not None
+                           or self.flow_config is not None)
+                       else None)
         return _ProcessJob(scenario=scenario, passes=names,
-                           flow_config=config if config is not None
-                           else self.flow_config,
+                           flow_config=flow_config,
                            effort=effort_default,
                            parallel_passes=self.parallel_passes)
 

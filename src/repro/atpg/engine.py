@@ -87,25 +87,91 @@ class UntestabilityReport:
         return result
 
 
+def run_detection_phases(netlist: Netlist, faults: List[StuckAtFault],
+                         effort: AtpgEffort, *,
+                         random_patterns: int = 256,
+                         backtrack_limit: int = 200,
+                         seed: int = 2013):
+    """Phases 2-3 of the engine: random-pattern detection, then PODEM.
+
+    Operates on faults the tied-value analysis left unclassified.  Every
+    verdict is per-fault (the random phase replays one seeded pattern
+    burst, PODEM searches per fault), so the result is independent of how
+    the fault list is batched — which is what lets the sharded classifier
+    (:func:`repro.simulation.sharded.sharded_classify`) run the tie
+    fixpoint once and farm only these phases out to workers.  Returns
+    ``(classifications, phase_runtimes)``.
+    """
+    classifications: Dict[StuckAtFault, FaultClass] = {}
+    phase_runtimes: Dict[str, float] = {}
+    remaining = list(faults)
+
+    if effort in (AtpgEffort.RANDOM, AtpgEffort.FULL) and remaining:
+        phase_start = time.perf_counter()
+        detected = random_pattern_detection(
+            netlist, remaining, n_patterns=random_patterns, seed=seed)
+        for fault in detected:
+            classifications[fault] = FaultClass.DT
+        remaining = [f for f in remaining if f not in detected]
+        phase_runtimes["random"] = time.perf_counter() - phase_start
+
+    if effort is AtpgEffort.FULL and remaining:
+        phase_start = time.perf_counter()
+        podem = Podem(netlist, backtrack_limit=backtrack_limit)
+        for fault in remaining:
+            result = podem.generate(fault)
+            if result.status is PodemStatus.DETECTED:
+                classifications[fault] = FaultClass.DT
+            elif result.status is PodemStatus.UNTESTABLE:
+                classifications[fault] = FaultClass.UU
+            else:
+                classifications[fault] = FaultClass.AU
+        phase_runtimes["podem"] = time.perf_counter() - phase_start
+
+    return classifications, phase_runtimes
+
+
 class StructuralUntestabilityEngine:
-    """Classifies stuck-at faults of a netlist (TetraMax-style)."""
+    """Classifies stuck-at faults of a netlist (TetraMax-style).
+
+    ``jobs`` > 1 shards the fault population across worker processes or
+    threads (:func:`repro.simulation.sharded.sharded_classify`): each shard
+    runs the same phase stack on its cone-aware slice and the merged report
+    carries exactly the serial classifications.  ``backend``/``shards``
+    tune the sharded run; with the default ``jobs=1`` the engine is the
+    serial reference.
+    """
 
     def __init__(self, netlist: Netlist,
                  effort: AtpgEffort = AtpgEffort.TIE,
                  random_patterns: int = 256,
                  backtrack_limit: int = 200,
-                 seed: int = 2013) -> None:
+                 seed: int = 2013,
+                 jobs: int = 1,
+                 backend: Optional[str] = None,
+                 shards: Optional[int] = None) -> None:
         self.netlist = netlist
         self.effort = effort
         self.random_patterns = random_patterns
         self.backtrack_limit = backtrack_limit
         self.seed = seed
+        self.jobs = max(1, jobs if jobs is not None else 1)
+        self.backend = backend
+        self.shards = shards
         self.implication = ImplicationEngine(netlist)
 
     def classify(self, faults: Iterable[StuckAtFault]) -> UntestabilityReport:
         """Classify the given faults; unclassified faults are omitted from the
         report at TIE effort and reported NC/AU/DT at higher efforts."""
         fault_list = list(faults)
+        if self.jobs > 1 and len(fault_list) > 1:
+            from repro.simulation.sharded import sharded_classify
+
+            return sharded_classify(
+                self.netlist, fault_list, effort=self.effort,
+                jobs=self.jobs, backend=self.backend, shards=self.shards,
+                random_patterns=self.random_patterns,
+                backtrack_limit=self.backtrack_limit, seed=self.seed)
         report = UntestabilityReport(effort=self.effort)
         start = time.perf_counter()
 
@@ -117,29 +183,12 @@ class StructuralUntestabilityEngine:
         report.phase_runtimes["tie"] = time.perf_counter() - phase_start
 
         remaining = [f for f in fault_list if f not in report.classifications]
-
-        if self.effort in (AtpgEffort.RANDOM, AtpgEffort.FULL) and remaining:
-            phase_start = time.perf_counter()
-            detected = random_pattern_detection(
-                self.netlist, remaining,
-                n_patterns=self.random_patterns, seed=self.seed)
-            for fault in detected:
-                report.classifications[fault] = FaultClass.DT
-            remaining = [f for f in remaining if f not in detected]
-            report.phase_runtimes["random"] = time.perf_counter() - phase_start
-
-        if self.effort is AtpgEffort.FULL and remaining:
-            phase_start = time.perf_counter()
-            podem = Podem(self.netlist, backtrack_limit=self.backtrack_limit)
-            for fault in remaining:
-                result = podem.generate(fault)
-                if result.status is PodemStatus.DETECTED:
-                    report.classifications[fault] = FaultClass.DT
-                elif result.status is PodemStatus.UNTESTABLE:
-                    report.classifications[fault] = FaultClass.UU
-                else:
-                    report.classifications[fault] = FaultClass.AU
-            report.phase_runtimes["podem"] = time.perf_counter() - phase_start
+        classifications, phase_runtimes = run_detection_phases(
+            self.netlist, remaining, self.effort,
+            random_patterns=self.random_patterns,
+            backtrack_limit=self.backtrack_limit, seed=self.seed)
+        report.classifications.update(classifications)
+        report.phase_runtimes.update(phase_runtimes)
 
         report.runtime_seconds = time.perf_counter() - start
         return report

@@ -52,11 +52,14 @@ class DebugControlResult:
 
 def compute_baseline_untestable(netlist: Netlist,
                                 faults: Optional[Iterable[StuckAtFault]] = None,
-                                effort: AtpgEffort = AtpgEffort.TIE
+                                effort: AtpgEffort = AtpgEffort.TIE,
+                                jobs: int = 1,
+                                backend: Optional[str] = None
                                 ) -> Set[StuckAtFault]:
     """Faults untestable in the unmanipulated netlist (structural baseline)."""
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
-    engine = StructuralUntestabilityEngine(netlist, effort=effort)
+    engine = StructuralUntestabilityEngine(netlist, effort=effort, jobs=jobs,
+                                           backend=backend)
     report = engine.classify(fault_universe)
     return set(report.untestable)
 
@@ -65,7 +68,9 @@ def identify_debug_control_untestable(netlist: Netlist,
                                       interface: Optional[DebugInterface] = None,
                                       faults: Optional[Iterable[StuckAtFault]] = None,
                                       baseline_untestable: Optional[Set[StuckAtFault]] = None,
-                                      effort: AtpgEffort = AtpgEffort.TIE
+                                      effort: AtpgEffort = AtpgEffort.TIE,
+                                      jobs: int = 1,
+                                      backend: Optional[str] = None
                                       ) -> DebugControlResult:
     """Identify the on-line untestable faults caused by mission-constant
     debug control inputs."""
@@ -75,7 +80,8 @@ def identify_debug_control_untestable(netlist: Netlist,
 
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
     if baseline_untestable is None:
-        baseline_untestable = compute_baseline_untestable(netlist, fault_universe, effort)
+        baseline_untestable = compute_baseline_untestable(
+            netlist, fault_universe, effort, jobs=jobs, backend=backend)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_tied")
     tied: Dict[str, int] = {}
@@ -84,7 +90,8 @@ def identify_debug_control_untestable(netlist: Netlist,
             tie_port(manipulated, port, value, reason="debug control (mission constant)")
             tied[port] = value
 
-    engine = StructuralUntestabilityEngine(manipulated, effort=effort)
+    engine = StructuralUntestabilityEngine(manipulated, effort=effort,
+                                           jobs=jobs, backend=backend)
     report = engine.classify(fault_universe)
 
     return DebugControlResult(

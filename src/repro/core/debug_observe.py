@@ -48,7 +48,9 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                       interface: Optional[DebugInterface] = None,
                                       faults: Optional[Iterable[StuckAtFault]] = None,
                                       baseline_untestable: Optional[Set[StuckAtFault]] = None,
-                                      effort: AtpgEffort = AtpgEffort.TIE
+                                      effort: AtpgEffort = AtpgEffort.TIE,
+                                      jobs: int = 1,
+                                      backend: Optional[str] = None
                                       ) -> DebugObserveResult:
     """Identify the on-line untestable faults caused by floating debug outputs."""
     interface = interface or discover_debug_interface(netlist)
@@ -58,7 +60,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
     if baseline_untestable is None:
         from repro.core.debug_control import compute_baseline_untestable
-        baseline_untestable = compute_baseline_untestable(netlist, fault_universe, effort)
+        baseline_untestable = compute_baseline_untestable(
+            netlist, fault_universe, effort, jobs=jobs, backend=backend)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_floated")
     floated: List[str] = []
@@ -68,7 +71,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                    reason="debug observation (debugger disconnected)")
             floated.append(port)
 
-    engine = StructuralUntestabilityEngine(manipulated, effort=effort)
+    engine = StructuralUntestabilityEngine(manipulated, effort=effort,
+                                           jobs=jobs, backend=backend)
     report = engine.classify(fault_universe)
 
     return DebugObserveResult(

@@ -62,7 +62,9 @@ def identify_memory_map_untestable(netlist: Netlist,
                                    baseline_untestable: Optional[Set[StuckAtFault]] = None,
                                    effort: AtpgEffort = AtpgEffort.TIE,
                                    tie_flop_outputs: bool = True,
-                                   tie_flop_inputs: bool = True
+                                   tie_flop_inputs: bool = True,
+                                   jobs: int = 1,
+                                   backend: Optional[str] = None
                                    ) -> MemoryMapResult:
     """Identify on-line untestable faults caused by frozen address bits.
 
@@ -80,7 +82,8 @@ def identify_memory_map_untestable(netlist: Netlist,
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
     if baseline_untestable is None:
         from repro.core.debug_control import compute_baseline_untestable
-        baseline_untestable = compute_baseline_untestable(netlist, fault_universe, effort)
+        baseline_untestable = compute_baseline_untestable(
+            netlist, fault_universe, effort, jobs=jobs, backend=backend)
 
     constants = constant_address_bits(memory_map)
     result = MemoryMapResult(constant_bits=dict(constants),
@@ -118,7 +121,8 @@ def identify_memory_map_untestable(netlist: Netlist,
                                 reason=f"address bit {address_bit} frozen by memory map")
                         result.tied_nets[data_pin.net.name] = value
 
-    engine = StructuralUntestabilityEngine(manipulated, effort=effort)
+    engine = StructuralUntestabilityEngine(manipulated, effort=effort,
+                                           jobs=jobs, backend=backend)
     report = engine.classify(fault_universe)
 
     result.untestable = set(report.untestable)

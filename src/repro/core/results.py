@@ -36,6 +36,12 @@ class FlowConfig:
     run_memory_map: bool = True
     tie_flop_outputs: bool = True   # §3.3 / Fig. 6 ablation knob
     tie_flop_inputs: bool = True
+    # Fault-population sharding (repro.simulation.sharded): worker count
+    # and backend for the classification engines.  jobs=1 is the serial
+    # reference; higher values shard the fault list without changing any
+    # verdict, so jobs is deliberately *not* a cache facet.
+    jobs: int = 1
+    shard_backend: Optional[str] = None
 
 
 @dataclass

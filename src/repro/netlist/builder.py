@@ -89,10 +89,12 @@ class NetlistBuilder:
         self.cell(cell_name, connections, name=name)
         return out
 
-    def buf(self, a: str, output: Optional[str] = None, name: Optional[str] = None) -> str:
+    def buf(self, a: str, output: Optional[str] = None,
+            name: Optional[str] = None) -> str:
         return self.gate("BUF", a, output=output, name=name)
 
-    def inv(self, a: str, output: Optional[str] = None, name: Optional[str] = None) -> str:
+    def inv(self, a: str, output: Optional[str] = None,
+            name: Optional[str] = None) -> str:
         return self.gate("INV", a, output=output, name=name)
 
     def and_(self, *nets: str, output: Optional[str] = None) -> str:
@@ -177,7 +179,9 @@ class NetlistBuilder:
         """A word of plain DFFs; returns the Q bus."""
         return [
             self.dff(d, clk, q=self.new_net(f"{prefix}_q{i}"), reset_n=reset_n,
-                     name=f"{prefix}_ff{i}" if f"{prefix}_ff{i}" not in self.netlist.instances else None)
+                     name=(f"{prefix}_ff{i}"
+                           if f"{prefix}_ff{i}" not in self.netlist.instances
+                           else None))
             for i, d in enumerate(d_bus)
         ]
 

@@ -153,9 +153,26 @@ class Cell:
                 )
         return self.eval_fn(inputs)
 
+    def __reduce__(self):
+        # Cells close over their evaluation functions, which cannot be
+        # pickled.  Standard-library cells — the only ones the generators
+        # emit — are singletons, so they pickle as a name lookup; this is
+        # what lets whole netlists ship to sharded-simulation worker
+        # processes.  Custom cells fall back to the default protocol (and
+        # fail loudly if their eval_fn is a closure).
+        lib = _STANDARD_LIBRARY
+        if lib is not None and self.name in lib and lib.get(self.name) is self:
+            return (_standard_cell, (self.name,))
+        return super().__reduce__()
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         kind = "seq" if self.sequential else "comb"
         return f"Cell({self.name}, {kind}, in={self.inputs}, out={self.outputs})"
+
+
+def _standard_cell(name: str) -> "Cell":
+    """Pickle hook: resolve a standard-library cell by name."""
+    return standard_library().get(name)
 
 
 class Library:
@@ -167,7 +184,9 @@ class Library:
 
     def add(self, cell: Cell) -> Cell:
         if cell.name in self._cells:
-            raise ValueError(f"cell {cell.name!r} already defined in library {self.name!r}")
+            raise ValueError(
+                f"cell {cell.name!r} already defined in "
+                f"library {self.name!r}")
         self._cells[cell.name] = cell
         return cell
 
@@ -175,7 +194,9 @@ class Library:
         try:
             return self._cells[name]
         except KeyError:
-            raise KeyError(f"cell {name!r} not found in library {self.name!r}") from None
+            raise KeyError(
+                f"cell {name!r} not found in library {self.name!r}"
+            ) from None
 
     def __contains__(self, name: str) -> bool:
         return name in self._cells
@@ -189,6 +210,11 @@ class Library:
     def cell_names(self) -> Tuple[str, ...]:
         return tuple(self._cells)
 
+    def __reduce__(self):
+        if self is _STANDARD_LIBRARY:
+            return (standard_library, ())
+        return super().__reduce__()
+
 
 def _comb(name: str, inputs: Tuple[str, ...], outputs: Tuple[str, ...],
           fn: Callable[..., Dict[str, int]], description: str = "") -> Cell:
@@ -199,7 +225,8 @@ def _comb(name: str, inputs: Tuple[str, ...], outputs: Tuple[str, ...],
                 description=description)
 
 
-def _single_output(fn: Callable[..., int], out: str = "Y") -> Callable[..., Dict[str, int]]:
+def _single_output(fn: Callable[..., int],
+                   out: str = "Y") -> Callable[..., Dict[str, int]]:
     def wrapper(*args: int) -> Dict[str, int]:
         return {out: fn(*args)}
 

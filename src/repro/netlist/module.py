@@ -78,8 +78,10 @@ class Net:
         return self.driver is not None or self.is_input_port or self.tied is not None
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
-        driver = self.driver.name if self.driver else ("PI" if self.is_input_port else "-")
-        return f"Net({self.name}, driver={driver}, loads={len(self.loads)}, tied={self.tied})"
+        driver = (self.driver.name if self.driver
+                  else ("PI" if self.is_input_port else "-"))
+        return (f"Net({self.name}, driver={driver}, "
+                f"loads={len(self.loads)}, tied={self.tied})")
 
 
 class Instance:
@@ -176,7 +178,8 @@ class Netlist:
                      connections: Dict[str, str]) -> Instance:
         """Instantiate ``cell_name`` as ``name`` connecting pins to net names."""
         if name in self.instances:
-            raise ValueError(f"instance {name!r} already exists in module {self.name!r}")
+            raise ValueError(
+                f"instance {name!r} already exists in module {self.name!r}")
         cell = self.library.get(cell_name)
         inst = Instance(name, cell)
         self.instances[name] = inst
@@ -247,7 +250,9 @@ class Netlist:
         try:
             return self.instances[name]
         except KeyError:
-            raise KeyError(f"instance {name!r} not found in module {self.name!r}") from None
+            raise KeyError(
+                f"instance {name!r} not found in module {self.name!r}"
+            ) from None
 
     def pin_by_name(self, name: str) -> Pin:
         """Resolve ``"instance/port"`` back to a :class:`Pin`."""
@@ -289,10 +294,57 @@ class Netlist:
         other.annotations = dict(self.annotations)
         return other
 
+    # ------------------------------------------------------------------ #
+    # pickling
+    # ------------------------------------------------------------------ #
+    def __reduce__(self):
+        """Pickle as a flat structural description, rebuilt on load.
+
+        The object graph is deeply cyclic (net → pin → instance → net …),
+        so default pickling would recurse past the interpreter limit on
+        real-size cores; the flat form also drops the per-object compiled
+        cache (which holds a lock).  The rebuild replays the same
+        construction path as :meth:`clone`, with the original net creation
+        order preserved so compiled net IDs survive the round trip.
+        """
+        state = {
+            "name": self.name,
+            "library": self.library,
+            "nets": list(self.nets),
+            "ports": dict(self.ports),
+            "instances": [
+                (inst.name, inst.cell.name,
+                 {port: pin.net.name for port, pin in inst.pins.items()
+                  if pin.net is not None})
+                for inst in self.instances.values()
+            ],
+            "tied": {name: net.tied for name, net in self.nets.items()
+                     if net.tied is not None},
+            "unobservable_ports": set(self.unobservable_ports),
+            "annotations": dict(self.annotations),
+        }
+        return (_rebuild_netlist, (state,))
+
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         s = self.stats()
         return (f"Netlist({self.name}, instances={s['instances']}, "
                 f"nets={s['nets']}, ports={s['ports']})")
+
+
+def _rebuild_netlist(state: Dict[str, object]) -> "Netlist":
+    """Pickle hook: reconstruct a :class:`Netlist` from its flat state."""
+    netlist = Netlist(state["name"], state["library"])
+    for net_name in state["nets"]:
+        netlist.get_or_create_net(net_name)
+    for port, direction in state["ports"].items():
+        netlist.add_port(port, direction)
+    for inst_name, cell_name, connections in state["instances"]:
+        netlist.add_instance(inst_name, cell_name, connections)
+    for net_name, tied in state["tied"].items():
+        netlist.nets[net_name].tied = tied
+    netlist.unobservable_ports = set(state["unobservable_ports"])
+    netlist.annotations = dict(state["annotations"])
+    return netlist
 
 
 def merge_netlists(name: str, parts: Iterable[Tuple[str, Netlist]],

@@ -10,7 +10,7 @@ paper's case study.
 
 from __future__ import annotations
 
-from typing import List, Set
+from typing import List
 
 from repro.netlist.module import Netlist
 

@@ -10,7 +10,7 @@ outputs.  The helpers here compute that view.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
+from typing import Dict, Iterable, List, Set, Union
 
 from repro.netlist.module import Instance, Net, Netlist, Pin
 

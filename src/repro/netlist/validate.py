@@ -57,7 +57,8 @@ def check_netlist(netlist: Netlist, allow_floating_inputs: bool = False,
     if not allow_dangling_outputs:
         for inst in netlist.instances.values():
             for pin in inst.output_pins():
-                if pin.net is None or (not pin.net.loads and not pin.net.is_output_port):
+                if pin.net is None or (not pin.net.loads
+                                       and not pin.net.is_output_port):
                     problems.append(f"output pin {pin.name} drives nothing")
 
     try:

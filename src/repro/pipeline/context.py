@@ -105,6 +105,16 @@ class PipelineContext:
         return self.config.effort
 
     @property
+    def jobs(self) -> int:
+        """Shard-worker count for the fault-population engines (>= 1)."""
+        return max(1, getattr(self.config, "jobs", 1) or 1)
+
+    @property
+    def shard_backend(self):
+        """Shard backend name (``None`` = pick the best available)."""
+        return getattr(self.config, "shard_backend", None)
+
+    @property
     def fault_universe(self) -> List[StuckAtFault]:
         return self.require("fault_universe")
 

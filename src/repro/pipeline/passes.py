@@ -94,7 +94,8 @@ def fault_list_pass(ctx: PipelineContext) -> PassResult:
 def baseline_pass(ctx: PipelineContext) -> PassResult:
     """Faults untestable before manipulation — Table I's "Original" row."""
     baseline = compute_baseline_untestable(
-        ctx.netlist, ctx.fault_universe, ctx.effort)
+        ctx.netlist, ctx.fault_universe, ctx.effort,
+        jobs=ctx.jobs, backend=ctx.shard_backend)
     return PassResult(artifacts={"baseline_untestable": baseline})
 
 
@@ -127,7 +128,8 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.1 — tie the debug control inputs to their mission constants."""
     ctrl = identify_debug_control_untestable(
         ctx.netlist, faults=ctx.fault_universe,
-        baseline_untestable=ctx.baseline_untestable, effort=ctx.effort)
+        baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
+        jobs=ctx.jobs, backend=ctx.shard_backend)
     return PassResult(artifacts={"debug_control_result": ctrl},
                       identified=ctrl.newly_untestable, details=ctrl)
 
@@ -140,7 +142,8 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.2 — float the debug-only observation buses."""
     observe = identify_debug_observe_untestable(
         ctx.netlist, faults=ctx.fault_universe,
-        baseline_untestable=ctx.baseline_untestable, effort=ctx.effort)
+        baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
+        jobs=ctx.jobs, backend=ctx.shard_backend)
     return PassResult(artifacts={"debug_observe_result": observe},
                       identified=observe.newly_untestable, details=observe)
 
@@ -156,6 +159,7 @@ def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
         ctx.netlist, memory_map=ctx.memory_map, faults=ctx.fault_universe,
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
         tie_flop_outputs=ctx.config.tie_flop_outputs,
-        tie_flop_inputs=ctx.config.tie_flop_inputs)
+        tie_flop_inputs=ctx.config.tie_flop_inputs,
+        jobs=ctx.jobs, backend=ctx.shard_backend)
     return PassResult(artifacts={"memory_result": memory},
                       identified=memory.newly_untestable, details=memory)

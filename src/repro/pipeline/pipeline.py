@@ -90,13 +90,19 @@ class Pipeline:
                  parallel: bool = False,
                  max_workers: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
-                 registry: Optional[PassRegistry] = None) -> None:
+                 registry: Optional[PassRegistry] = None,
+                 jobs: Optional[int] = None,
+                 shard_backend: Optional[str] = None) -> None:
         self.registry = registry if registry is not None else DEFAULT_REGISTRY
         requested = passes if passes is not None else default_pass_names()
         self.passes = self._resolve(requested)
         self.parallel = parallel
         self.max_workers = max_workers
         self.cache = cache
+        #: Default fault-population shard worker count / backend, applied
+        #: to runs whose FlowConfig leaves sharding at the serial default.
+        self.jobs = jobs
+        self.shard_backend = shard_backend
         self._pass_index = {p.name: i for i, p in enumerate(self.passes)}
 
     @staticmethod
@@ -185,6 +191,7 @@ class Pipeline:
             faults: Optional[Iterable[StuckAtFault]] = None) -> PipelineResult:
         """Run the passes on a SoC or bare netlist and build the report."""
         netlist, memory_map = _split_target(target, memory_map)
+        config = self._apply_shard_defaults(config)
         ctx = PipelineContext(netlist, config=config, memory_map=memory_map,
                               initial_faults=faults, cache=self.cache)
         result = PipelineResult(context=ctx, order=self.pass_names)
@@ -196,6 +203,25 @@ class Pipeline:
 
         result.report = self._build_report(ctx, result)
         return result
+
+    def _apply_shard_defaults(self,
+                              config: Optional[FlowConfig]) -> Optional[FlowConfig]:
+        """Fold the pipeline's jobs/backend defaults into a run's config.
+
+        A config that explicitly requests sharding (``jobs != 1``) wins
+        over the pipeline default.
+        """
+        if self.jobs is None and self.shard_backend is None:
+            return config
+        from dataclasses import replace
+
+        config = config if config is not None else FlowConfig()
+        updates = {}
+        if self.jobs is not None and config.jobs == 1:
+            updates["jobs"] = self.jobs
+        if self.shard_backend is not None and config.shard_backend is None:
+            updates["shard_backend"] = self.shard_backend
+        return replace(config, **updates) if updates else config
 
     def _run_serial(self, ctx: PipelineContext, result: PipelineResult) -> None:
         for pass_ in self.passes:

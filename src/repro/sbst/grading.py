@@ -57,10 +57,20 @@ class FaultGrader:
     pattern windows: once any window detects a fault, the fault leaves the
     simulation for all subsequent windows — the same speed-up the serial
     :class:`~repro.simulation.fault_sim.FaultSimulator` applies per pattern.
+
+    ``jobs`` > 1 switches :meth:`grade` to the cone-aware sharded engine
+    (:mod:`repro.simulation.sharded`): the fault population is partitioned
+    into cone-aware shards graded across worker processes/threads, with
+    per-window verdicts merged through a shared detection frontier.  The
+    detected-fault set is identical to the serial path; ``backend`` and
+    ``shards`` tune how the shards run (defaults: best available backend,
+    four shards per worker).
     """
 
     def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
-                 word_size: int = 64, drop_detected: bool = True) -> None:
+                 word_size: int = 64, drop_detected: bool = True,
+                 jobs: int = 1, backend: Optional[str] = None,
+                 shards: Optional[int] = None) -> None:
         # Mission-mode observation: the system-bus outputs plus the values
         # captured into the architectural state (a captured error eventually
         # propagates to memory over the following cycles of the self-test
@@ -70,6 +80,9 @@ class FaultGrader:
         self.netlist = netlist
         self.word_size = word_size
         self.drop_detected = drop_detected
+        self.jobs = max(1, jobs if jobs is not None else 1)
+        self.backend = backend
+        self.shards = shards
         exclude: set = set(netlist.unobservable_ports)
         debug_spec = netlist.annotations.get("debug_interface")
         if isinstance(debug_spec, dict):
@@ -92,6 +105,14 @@ class FaultGrader:
         """Return the faults detected by the captured functional patterns."""
         fault_universe = (list(faults) if faults is not None
                           else generate_fault_list(self.netlist).faults())
+        if self.jobs > 1:
+            from repro.simulation.sharded import sharded_mission_grade
+
+            return sharded_mission_grade(
+                self.netlist, fault_universe, patterns,
+                observation_nets=self.simulator.observation_nets,
+                word_size=self.word_size, drop_detected=self.drop_detected,
+                jobs=self.jobs, backend=self.backend, shards=self.shards)
         remaining: Set[StuckAtFault] = set(fault_universe)
         detected: Set[StuckAtFault] = set()
 

@@ -4,6 +4,9 @@ from repro.simulation.simulator import CombinationalSimulator
 from repro.simulation.sequential import SequentialSimulator
 from repro.simulation.fault_sim import FaultSimulator, FaultSimResult
 from repro.simulation.parallel import ParallelPatternSimulator
+from repro.simulation.sharded import (DetectionFrontier, FaultShard,
+                                      ShardedFaultSimulator, partition_faults,
+                                      sharded_classify, sharded_mission_grade)
 
 __all__ = [
     "CombinationalSimulator",
@@ -11,4 +14,10 @@ __all__ = [
     "FaultSimulator",
     "FaultSimResult",
     "ParallelPatternSimulator",
+    "ShardedFaultSimulator",
+    "DetectionFrontier",
+    "FaultShard",
+    "partition_faults",
+    "sharded_classify",
+    "sharded_mission_grade",
 ]

@@ -40,6 +40,84 @@ from repro.simulation.simulator import (CombinationalSimulator,
 _INERT = ("inert",)
 
 
+def observation_net_names(netlist: Netlist, observe_state_inputs: bool = True,
+                          state_input_roles: Optional[Sequence[str]] = None
+                          ) -> Set[str]:
+    """Observation-point net names: observable output ports plus (optionally)
+    the observed sequential-cell input nets."""
+    nets: Set[str] = set(netlist.observable_output_ports())
+    if observe_state_inputs:
+        for inst in netlist.sequential_instances():
+            nets.update(observed_state_input_nets(inst, state_input_roles))
+    return nets
+
+
+def resolve_site(compiled: CompiledNetlist, fault: StuckAtFault) -> Tuple:
+    """Classify a fault site against the compiled IR.
+
+    Returns ``("net", nid)`` for stem/port faults, ``("branch", op, pos)``
+    for combinational input-pin faults, ``("phantom",)`` for port faults on
+    unknown nets and ``("inert",)`` for sites that cannot perturb the
+    combinational time frame.  Shared by the serial and the sharded fault
+    simulators, so both classify every site identically.
+    """
+    if fault.is_port_fault:
+        nid = compiled.id_of(fault.site)
+        if nid is None:
+            return ("phantom",)  # unknown net: no effect on the machine
+        return ("net", nid)
+    kind, index, pos, is_input = compiled.pin_ref(fault.site)
+    table = ((compiled.op_fanin if is_input else compiled.op_fanout)
+             if kind == "op"
+             else (compiled.seq_fanin if is_input else compiled.seq_fanout))
+    nid = table[index][pos]
+    if nid == NO_NET:
+        return _INERT
+    if not is_input:
+        return ("net", nid)
+    if kind == "seq":
+        # A branch fault on a sequential input pin perturbs only what the
+        # flip-flop captures; the combinational time frame never changes.
+        return _INERT
+    return ("branch", index, pos)
+
+
+def good_planes(compiled: CompiledNetlist, program,
+                window: Sequence[Mapping[str, int]]):
+    """Pattern-parallel good-machine simulation of a pattern window.
+
+    Returns ``(g1, g0, frozen, mask)`` — the two value planes per net, the
+    per-net frozen flags (ties) and the all-ones window mask.
+    """
+    n = compiled.n_nets
+    g1 = [0] * n
+    g0 = [0] * n
+    frozen = bytearray(n)
+    tied = compiled.tied
+    mask = (1 << len(window)) - 1
+    for nid in range(n):
+        t = tied[nid]
+        if t is not None:
+            if t:
+                g1[nid] = mask
+            else:
+                g0[nid] = mask
+            frozen[nid] = 1
+    net_id = compiled.net_id
+    for index, pattern in enumerate(window):
+        bit = 1 << index
+        for name, value in pattern.items():
+            nid = net_id.get(name)
+            if nid is None or tied[nid] is not None:
+                continue
+            if value == LOGIC_1:
+                g1[nid] |= bit
+            elif value == LOGIC_0:
+                g0[nid] |= bit
+    run_plane_ops(compiled, program, g1, g0, mask, frozen)
+    return g1, g0, frozen, mask
+
+
 @dataclass
 class FaultSimResult:
     """Outcome of a fault-simulation run."""
@@ -78,11 +156,8 @@ class FaultSimulator:
         self._observation_nets = self._compute_observation_nets()
 
     def _compute_observation_nets(self) -> Set[str]:
-        nets: Set[str] = set(self.netlist.observable_output_ports())
-        if self.observe_state_inputs:
-            for inst in self.netlist.sequential_instances():
-                nets.update(observed_state_input_nets(inst, self.state_input_roles))
-        return nets
+        return observation_net_names(self.netlist, self.observe_state_inputs,
+                                     self.state_input_roles)
 
     def _observation_ids(self, compiled: CompiledNetlist) -> List[int]:
         net_id = compiled.net_id
@@ -94,25 +169,7 @@ class FaultSimulator:
     # ------------------------------------------------------------------ #
     def _resolve(self, compiled: CompiledNetlist, fault: StuckAtFault) -> Tuple:
         """Classify the fault site: net force, comb branch pin, or inert."""
-        if fault.is_port_fault:
-            nid = compiled.id_of(fault.site)
-            if nid is None:
-                return ("phantom",)  # unknown net: no effect on the machine
-            return ("net", nid)
-        kind, index, pos, is_input = compiled.pin_ref(fault.site)
-        table = ((compiled.op_fanin if is_input else compiled.op_fanout)
-                 if kind == "op"
-                 else (compiled.seq_fanin if is_input else compiled.seq_fanout))
-        nid = table[index][pos]
-        if nid == NO_NET:
-            return _INERT
-        if not is_input:
-            return ("net", nid)
-        if kind == "seq":
-            # A branch fault on a sequential input pin perturbs only what the
-            # flip-flop captures; the combinational time frame never changes.
-            return _INERT
-        return ("branch", index, pos)
+        return resolve_site(compiled, fault)
 
     # ------------------------------------------------------------------ #
     # plane seeding
@@ -120,33 +177,7 @@ class FaultSimulator:
     def _good_planes(self, compiled: CompiledNetlist, program,
                      window: Sequence[Mapping[str, int]]):
         """Pattern-parallel good-machine simulation of a pattern window."""
-        n = compiled.n_nets
-        g1 = [0] * n
-        g0 = [0] * n
-        frozen = bytearray(n)
-        tied = compiled.tied
-        mask = (1 << len(window)) - 1
-        for nid in range(n):
-            t = tied[nid]
-            if t is not None:
-                if t:
-                    g1[nid] = mask
-                else:
-                    g0[nid] = mask
-                frozen[nid] = 1
-        net_id = compiled.net_id
-        for index, pattern in enumerate(window):
-            bit = 1 << index
-            for name, value in pattern.items():
-                nid = net_id.get(name)
-                if nid is None or tied[nid] is not None:
-                    continue
-                if value == LOGIC_1:
-                    g1[nid] |= bit
-                elif value == LOGIC_0:
-                    g0[nid] |= bit
-        run_plane_ops(compiled, program, g1, g0, mask, frozen)
-        return g1, g0, frozen, mask
+        return good_planes(compiled, program, window)
 
     def _planes_from_values(self, compiled: CompiledNetlist,
                             values: Mapping[str, int]):

@@ -108,6 +108,37 @@ def word_program(compiled: CompiledNetlist) -> List[Callable]:
     return compiled.extension("word_program", _build_word_program)
 
 
+def compute_good_words(compiled: CompiledNetlist,
+                       patterns: Mapping[str, int],
+                       n_patterns: int) -> Tuple[List[int], int]:
+    """Good-machine word simulation: ``(values by net ID, window mask)``.
+
+    Shared by :class:`ParallelPatternSimulator` and the sharded grading
+    workers (:mod:`repro.simulation.sharded`), so both seed and evaluate
+    the fault-free machine identically.
+    """
+    word_mask = mask(n_patterns)
+    program = word_program(compiled)
+    tied = compiled.tied
+    net_id = compiled.net_id
+    values = [0] * compiled.n_nets
+    for nid, t in enumerate(tied):
+        if t is not None:
+            values[nid] = word_mask if t else 0
+    for name, word in patterns.items():
+        nid = net_id.get(name)
+        if nid is not None and tied[nid] is None:
+            values[nid] = word & word_mask
+    op_fanout = compiled.op_fanout
+    for i, fanin in enumerate(compiled.op_fanin):
+        args = [values[nid] if nid >= 0 else 0 for nid in fanin]
+        out = program[i](word_mask, *args)
+        for pos, nid in enumerate(op_fanout[i]):
+            if nid >= 0 and tied[nid] is None:
+                values[nid] = out[pos]
+    return values, word_mask
+
+
 class ParallelPatternSimulator:
     """Pattern-parallel two-valued simulation and serial-fault detection.
 
@@ -147,29 +178,15 @@ class ParallelPatternSimulator:
                 if name in net_id]
 
     # ------------------------------------------------------------------ #
+    @property
+    def observation_nets(self) -> Set[str]:
+        """The observation-point net names this simulator detects against."""
+        return set(self._observation_nets)
+
     def _good_words(self, compiled: CompiledNetlist,
                     patterns: Mapping[str, int],
                     n_patterns: int) -> Tuple[List[int], int]:
-        word_mask = mask(n_patterns)
-        program = word_program(compiled)
-        tied = compiled.tied
-        net_id = compiled.net_id
-        values = [0] * compiled.n_nets
-        for nid, t in enumerate(tied):
-            if t is not None:
-                values[nid] = word_mask if t else 0
-        for name, word in patterns.items():
-            nid = net_id.get(name)
-            if nid is not None and tied[nid] is None:
-                values[nid] = word & word_mask
-        op_fanout = compiled.op_fanout
-        for i, fanin in enumerate(compiled.op_fanin):
-            args = [values[nid] if nid >= 0 else 0 for nid in fanin]
-            out = program[i](word_mask, *args)
-            for pos, nid in enumerate(op_fanout[i]):
-                if nid >= 0 and tied[nid] is None:
-                    values[nid] = out[pos]
-        return values, word_mask
+        return compute_good_words(compiled, patterns, n_patterns)
 
     def good_simulation(self, patterns: Mapping[str, int],
                         n_patterns: int) -> Dict[str, int]:

@@ -275,3 +275,71 @@ class TestResolveEffort:
         assert resolve_effort(AtpgEffort.FULL) is AtpgEffort.FULL
         with pytest.raises(ValueError, match="unknown ATPG effort"):
             resolve_effort("max")
+
+
+# --------------------------------------------------------------------- #
+# process-backend sweeps (the picklable scenario path)
+# --------------------------------------------------------------------- #
+class TestProcessSweep:
+    def test_four_scenario_grid_matches_serial_with_cache_sanity(self):
+        """A 4-scenario grid on the process backend must reproduce the
+        serial backend exactly; cache accounting must reflect that worker
+        processes never touch the parent session's artifact cache."""
+        grid = four_variant_grid()
+        assert len(grid) == 4
+
+        serial_session = Session()
+        serial = serial_session.sweep(grid)
+        assert all(result.ok for result in serial), [
+            result.error for result in serial]
+        # The serial sweep computes (and caches) in-process.
+        assert serial.cache_stats["misses"] > 0
+
+        process_session = Session(executor="process", max_workers=2)
+        process = process_session.sweep(grid)
+        assert process.executor == "process"
+        assert all(result.ok for result in process), [
+            result.error for result in process]
+
+        assert [r.label for r in process] == [r.label for r in serial]
+        assert [r.design_signature for r in process] == \
+            [r.design_signature for r in serial]
+        assert [report_essence(r.report) for r in process] == \
+            [report_essence(r.report) for r in serial]
+
+        # Workers rebuild designs in their own processes: the parent cache
+        # sees no traffic at all from a process sweep.
+        assert process.cache_stats == {"hits": 0, "misses": 0,
+                                       "evictions": 0}
+        assert all(result.elapsed_seconds > 0 for result in process)
+
+    def test_process_sweep_carries_session_sharding_defaults(self):
+        """Session-level --jobs defaults must survive the process boundary
+        (the effective flow config ships with each job) and leave results
+        identical."""
+        grid = ScenarioGrid("tiny").axis("debug", [True, False])
+        reference = Session().sweep(grid)
+        sharded = Session(executor="process", jobs=2,
+                          shard_backend="thread").sweep(grid)
+        assert all(result.ok for result in sharded), [
+            result.error for result in sharded]
+        assert [report_essence(r.report) for r in sharded] == \
+            [report_essence(r.report) for r in reference]
+
+
+class TestPerCallJobsPrecedence:
+    def test_call_jobs_overrides_session_and_config(self):
+        from repro.core.results import FlowConfig
+
+        session = Session(jobs=4, shard_backend="thread")
+        # per-call jobs beats the session default
+        config = session._effective_flow_config(None, None, jobs=2)
+        assert config.jobs == 2
+        # per-call jobs=1 forces a serial run of a sharded flow config
+        config = session._effective_flow_config(FlowConfig(jobs=8), None,
+                                                jobs=1)
+        assert config.jobs == 1
+        # no per-call value: session default fills the serial default only
+        assert session._effective_flow_config(None, None).jobs == 4
+        assert session._effective_flow_config(FlowConfig(jobs=8),
+                                              None).jobs == 8

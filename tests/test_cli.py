@@ -67,3 +67,67 @@ class TestSweepCommand:
 
     def test_report_missing_file(self, capsys):
         assert main(["report", "/nonexistent/sweep.json"]) == 2
+
+
+class TestShardingFlags:
+    def test_analyze_jobs_matches_serial_table(self, capsys):
+        code, serial_out = run(capsys, "analyze", "tiny", "--json")
+        assert code == 0
+        code, sharded_out = run(capsys, "analyze", "tiny", "--jobs", "2",
+                                "--backend", "thread", "--json")
+        assert code == 0
+        serial = json.loads(serial_out)
+        sharded = json.loads(sharded_out)
+        assert sharded["table"] == serial["table"]
+        assert sharded["total_online_untestable"] == \
+            serial["total_online_untestable"]
+
+    def test_bad_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["analyze", "tiny", "--jobs", "2", "--backend", "cluster"])
+
+
+class TestCorpusCommand:
+    @pytest.fixture()
+    def tiny_corpus(self, tmp_path):
+        spec = {"base": "tiny", "axes": {}, "effort": "tie"}
+        (tmp_path / "tiny_full.json").write_text(json.dumps(spec),
+                                                 encoding="utf-8")
+        return tmp_path
+
+    def test_update_check_and_diff_cycle(self, capsys, tiny_corpus):
+        code, out = run(capsys, "corpus", "--dir", str(tiny_corpus),
+                        "--update", "--quiet")
+        assert code == 0
+        assert "1 entries updated, 0 failures" in out
+
+        code, out = run(capsys, "corpus", "--dir", str(tiny_corpus),
+                        "--quiet")
+        assert code == 0
+        assert "0 failures" in out
+
+        golden = tiny_corpus / "golden" / "tiny_full.table.txt"
+        golden.write_text(golden.read_text().replace("TOTAL", "TOTAS"))
+        code, out = run(capsys, "corpus", "--dir", str(tiny_corpus),
+                        "--quiet")
+        assert code == 1
+        assert "1 failures" in out
+
+    def test_missing_golden_fails(self, capsys, tiny_corpus):
+        code, out = run(capsys, "corpus", "--dir", str(tiny_corpus),
+                        "--quiet")
+        assert code == 1
+
+    def test_sharded_corpus_matches_serial_golden(self, capsys, tiny_corpus):
+        assert main(["corpus", "--dir", str(tiny_corpus), "--update",
+                     "--quiet"]) == 0
+        capsys.readouterr()  # drain the update run's summary line
+        code, out = run(capsys, "corpus", "--dir", str(tiny_corpus),
+                        "--jobs", "2", "--backend", "thread", "--quiet",
+                        "--json")
+        assert code == 0
+        document = json.loads(out)
+        assert [entry["status"] for entry in document] == ["match"]
+
+    def test_bad_directory_reported(self, capsys):
+        assert main(["corpus", "--dir", "/nonexistent/corpus"]) == 2

@@ -1,0 +1,295 @@
+"""The sharded fault-population engine: partitioning, frontier, identity.
+
+The contract under test is strict: for every backend and every fault-
+dropping mode, the sharded engines must reproduce the serial reference
+*exactly* — detected/undetected sets, recorded detecting patterns,
+classification dicts and graded coverage are compared for equality, not
+similarity.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+import pytest
+
+from repro.atpg.engine import StructuralUntestabilityEngine
+from repro.faults.faultlist import generate_fault_list
+from repro.netlist.cells import LOGIC_0, LOGIC_1
+from repro.netlist.compiled import get_compiled, netlist_signature
+from repro.sbst.grading import FaultGrader
+from repro.sbst.monitor import ToggleMonitor
+from repro.sbst.program_gen import generate_sbst_suite
+from repro.simulation.fault_sim import FaultSimulator, resolve_site
+from repro.simulation.sharded import (DetectionFrontier, ShardedFaultSimulator,
+                                      cone_representative, partition_faults,
+                                      resolve_backend, resolve_jobs,
+                                      sharded_classify)
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@pytest.fixture(scope="module")
+def tiny_cpu(tiny_soc):
+    return tiny_soc.cpu
+
+
+@pytest.fixture(scope="module")
+def tiny_faults(tiny_cpu):
+    return generate_fault_list(tiny_cpu).faults()
+
+
+@pytest.fixture(scope="module")
+def tiny_patterns(tiny_cpu):
+    """Deterministic random mission patterns over the controllable nets."""
+    rng = random.Random(2013)
+    sim = FaultSimulator(tiny_cpu)
+    controllable = [p for p in tiny_cpu.input_ports()
+                    if tiny_cpu.net(p).tied is None]
+    controllable += sim.sim.state_nets
+    return [{net: (LOGIC_1 if rng.getrandbits(1) else LOGIC_0)
+             for net in controllable}
+            for _ in range(130)]
+
+
+# --------------------------------------------------------------------- #
+# knob resolution
+# --------------------------------------------------------------------- #
+class TestKnobs:
+    def test_resolve_jobs(self):
+        assert resolve_jobs(1) == 1
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(None) >= 1
+        with pytest.raises(ValueError, match="jobs must be >= 1"):
+            resolve_jobs(0)
+
+    def test_resolve_backend(self):
+        assert resolve_backend(None, 1) == "serial"
+        assert resolve_backend(None, 4) in ("process", "thread")
+        assert resolve_backend("THREAD", 2) == "thread"
+        with pytest.raises(ValueError, match="unknown shard backend"):
+            resolve_backend("cluster", 2)
+
+
+# --------------------------------------------------------------------- #
+# cone-aware partitioning
+# --------------------------------------------------------------------- #
+class TestPartitioning:
+    def test_partition_is_exact_and_deterministic(self, tiny_cpu,
+                                                  tiny_faults):
+        first = partition_faults(tiny_cpu, tiny_faults, 8)
+        second = partition_faults(tiny_cpu, tiny_faults, 8)
+        assert [s.faults for s in first] == [s.faults for s in second]
+        assert [s.index for s in first] == list(range(len(first)))
+        scattered = [f for shard in first for f in shard.faults]
+        assert sorted(map(str, scattered)) == sorted(map(str, tiny_faults))
+        assert len(scattered) == len(tiny_faults)
+
+    def test_faults_sharing_a_cone_share_a_shard(self, tiny_cpu,
+                                                 tiny_faults):
+        compiled = get_compiled(tiny_cpu)
+        shards = partition_faults(tiny_cpu, tiny_faults, 8)
+        rep_to_shard = {}
+        for shard in shards:
+            for fault in shard.faults:
+                rep = cone_representative(
+                    compiled, resolve_site(compiled, fault))
+                assert rep_to_shard.setdefault(rep, shard.index) == shard.index
+
+    def test_single_shard_and_shard_cap(self, tiny_cpu, tiny_faults):
+        assert len(partition_faults(tiny_cpu, tiny_faults, 1)) == 1
+        assert len(partition_faults(tiny_cpu, tiny_faults, 8)) <= 8
+
+    def test_shards_are_roughly_balanced(self, tiny_cpu, tiny_faults):
+        shards = partition_faults(tiny_cpu, tiny_faults, 4)
+        costs = [shard.cost for shard in shards]
+        assert min(costs) > 0
+        # LPT bin packing: no bin more than ~2x the mean.
+        assert max(costs) <= 2.5 * (sum(costs) / len(costs))
+
+    def test_cone_size_table_matches_memoised_cones(self, tiny_cpu):
+        compiled = get_compiled(tiny_cpu)
+        sizes = compiled.fanout_cone_sizes()
+        for nid in range(0, compiled.n_nets, 97):  # deterministic sample
+            assert sizes[nid] == len(compiled.fanout_ops(nid))
+
+
+# --------------------------------------------------------------------- #
+# the detection frontier
+# --------------------------------------------------------------------- #
+class TestDetectionFrontier:
+    def test_publish_and_snapshot(self, tiny_faults):
+        frontier = DetectionFrontier()
+        frontier.publish(tiny_faults[0], 3)
+        frontier.publish_many([(tiny_faults[1], 5), (tiny_faults[2], 7)])
+        assert tiny_faults[0] in frontier
+        assert tiny_faults[3] not in frontier
+        assert len(frontier) == 3
+        assert frontier.detected()[tiny_faults[1]] == 5
+
+
+# --------------------------------------------------------------------- #
+# sharded fault simulation: byte-identical to the serial engine
+# --------------------------------------------------------------------- #
+class TestShardedFaultSimulator:
+    @pytest.mark.parametrize("drop", [True, False])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_identical_to_serial(self, tiny_cpu, tiny_faults, tiny_patterns,
+                                 backend, drop):
+        sample = tiny_faults[::7]
+        reference = FaultSimulator(tiny_cpu).run(sample, tiny_patterns,
+                                                 drop_detected=drop)
+        sharded = ShardedFaultSimulator(tiny_cpu, jobs=2, backend=backend)
+        result = sharded.run(sample, tiny_patterns, drop_detected=drop)
+        assert result.detected == reference.detected
+        assert result.undetected == reference.undetected
+        assert result.detecting_pattern == reference.detecting_pattern
+
+    def test_frontier_records_every_detection(self, tiny_cpu, tiny_faults,
+                                              tiny_patterns):
+        sample = tiny_faults[::11]
+        sharded = ShardedFaultSimulator(tiny_cpu, jobs=2, backend="serial")
+        result = sharded.run(sample, tiny_patterns)
+        frontier = sharded.last_frontier
+        assert frontier is not None
+        assert set(frontier.detected()) == result.detected
+        assert frontier.detected() == result.detecting_pattern
+
+    def test_explicit_shard_count(self, tiny_cpu, tiny_faults,
+                                  tiny_patterns):
+        sample = tiny_faults[:200]
+        reference = FaultSimulator(tiny_cpu).run(sample, tiny_patterns)
+        result = ShardedFaultSimulator(tiny_cpu, jobs=2, backend="serial",
+                                       shards=3).run(sample, tiny_patterns)
+        assert result.detected == reference.detected
+        assert result.detecting_pattern == reference.detecting_pattern
+
+
+# --------------------------------------------------------------------- #
+# sharded classification
+# --------------------------------------------------------------------- #
+class TestShardedClassify:
+    @pytest.mark.parametrize("effort", ["tie", "random"])
+    def test_identical_classifications(self, tiny_cpu, tiny_faults, effort):
+        reference = StructuralUntestabilityEngine(
+            tiny_cpu, effort=effort).classify(tiny_faults)
+        sharded = sharded_classify(tiny_cpu, tiny_faults, effort=effort,
+                                   jobs=2, backend="process")
+        assert sharded.classifications == reference.classifications
+        assert sharded.effort == reference.effort
+
+    def test_engine_jobs_knob_delegates(self, tiny_cpu, tiny_faults):
+        reference = StructuralUntestabilityEngine(tiny_cpu).classify(
+            tiny_faults)
+        engine = StructuralUntestabilityEngine(tiny_cpu, jobs=2,
+                                               backend="thread")
+        assert engine.classify(tiny_faults).classifications == \
+            reference.classifications
+
+
+# --------------------------------------------------------------------- #
+# sharded mission-mode fault grading
+# --------------------------------------------------------------------- #
+class TestShardedFaultGrading:
+    @pytest.fixture(scope="class")
+    def tiny_captured(self, tiny_soc):
+        programs = generate_sbst_suite(tiny_soc.config.cpu)
+        return ToggleMonitor(tiny_soc.cpu).run_suite(programs)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_grade_identical_to_serial(self, tiny_cpu, tiny_captured,
+                                       backend):
+        serial = FaultGrader(tiny_cpu).grade(tiny_captured)
+        sharded = FaultGrader(tiny_cpu, jobs=2,
+                              backend=backend).grade(tiny_captured)
+        assert sharded == serial
+
+    def test_compare_with_pruning_identical(self, tiny_cpu, tiny_captured,
+                                            tiny_flow_report):
+        pruned = tiny_flow_report.online_untestable
+        serial = FaultGrader(tiny_cpu).compare_with_pruning(
+            tiny_captured, pruned)
+        sharded = FaultGrader(tiny_cpu, jobs=2,
+                              backend="process").compare_with_pruning(
+            tiny_captured, pruned)
+        assert (serial.total_faults, serial.detected, serial.pruned,
+                serial.detected_after_pruning) == \
+               (sharded.total_faults, sharded.detected, sharded.pruned,
+                sharded.detected_after_pruning)
+
+
+# --------------------------------------------------------------------- #
+# the pickle path the spawn-based process backend depends on
+# --------------------------------------------------------------------- #
+class TestNetlistPickling:
+    def test_round_trip_preserves_structure(self, tiny_cpu):
+        clone = pickle.loads(pickle.dumps(tiny_cpu))
+        assert netlist_signature(clone) == netlist_signature(tiny_cpu)
+        assert list(clone.nets) == list(tiny_cpu.nets)
+        assert clone.ports == tiny_cpu.ports
+        assert clone.unobservable_ports == tiny_cpu.unobservable_ports
+        assert sorted(clone.annotations) == sorted(tiny_cpu.annotations)
+
+    def test_round_trip_preserves_ties_and_cells(self, tiny_cpu):
+        clone = pickle.loads(pickle.dumps(tiny_cpu))
+        for name, net in tiny_cpu.nets.items():
+            assert clone.nets[name].tied == net.tied
+        some = next(iter(tiny_cpu.instances.values()))
+        assert clone.instances[some.name].cell is some.cell  # singleton cell
+
+
+# --------------------------------------------------------------------- #
+# the spawn-backend contract: jobs must survive pickling
+# --------------------------------------------------------------------- #
+class TestJobPickling:
+    """On platforms without ``fork`` the pool initializer ships the job by
+    pickle; a pickled-and-rebuilt job must compute identical verdicts."""
+
+    def test_plane_sim_job_round_trip(self, tiny_cpu, tiny_faults,
+                                      tiny_patterns):
+        from repro.simulation.fault_sim import observation_net_names
+        from repro.simulation.sharded import _PlaneSimJob, partition_faults
+
+        shards = partition_faults(tiny_cpu, tiny_faults[:300], 3)
+        job = _PlaneSimJob(
+            tiny_cpu, tuple(shard.faults for shard in shards),
+            frozenset(observation_net_names(tiny_cpu)), tiny_patterns, 64)
+        job.prepare()
+        clone = pickle.loads(pickle.dumps(job))
+        for shard in shards:
+            task = (shard.index, tuple(range(len(shard.faults))), 0)
+            assert clone.run_window(task) == job.run_window(task)
+
+    def test_classify_job_round_trip(self, tiny_cpu, tiny_faults):
+        from repro.simulation.sharded import (_DetectClassifyJob,
+                                              partition_faults)
+        from repro.atpg.engine import AtpgEffort
+
+        shards = partition_faults(tiny_cpu, tiny_faults[:400], 2)
+        job = _DetectClassifyJob(tiny_cpu, tuple(s.faults for s in shards),
+                                 AtpgEffort.RANDOM, 64, 200, 2013)
+        clone = pickle.loads(pickle.dumps(job))
+        for shard in shards:
+            ours = job.run_shard((shard.index,))
+            theirs = clone.run_shard((shard.index,))
+            assert ours[1] == theirs[1]  # identical classifications
+            assert ours[1]  # the random phase really classified faults
+
+
+class TestShardedClassifySchedulesTieOnce:
+    def test_tie_effort_spawns_no_workers(self, tiny_cpu, tiny_faults,
+                                          monkeypatch):
+        """At TIE effort the global fixpoint runs once in the caller and
+        nothing is farmed out — sharded classify must cost serial time."""
+        import repro.simulation.sharded as sharded_mod
+
+        def boom(self, job):
+            raise AssertionError("no worker pool expected at TIE effort")
+
+        monkeypatch.setattr(sharded_mod._ShardRunner, "start", boom)
+        reference = StructuralUntestabilityEngine(tiny_cpu).classify(
+            tiny_faults)
+        report = sharded_classify(tiny_cpu, tiny_faults, effort="tie",
+                                  jobs=4, backend="process")
+        assert report.classifications == reference.classifications
