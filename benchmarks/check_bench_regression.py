@@ -69,11 +69,22 @@ def main(argv=None) -> int:
     for name in watched:
         base_entry = baseline["stages"].get(name)
         cur_entry = current["stages"].get(name)
-        if base_entry is None or cur_entry is None:
-            missing = args.baseline if base_entry is None else args.current
-            print(f"error: stage {name!r} missing from {missing}",
+        if cur_entry is None:
+            # Absent from the fresh run: a typo'd --stages name or a stage
+            # that stopped recording — both must fail loudly, whether or
+            # not the baseline still carries it.
+            print(f"error: stage {name!r} missing from {args.current}",
                   file=sys.stderr)
             return 2
+        if base_entry is None:
+            # A stage newer than the committed baseline capture: nothing to
+            # compare against yet.  Skip (a later intentional baseline
+            # refresh will pick it up) rather than failing every PR that
+            # adds a benchmark stage.
+            print(f"{name:<24} {'-':>10} "
+                  f"{float(cur_entry['seconds']):>9.3f}s"
+                  f" {'-':>6}   skipped (not in baseline)")
+            continue
         base_seconds = float(base_entry["seconds"])
         cur_seconds = float(cur_entry["seconds"])
         # Sub-millisecond baselines are pure noise; clamp the denominator.

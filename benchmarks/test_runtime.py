@@ -170,6 +170,47 @@ def test_runtime_fault_sim_compiled_vs_legacy(runtime_soc):
     assert compiled_seconds < 0.8 * legacy_seconds
 
 
+def test_runtime_transition_fault_sim(runtime_soc):
+    """Transition-delay (two-pattern) fault simulation on the compiled
+    engine: records the ``transition_fault_sim`` stage and pins the sharded
+    engine byte-identical to the serial one on the same sample."""
+    from repro.simulation.sharded import ShardedFaultSimulator
+
+    manipulated = _debug_tied(runtime_soc)
+    all_faults = generate_fault_list(manipulated, model="transition").faults()
+    step = max(1, len(all_faults) // 120)
+    faults = all_faults[::step][:120]
+    rng = random.Random(2013)
+    controllable = [p for p in manipulated.input_ports()
+                    if manipulated.net(p).tied is None]
+    sim = FaultSimulator(manipulated)
+    controllable += sim.sim.state_nets
+    patterns = [
+        {net: (LOGIC_1 if rng.getrandbits(1) else LOGIC_0)
+         for net in controllable}
+        for _ in range(10)
+    ]
+
+    start = time.perf_counter()
+    serial_result = sim.run(faults, patterns)
+    serial_seconds = time.perf_counter() - start
+
+    sharded = ShardedFaultSimulator(manipulated, jobs=2, backend="process")
+    sharded_result = sharded.run(faults, patterns)
+    assert sharded_result.detected == serial_result.detected
+    assert sharded_result.undetected == serial_result.undetected
+    assert sharded_result.detecting_pattern == serial_result.detecting_pattern
+
+    print()
+    print(f"Transition fault simulation of {len(faults)} faults x "
+          f"{len(patterns)} patterns: {serial_seconds:.3f}s, "
+          f"{len(serial_result.detected)} detected")
+    _record("transition_fault_sim", serial_seconds,
+            faults=len(faults), patterns=len(patterns),
+            detected=len(serial_result.detected))
+    assert serial_result.detected or serial_result.undetected
+
+
 def test_runtime_scan_tracing(runtime_soc, benchmark):
     result = benchmark(identify_scan_untestable, runtime_soc.cpu)
     _record("scan_tracing", benchmark.stats.stats.mean

@@ -50,6 +50,9 @@ from repro.api import (Design, Executor, ProcessExecutor, Scenario,
 from repro.atpg.engine import AtpgEffort, resolve_effort
 from repro.core.flow import (FlowConfig, OnlineUntestableFlow,
                              OnlineUntestableReport)
+from repro.faults.models import (FaultModel, StuckAtFault, TransitionFault,
+                                 fault_model_names, register_fault_model,
+                                 resolve_fault_model)
 from repro.pipeline import (AnalysisPass, ArtifactCache, Pipeline,
                             PipelineBuilder, PipelineResult, analysis_pass,
                             default_pass_names)
@@ -72,6 +75,13 @@ __all__ = [
     "ArtifactCache",
     "AtpgEffort",
     "resolve_effort",
+    # fault models
+    "FaultModel",
+    "StuckAtFault",
+    "TransitionFault",
+    "fault_model_names",
+    "register_fault_model",
+    "resolve_fault_model",
     # legacy surface
     "analyze",
     "OnlineUntestableFlow",

@@ -37,6 +37,11 @@ Three subcommands mirror the Session/Design API:
 ``analyze``, ``sweep`` and ``corpus`` accept ``--jobs N`` (plus
 ``--backend serial|thread|process``) to shard the fault-population
 engines across workers — results are identical to the serial run.
+
+``analyze`` and ``sweep`` accept ``--fault-model stuck_at|transition`` to
+select the fault universe (``sweep`` also takes it as a scenario axis:
+``--axis fault_model=stuck_at,transition``); for ``corpus`` the flag
+restricts the run to the entries pinned under that model.
 """
 
 from __future__ import annotations
@@ -54,11 +59,19 @@ from repro.api.sweep import SweepReport
 from repro.atpg.engine import AtpgEffort
 from repro.core.report import render_source_details
 from repro.faults.categories import source_label
+from repro.faults.models import fault_model_names
 from repro.pipeline import DEFAULT_REGISTRY
 from repro.simulation.sharded import SHARD_BACKENDS
 from repro.soc.config import SoCConfig
 
 COMMANDS = ("analyze", "sweep", "report", "corpus")
+
+
+def _add_fault_model_argument(parser: argparse.ArgumentParser,
+                              help_text: str) -> None:
+    parser.add_argument(
+        "--fault-model", default=None, dest="fault_model",
+        choices=list(fault_model_names()), help=help_text)
 
 
 def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +126,8 @@ def _build_parser() -> argparse.ArgumentParser:
     analyze.add_argument(
         "--list-passes", action="store_true",
         help="list the registered analysis passes and exit")
+    _add_fault_model_argument(
+        analyze, "fault model to enumerate and classify (default: stuck_at)")
     _add_sharding_arguments(analyze)
 
     sweep = sub.add_parser(
@@ -147,6 +162,9 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true",
         help="suppress per-scenario progress lines on stderr")
+    _add_fault_model_argument(
+        sweep, ("default fault model for every scenario (also available as "
+                "a scenario axis: --axis fault_model=stuck_at,transition)"))
     _add_sharding_arguments(sweep)
 
     corpus = sub.add_parser(
@@ -167,6 +185,9 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus.add_argument(
         "--quiet", action="store_true",
         help="suppress per-entry progress lines on stderr")
+    _add_fault_model_argument(
+        corpus, ("restrict the run to entries pinned under this fault "
+                 "model (a filter, never an override)"))
     _add_sharding_arguments(corpus)
 
     report = sub.add_parser(
@@ -215,6 +236,7 @@ def _report_as_json(report, config_name: str, elapsed: float) -> str:
     return json.dumps({
         "config": config_name,
         "netlist": report.netlist_name,
+        "fault_model": report.fault_model,
         "total_faults": report.total_faults,
         "baseline_untestable": len(report.baseline_untestable),
         "total_online_untestable": report.total_online_untestable,
@@ -242,7 +264,8 @@ def _cmd_analyze(args) -> int:
 
     started = time.perf_counter()
     session = Session(effort=args.effort, parallel_passes=args.parallel,
-                      jobs=args.jobs, shard_backend=args.backend)
+                      jobs=args.jobs, shard_backend=args.backend,
+                      fault_model=args.fault_model)
     try:
         report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
@@ -299,7 +322,8 @@ def _cmd_sweep(args) -> int:
         return 2
 
     session = Session(executor=args.executor, max_workers=args.workers,
-                      jobs=args.jobs, shard_backend=args.backend)
+                      jobs=args.jobs, shard_backend=args.backend,
+                      fault_model=args.fault_model)
     passes = _split_passes(args.passes)
 
     if not args.quiet:
@@ -339,7 +363,8 @@ def _cmd_corpus(args) -> int:
     try:
         outcomes = run_corpus(args.dir, jobs=args.jobs,
                               shard_backend=args.backend,
-                              update=args.update, only=args.only or None)
+                              update=args.update, only=args.only or None,
+                              fault_model=args.fault_model)
     except CorpusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -11,7 +11,9 @@ subdirectory of committed Table I captures::
 
 Each spec names a base configuration preset, an ordered mapping of scenario
 axes (the :meth:`repro.soc.config.SoCConfig.with_axis` vocabulary — size,
-scan, debug, ``cpu.<field>``, ...) and an ATPG effort.  :func:`run_corpus`
+scan, debug, ``cpu.<field>``, ...), an ATPG effort and optionally a fault
+model (``"fault_model": "transition"`` — default stuck-at), so the corpus
+pins Table I per model.  :func:`run_corpus`
 builds every scenario, runs the full identification flow and byte-compares
 the rendered Table I against the golden capture; with ``update=True`` it
 rewrites the captures instead (the intentional-refresh workflow).
@@ -30,6 +32,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence, Tuple, Union
 
+from repro.faults.models import resolve_fault_model
 from repro.soc.config import SoCConfig
 
 #: Default corpus location, relative to the repository root.
@@ -51,6 +54,7 @@ class CorpusEntry:
     base: str
     axes: Tuple[Tuple[str, object], ...]
     effort: str
+    fault_model: str
     description: str
     path: Path
 
@@ -69,6 +73,8 @@ class CorpusEntry:
         parts = [f"base={self.base}"]
         parts.extend(f"{axis}={value}" for axis, value in self.axes)
         parts.append(f"effort={self.effort}")
+        if self.fault_model != resolve_fault_model(None).name:
+            parts.append(f"fault_model={self.fault_model}")
         return ",".join(parts)
 
 
@@ -103,11 +109,16 @@ def _parse_entry(path: Path) -> CorpusEntry:
     if not isinstance(axes, dict):
         raise CorpusError(f"corpus spec {path}: 'axes' must be an object")
     effort = data.get("effort", "tie")
+    try:
+        fault_model = resolve_fault_model(data.get("fault_model")).name
+    except ValueError as exc:
+        raise CorpusError(f"corpus spec {path}: {exc}") from exc
     return CorpusEntry(
         name=path.stem,
         base=base,
         axes=tuple(axes.items()),
         effort=str(effort),
+        fault_model=fault_model,
         description=str(data.get("description", "")),
         path=path,
     )
@@ -131,7 +142,8 @@ def render_entry(entry: CorpusEntry, session=None) -> str:
     from repro.api.session import Session
 
     session = session if session is not None else Session()
-    report = session.analyze(entry.build_config(), effort=entry.effort)
+    report = session.analyze(entry.build_config(), effort=entry.effort,
+                             fault_model=entry.fault_model)
     return report.to_table() + "\n"
 
 
@@ -140,23 +152,39 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                jobs: Optional[int] = None,
                shard_backend: Optional[str] = None,
                update: bool = False,
-               only: Optional[Sequence[str]] = None) -> List[CorpusOutcome]:
+               only: Optional[Sequence[str]] = None,
+               fault_model: Optional[str] = None) -> List[CorpusOutcome]:
     """Run (or refresh) the corpus; one outcome per entry, sorted by name.
 
     ``jobs``/``shard_backend`` configure fault-population sharding for the
     underlying analyses — the whole point of the corpus is that they must
-    not move a single byte of any capture.
+    not move a single byte of any capture.  ``fault_model`` restricts the
+    run to the entries pinned under that model (a filter, never an
+    override: each entry's golden capture belongs to its declared model).
     """
     from repro.api.session import Session
 
     entries = load_corpus(directory)
     if only:
+        # Validate the requested names against the *unfiltered* corpus so a
+        # real entry pinned under another model is not reported as unknown.
         wanted = set(only)
         unknown = wanted - {entry.name for entry in entries}
         if unknown:
             raise CorpusError(
                 f"unknown corpus entries: {', '.join(sorted(unknown))}")
         entries = [entry for entry in entries if entry.name in wanted]
+    if fault_model is not None:
+        wanted_model = resolve_fault_model(fault_model).name
+        dropped = [entry.name for entry in entries
+                   if entry.fault_model != wanted_model]
+        entries = [entry for entry in entries
+                   if entry.fault_model == wanted_model]
+        if not entries:
+            detail = (f" (selected entries pinned under other models: "
+                      f"{', '.join(dropped)})" if dropped else "")
+            raise CorpusError(
+                f"no corpus entries use fault model {wanted_model!r}{detail}")
 
     if session is None:
         session = Session(jobs=jobs, shard_backend=shard_backend)

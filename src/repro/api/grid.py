@@ -29,10 +29,13 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence
 
 from repro.atpg.engine import AtpgEffort, resolve_effort
+from repro.faults.models import resolve_fault_model
 from repro.soc.config import SoCConfig, axis_value_label, expand_axes
 
-#: The axes expanded at run level rather than into the SoC configuration.
-RUN_AXES = ("effort",)
+#: The axes expanded at run level rather than into the SoC configuration:
+#: the ATPG effort and the fault model select *how* a scenario is analyzed
+#: without changing the generated SoC.
+RUN_AXES = ("effort", "fault_model")
 
 
 @dataclass(frozen=True)
@@ -48,6 +51,10 @@ class Scenario:
     config: SoCConfig
     effort: Optional[AtpgEffort] = None
     index: int = 0
+    #: Fault-model registry name ("stuck_at", "transition", ...); None
+    #: keeps the session/flow default.  Declared after ``index`` so the
+    #: pre-existing positional construction order is preserved.
+    fault_model: Optional[str] = None
 
     def build_design(self):
         from repro.api.design import Design
@@ -85,6 +92,8 @@ class ScenarioGrid:
             raise ValueError(f"scenario axis {name!r} has no values")
         if name == "effort":
             values = [resolve_effort(v) for v in values]
+        elif name == "fault_model":
+            values = [resolve_fault_model(v).name for v in values]
         else:
             # Validate config axes eagerly — a typo should fail at grid
             # construction, not halfway through a long sweep.
@@ -115,17 +124,24 @@ class ScenarioGrid:
                        if name not in RUN_AXES}
         efforts: Sequence[Optional[AtpgEffort]] = (
             self._axes.get("effort") or [None])
+        fault_models: Sequence[Optional[str]] = (
+            self._axes.get("fault_model") or [None])
 
         points: List[Scenario] = []
         for config_label, config in expand_axes(self.base, config_axes):
             for effort in efforts:
-                parts = [part for part in (config_label,) if part]
-                if effort is not None:
-                    parts.append(f"effort={axis_value_label(effort)}")
-                label = (f"{self.base_name}" if not parts
-                         else f"{self.base_name}[{','.join(parts)}]")
-                points.append(Scenario(label=label, config=config,
-                                       effort=effort, index=len(points)))
+                for fault_model in fault_models:
+                    parts = [part for part in (config_label,) if part]
+                    if effort is not None:
+                        parts.append(f"effort={axis_value_label(effort)}")
+                    if fault_model is not None:
+                        parts.append(f"fault_model={fault_model}")
+                    label = (f"{self.base_name}" if not parts
+                             else f"{self.base_name}[{','.join(parts)}]")
+                    points.append(Scenario(label=label, config=config,
+                                           effort=effort,
+                                           fault_model=fault_model,
+                                           index=len(points)))
         return points
 
     def __repr__(self) -> str:

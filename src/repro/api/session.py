@@ -25,6 +25,7 @@ from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
 
 from repro.atpg.engine import AtpgEffort, resolve_effort
 from repro.core.results import FlowConfig, OnlineUntestableReport
+from repro.faults.models import FaultModel, resolve_fault_model
 from repro.api.design import Design
 from repro.api.executors import Executor, resolve_executor
 from repro.api.grid import Scenario, ScenarioGrid
@@ -61,7 +62,8 @@ def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
                              passes=list(job.passes) if job.passes else None,
                              effort=job.scenario.effort or job.effort,
                              parallel=job.parallel_passes,
-                             config=job.flow_config)
+                             config=job.flow_config,
+                             fault_model=job.scenario.fault_model)
     return {
         "label": job.scenario.label,
         "signature": design.signature,
@@ -86,7 +88,8 @@ class Session:
                  flow_config: Optional[FlowConfig] = None,
                  parallel_passes: Union[bool, int] = False,
                  jobs: Optional[int] = None,
-                 shard_backend: Optional[str] = None) -> None:
+                 shard_backend: Optional[str] = None,
+                 fault_model: Union[str, FaultModel, None] = None) -> None:
         self.executor = resolve_executor(executor, max_workers)
         self.max_workers = max_workers
         self.cache = (cache if cache is not None
@@ -101,6 +104,10 @@ class Session:
         #: share cache entries.
         self.jobs = jobs
         self.shard_backend = shard_backend
+        #: Default fault model applied when a call / scenario does not pick
+        #: one (None keeps the FlowConfig default, i.e. stuck-at).
+        self.fault_model = (resolve_fault_model(fault_model).name
+                            if fault_model is not None else None)
 
     # ------------------------------------------------------------------ #
     # single-design analysis
@@ -117,7 +124,9 @@ class Session:
                 config: Optional[FlowConfig] = None,
                 memory_map=None,
                 faults: Optional[Iterable] = None,
-                jobs: Optional[int] = None) -> OnlineUntestableReport:
+                jobs: Optional[int] = None,
+                fault_model: Union[str, FaultModel, None] = None
+                ) -> OnlineUntestableReport:
         """Analyze one design, applying session defaults where not overridden.
 
         ``target`` is anything :meth:`design` accepts.  Results are memoised
@@ -128,7 +137,8 @@ class Session:
         :mod:`repro.simulation.sharded`).
         """
         design = self.design(target, memory_map=memory_map)
-        flow_config = self._effective_flow_config(config, effort, jobs)
+        flow_config = self._effective_flow_config(config, effort, jobs,
+                                                  fault_model)
         pipeline = self._pipeline(passes, flow_config, parallel)
         result = pipeline.run(design.netlist, config=flow_config,
                               memory_map=design.memory_map, faults=faults)
@@ -239,7 +249,8 @@ class Session:
 
     def _effective_flow_config(self, config: Optional[FlowConfig],
                                effort,
-                               jobs: Optional[int] = None) -> FlowConfig:
+                               jobs: Optional[int] = None,
+                               fault_model=None) -> FlowConfig:
         flow_config = config if config is not None else self.flow_config
         flow_config = flow_config if flow_config is not None else FlowConfig()
         resolved = resolve_effort(effort, self.effort if config is None
@@ -257,6 +268,17 @@ class Session:
                 and flow_config.shard_backend is None):
             flow_config = _replace(flow_config,
                                    shard_backend=self.shard_backend)
+        if fault_model is not None:
+            # Explicit per-call model wins over the session default and the
+            # flow config.
+            flow_config = _replace(
+                flow_config,
+                fault_model=resolve_fault_model(fault_model).name)
+        elif self.fault_model is not None and config is None:
+            # Like the effort default: the session model applies only when
+            # no explicit config was handed in — FlowConfig(fault_model=
+            # "stuck_at") passed by the caller must stay stuck-at.
+            flow_config = _replace(flow_config, fault_model=self.fault_model)
         return flow_config
 
     def _pipeline(self, passes: Optional[Sequence],
@@ -280,7 +302,8 @@ class Session:
         design = scenario.build_design()
         report = self.analyze(design, passes=passes,
                               effort=scenario.effort or effort_default,
-                              config=config)
+                              config=config,
+                              fault_model=scenario.fault_model)
         return SweepResult(
             index=scenario.index, label=scenario.label,
             design_signature=design.signature,
@@ -316,6 +339,7 @@ class Session:
         flow_config = (self._effective_flow_config(config, None)
                        if (self.jobs is not None
                            or self.shard_backend is not None
+                           or self.fault_model is not None
                            or config is not None
                            or self.flow_config is not None)
                        else None)

@@ -24,7 +24,7 @@ from repro.atpg.podem import Podem, PodemStatus
 from repro.atpg.random_patterns import random_pattern_detection
 from repro.atpg.tie_analysis import TieAnalysis
 from repro.faults.categories import FaultClass
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault
 from repro.faults.faultlist import FaultList
 from repro.netlist.module import Netlist
 
@@ -64,20 +64,20 @@ class UntestabilityReport:
     """Classification outcome for one engine run."""
 
     effort: AtpgEffort
-    classifications: Dict[StuckAtFault, FaultClass] = field(default_factory=dict)
+    classifications: Dict[Fault, FaultClass] = field(default_factory=dict)
     runtime_seconds: float = 0.0
     phase_runtimes: Dict[str, float] = field(default_factory=dict)
 
-    def with_class(self, *classes: FaultClass) -> List[StuckAtFault]:
+    def with_class(self, *classes: FaultClass) -> List[Fault]:
         wanted = set(classes)
         return [f for f, c in self.classifications.items() if c in wanted]
 
     @property
-    def untestable(self) -> List[StuckAtFault]:
+    def untestable(self) -> List[Fault]:
         return [f for f, c in self.classifications.items() if c.is_untestable]
 
     @property
-    def detected(self) -> List[StuckAtFault]:
+    def detected(self) -> List[Fault]:
         return [f for f, c in self.classifications.items() if c.is_detected]
 
     def counts(self) -> Dict[str, int]:
@@ -87,7 +87,7 @@ class UntestabilityReport:
         return result
 
 
-def run_detection_phases(netlist: Netlist, faults: List[StuckAtFault],
+def run_detection_phases(netlist: Netlist, faults: List[Fault],
                          effort: AtpgEffort, *,
                          random_patterns: int = 256,
                          backtrack_limit: int = 200,
@@ -102,7 +102,7 @@ def run_detection_phases(netlist: Netlist, faults: List[StuckAtFault],
     fixpoint once and farm only these phases out to workers.  Returns
     ``(classifications, phase_runtimes)``.
     """
-    classifications: Dict[StuckAtFault, FaultClass] = {}
+    classifications: Dict[Fault, FaultClass] = {}
     phase_runtimes: Dict[str, float] = {}
     remaining = list(faults)
 
@@ -160,7 +160,7 @@ class StructuralUntestabilityEngine:
         self.shards = shards
         self.implication = ImplicationEngine(netlist)
 
-    def classify(self, faults: Iterable[StuckAtFault]) -> UntestabilityReport:
+    def classify(self, faults: Iterable[Fault]) -> UntestabilityReport:
         """Classify the given faults; unclassified faults are omitted from the
         report at TIE effort and reported NC/AU/DT at higher efforts."""
         fault_list = list(faults)

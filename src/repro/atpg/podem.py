@@ -1,4 +1,4 @@
-"""PODEM test-pattern generation / redundancy proof for single stuck-at faults.
+"""PODEM test generation / redundancy proof for any registered fault model.
 
 The generator works on the combinational (full-DFT) view of a netlist,
 executed over the compiled integer-ID IR (:mod:`repro.netlist.compiled`):
@@ -12,6 +12,15 @@ precomputed ID-indexed connectivity tables instead of the object graph.
 * observation points — observable output ports plus sequential-cell input
   nets.
 
+Single-pattern faults run the classic one-frame search.  Two-pattern
+launch-on-capture faults (transition-delay) run a two-time-frame unrolled
+search reusing the same five-valued algebra: the *capture* frame is the
+one-frame search against the spec's stuck value, and the *launch* frame is
+then justified — the excitation net must hold the initialization value, and
+every flip-flop output the capture cube assigned must be the next-state the
+launch frame produces (the launch-on-capture consistency constraint;
+primary inputs are free to change between frames).
+
 A fault for which the decision space is exhausted without finding a test is
 *structurally untestable* (class ``UU``); exceeding the backtrack limit gives
 ``AU`` (abandoned).  This mirrors the role TetraMax plays in the paper.
@@ -23,11 +32,13 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault, InjectionSpec, resolve_injection
 from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
 from repro.netlist.compiled import NO_NET, get_compiled
 from repro.netlist.module import Netlist
-from repro.simulation.simulator import scalar3_program
+from repro.simulation.simulator import (PLANE_ENCODING,
+                                        plane_program,
+                                        scalar3_program)
 
 
 class PodemStatus(Enum):
@@ -39,8 +50,12 @@ class PodemStatus(Enum):
 @dataclass
 class PodemResult:
     status: PodemStatus
-    fault: StuckAtFault
+    fault: Fault
     pattern: Dict[str, int] = field(default_factory=dict)
+    #: Launch-frame assignments of a two-time-frame test (empty for
+    #: single-pattern models): apply ``init_pattern``, clock once, then
+    #: apply ``pattern``.
+    init_pattern: Dict[str, int] = field(default_factory=dict)
     backtracks: int = 0
     decisions: int = 0
 
@@ -121,6 +136,14 @@ class Podem:
                 self._observation_ids.add(nid)
         self.observation: Set[str] = {names[nid] for nid in self._observation_ids}
 
+        # State-output net -> driving sequential instance index (used by the
+        # two-time-frame launch justification).
+        self._state_driver: Dict[int, int] = {}
+        for i, fanout in enumerate(compiled.seq_fanout):
+            for nid in fanout:
+                if nid >= 0:
+                    self._state_driver[nid] = i
+
     @property
     def order(self) -> list:
         """Topological order of the combinational instances (shared list)."""
@@ -129,7 +152,7 @@ class Podem:
     # ------------------------------------------------------------------ #
     # fault-site resolution
     # ------------------------------------------------------------------ #
-    def _fault_refs(self, fault: StuckAtFault) -> Tuple[Optional[int], int, int]:
+    def _fault_refs(self, fault: Fault) -> Tuple[Optional[int], int, int]:
         """Resolve ``(stem net id, branch op, branch pin pos)`` for a fault.
 
         A *stem* fault (module port or instance output pin) forces the whole
@@ -152,7 +175,7 @@ class Podem:
         # perturbed within the combinational time frame.
         return None, -1, -1
 
-    def _fault_excitation_id(self, fault: StuckAtFault) -> Optional[int]:
+    def _fault_excitation_id(self, fault: Fault) -> Optional[int]:
         """Net whose good value must be the opposite of the stuck value."""
         compiled = self.compiled
         if fault.is_port_fault:
@@ -269,16 +292,16 @@ class Podem:
             work.extend(compiled.net_succ[nid])
         return False
 
-    def _objective(self, fault: StuckAtFault, excite: int,
+    def _objective(self, fault_value: int, excite: int,
                    good: List[int], frontier: List[int]
                    ) -> Optional[Tuple[int, int]]:
         """Return (net id, value) to pursue next, or None at a dead end."""
         compiled = self.compiled
         g = good[excite]
-        wanted = LOGIC_1 - fault.value
+        wanted = LOGIC_1 - fault_value
         if g == LOGIC_X:
             return (excite, wanted)
-        if g == fault.value:
+        if g == fault_value:
             return None  # cannot excite under current assignments
         # Fault excited: advance the D-frontier.
         for op in frontier:
@@ -326,15 +349,22 @@ class Podem:
     # ------------------------------------------------------------------ #
     # public API
     # ------------------------------------------------------------------ #
-    def generate(self, fault: StuckAtFault) -> PodemResult:
-        """Attempt to generate a test for ``fault``."""
+    def generate(self, fault: Fault) -> PodemResult:
+        """Attempt to generate a test for ``fault`` (any registered model)."""
+        spec = resolve_injection(fault)
+        if spec.frames > 1:
+            return self._generate_two_frame(fault, spec)
+        return self._generate_single(fault, spec.stuck_value)
+
+    def _generate_single(self, fault: Fault, fault_value: int) -> PodemResult:
+        """The classic one-frame search against a stuck value."""
         compiled = self.compiled
         excite = self._fault_excitation_id(fault)
         if excite is None:
             # A fault on an unconnected pin can never be excited or observed.
             return PodemResult(PodemStatus.UNTESTABLE, fault)
         tied = compiled.tied[excite]
-        if tied is not None and tied == fault.value:
+        if tied is not None and tied == fault_value:
             return PodemResult(PodemStatus.UNTESTABLE, fault)
 
         stem, branch_op, branch_pos = self._fault_refs(fault)
@@ -348,7 +378,7 @@ class Podem:
 
         while True:
             good, faulty = self._simulate(assignments, stem,
-                                          branch_op, branch_pos, fault.value)
+                                          branch_op, branch_pos, fault_value)
             if self._detected(good, faulty):
                 pattern = {names[nid]: value
                            for nid, value in assignments.items()}
@@ -357,8 +387,8 @@ class Podem:
                                    backtracks=backtracks, decisions=decisions)
 
             frontier = self._d_frontier(good, faulty, branch_op, branch_pos,
-                                        fault.value)
-            excited = good[excite] == LOGIC_1 - fault.value
+                                        fault_value)
+            excited = good[excite] == LOGIC_1 - fault_value
             dead_end = False
             objective = None
 
@@ -370,7 +400,8 @@ class Podem:
                                                                   frontier):
                 dead_end = True
             else:
-                objective = self._objective(fault, excite, good, frontier)
+                objective = self._objective(fault_value, excite, good,
+                                            frontier)
                 if objective is None:
                     dead_end = True
 
@@ -403,3 +434,183 @@ class Podem:
             if backtracks > self.backtrack_limit:
                 return PodemResult(PodemStatus.ABORTED, fault,
                                    backtracks=backtracks, decisions=decisions)
+
+    # ------------------------------------------------------------------ #
+    # two-time-frame search (launch-on-capture models)
+    # ------------------------------------------------------------------ #
+    def _generate_two_frame(self, fault: Fault,
+                            spec: InjectionSpec) -> PodemResult:
+        """Unrolled two-frame search for a launch-on-capture fault.
+
+        Frame 2 (capture) is the one-frame search against the spec's stuck
+        value.  Frame 1 (launch) is then justified: the excitation net must
+        hold the initialization value, and every flip-flop output the
+        capture cube assigned must equal the next-state the launch frame
+        produces.  Exhausting the launch search proves untestability only
+        when the capture cube imposed no state constraints (the launch
+        objective is then capture-independent); otherwise a different
+        capture cube might still admit a launch, so the fault is abandoned
+        (AU) rather than declared redundant.
+        """
+        compiled = self.compiled
+        excite = self._fault_excitation_id(fault)
+        if excite is None:
+            return PodemResult(PodemStatus.UNTESTABLE, fault)
+        if compiled.tied[excite] is not None or excite in self._fixed_ids:
+            # The site is held at a mission constant: it never transitions,
+            # so neither polarity can ever be launched.
+            return PodemResult(PodemStatus.UNTESTABLE, fault)
+
+        capture = self._generate_single(fault, spec.stuck_value)
+        if capture.status is not PodemStatus.DETECTED:
+            return capture
+
+        state_objs = self._launch_state_constraints(capture.pattern)
+        launch, status, backtracks, decisions = self._justify_launch(
+            {excite: spec.init_value}, state_objs)
+        backtracks += capture.backtracks
+        decisions += capture.decisions
+        if status == "found":
+            return PodemResult(PodemStatus.DETECTED, fault,
+                               pattern=capture.pattern, init_pattern=launch,
+                               backtracks=backtracks, decisions=decisions)
+        if status == "exhausted" and not state_objs:
+            # No input can establish the initialization value at all — the
+            # net is functionally constant, independent of the capture cube.
+            return PodemResult(PodemStatus.UNTESTABLE, fault,
+                               backtracks=backtracks, decisions=decisions)
+        return PodemResult(PodemStatus.ABORTED, fault,
+                           backtracks=backtracks, decisions=decisions)
+
+    def _launch_state_constraints(self,
+                                  capture_pattern: Dict[str, int]
+                                  ) -> Dict[int, int]:
+        """Sequential indices constrained by the capture cube's state
+        assignments, mapped to the next-state value the launch frame must
+        produce.  Primary-input assignments impose nothing (inputs are free
+        to change between the two frames)."""
+        compiled = self.compiled
+        constraints: Dict[int, int] = {}
+        for name, value in capture_pattern.items():
+            nid = compiled.id_of(name)
+            if nid is None:
+                continue
+            seq_index = self._state_driver.get(nid)
+            if seq_index is not None:
+                constraints[seq_index] = value
+        return constraints
+
+    def _seq_next_value(self, seq_index: int, good: List[int]) -> int:
+        """Next-state of one sequential cell under a launch-frame good
+        machine (three-valued, via the shared plane program)."""
+        compiled = self.compiled
+        _, seq_program = plane_program(compiled)
+        flat: List[int] = []
+        for nid in compiled.seq_fanin[seq_index]:
+            d = PLANE_ENCODING[good[nid] if nid >= 0 else LOGIC_X]
+            flat.append(d[0])
+            flat.append(d[1])
+        out = seq_program[seq_index](1, *flat)
+        return LOGIC_1 if out[0] else (LOGIC_0 if out[1] else LOGIC_X)
+
+    def _seq_objective(self, seq_index: int, want: int,
+                       good: List[int]) -> Optional[Tuple[int, int]]:
+        """An unassigned net to pursue so a flip-flop's next state moves
+        towards ``want`` — the data-role pin first (the launch-on-capture
+        functional path), then any undetermined input."""
+        compiled = self.compiled
+        cell = compiled.seq_cell[seq_index]
+        data_pin = cell.role_pin("data")
+        fanin = compiled.seq_fanin[seq_index]
+        for pos, nid in enumerate(fanin):
+            if nid >= 0 and cell.inputs[pos] == data_pin \
+                    and good[nid] == LOGIC_X:
+                return (nid, want)
+        for nid in fanin:
+            if nid >= 0 and good[nid] == LOGIC_X:
+                return (nid, want)
+        return None
+
+    def _justify_launch(self, net_objs: Dict[int, int],
+                        state_objs: Dict[int, int]):
+        """Find launch-frame assignments meeting net and next-state
+        objectives.
+
+        Returns ``(pattern, status, backtracks, decisions)`` with status
+        ``"found"``, ``"exhausted"`` (decision space empty) or
+        ``"aborted"`` (backtrack limit).  The search reuses PODEM's
+        good-machine five-valued simulation, backtrace and decision stack —
+        objectives are checked exactly (by simulation), the per-objective
+        backtrace is only a search heuristic.
+        """
+        compiled = self.compiled
+        names = compiled.net_names
+        assignments: Dict[int, int] = {}
+        stack: List[List] = []
+        backtracks = 0
+        decisions = 0
+
+        while True:
+            good, _ = self._simulate(assignments, None, -1, -1, 0)
+            conflict = False
+            pending: Optional[Tuple[int, int]] = None
+            satisfied = True
+
+            for nid, want in net_objs.items():
+                g = good[nid]
+                if g == LOGIC_X:
+                    satisfied = False
+                    if pending is None:
+                        pending = (nid, want)
+                elif g != want:
+                    conflict = True
+                    break
+            if not conflict:
+                for seq_index, want in state_objs.items():
+                    nxt = self._seq_next_value(seq_index, good)
+                    if nxt == LOGIC_X:
+                        satisfied = False
+                        if pending is None:
+                            pending = self._seq_objective(seq_index, want,
+                                                          good)
+                            if pending is None:
+                                conflict = True
+                                break
+                    elif nxt != want:
+                        conflict = True
+                        break
+
+            if not conflict and satisfied:
+                pattern = {names[nid]: value
+                           for nid, value in assignments.items()}
+                return pattern, "found", backtracks, decisions
+
+            if not conflict:
+                if pending is None:
+                    conflict = True
+                else:
+                    pi = self._backtrace(pending[0], pending[1], good)
+                    if pi is None:
+                        conflict = True
+                    else:
+                        nid, value = pi
+                        assignments[nid] = value
+                        stack.append([nid, value, False])
+                        decisions += 1
+                        continue
+
+            # Backtrack.
+            while stack:
+                nid, value, tried = stack[-1]
+                if not tried:
+                    stack[-1][2] = True
+                    assignments[nid] = LOGIC_1 - value
+                    backtracks += 1
+                    break
+                stack.pop()
+                assignments.pop(nid, None)
+            else:
+                return {}, "exhausted", backtracks, decisions
+
+            if backtracks > self.backtrack_limit:
+                return {}, "aborted", backtracks, decisions

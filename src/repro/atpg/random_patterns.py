@@ -12,19 +12,19 @@ from __future__ import annotations
 import random
 from typing import Dict, Iterable, Optional, Set
 
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault
 from repro.netlist.module import Netlist
 from repro.simulation.parallel import ParallelPatternSimulator
 from repro.utils.bitvec import mask
 
 
 def random_pattern_detection(netlist: Netlist,
-                             faults: Iterable[StuckAtFault],
+                             faults: Iterable[Fault],
                              n_patterns: int = 256,
                              word_size: int = 64,
                              seed: int = 2013,
                              simulator: Optional[ParallelPatternSimulator] = None,
-                             ) -> Set[StuckAtFault]:
+                             ) -> Set[Fault]:
     """Return the subset of ``faults`` detected by random patterns.
 
     Patterns are applied to every controllable point of the combinational
@@ -43,8 +43,8 @@ def random_pattern_detection(netlist: Netlist,
             if pin.net is not None and pin.net.tied is None:
                 controllable.append(pin.net.name)
 
-    remaining: Set[StuckAtFault] = set(faults)
-    detected: Set[StuckAtFault] = set()
+    remaining: Set[Fault] = set(faults)
+    detected: Set[Fault] = set()
     applied = 0
     while applied < n_patterns and remaining:
         width = min(word_size, n_patterns - applied)

@@ -2,11 +2,15 @@
 
 This is the work-horse of the paper's methodology: after the circuit
 manipulation step ties debug inputs / constant address bits to fixed values
-(and/or floats debug-only outputs), this analysis finds every stuck-at fault
-that has become untestable because of those constants:
+(and/or floats debug-only outputs), this analysis finds every fault that has
+become untestable because of those constants.  Whether a constant blocks
+excitation is the fault model's call (stuck-at: the constant equals the
+stuck value; transition-delay: any constant, since a held net never
+transitions); the propagation/observability walks below are
+value-independent and shared by every model:
 
-* **UT** — the fault site is held at the stuck value by an implied constant,
-  so the fault can never be excited;
+* **UT** — the fault site is held by an implied constant that blocks the
+  model's excitation condition, so the fault can never be excited;
 * **UB** — the fault can be excited, but every propagation path towards an
   observation point passes through a gate whose side input is held at a
   controlling constant (or through a capture mux whose select is tied the
@@ -32,7 +36,7 @@ from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.atpg.implication import ImplicationEngine
 from repro.faults.categories import FaultClass
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault, model_of
 from repro.netlist.cells import LOGIC_X
 from repro.netlist.compiled import NO_NET, get_compiled
 from repro.netlist.module import Netlist
@@ -42,13 +46,13 @@ from repro.netlist.module import Netlist
 class TieAnalysisResult:
     """Outcome of a tied-value analysis over a set of faults."""
 
-    unexcitable: Set[StuckAtFault] = field(default_factory=set)       # UT
-    propagation_blocked: Set[StuckAtFault] = field(default_factory=set)  # UB
-    unobservable: Set[StuckAtFault] = field(default_factory=set)      # UO
-    classifications: Dict[StuckAtFault, FaultClass] = field(default_factory=dict)
+    unexcitable: Set[Fault] = field(default_factory=set)       # UT
+    propagation_blocked: Set[Fault] = field(default_factory=set)  # UB
+    unobservable: Set[Fault] = field(default_factory=set)      # UO
+    classifications: Dict[Fault, FaultClass] = field(default_factory=dict)
 
     @property
-    def untestable(self) -> Set[StuckAtFault]:
+    def untestable(self) -> Set[Fault]:
         return self.unexcitable | self.propagation_blocked | self.unobservable
 
     def count(self) -> int:
@@ -186,7 +190,7 @@ class TieAnalysis:
     # ------------------------------------------------------------------ #
     # per-fault classification
     # ------------------------------------------------------------------ #
-    def classify_fault(self, fault: StuckAtFault) -> Optional[FaultClass]:
+    def classify_fault(self, fault: Fault) -> Optional[FaultClass]:
         """Return UT/UB/UO if the fault is provably untestable, else None."""
         compiled = self.compiled
         if fault.is_port_fault:
@@ -194,7 +198,8 @@ class TieAnalysis:
             if nid is None:
                 return FaultClass.UO
             constant = self.engine.constant_of(fault.site)
-            if constant is not None and constant == fault.value:
+            if constant is not None and model_of(fault).excitation_blocked(
+                    fault, constant):
                 return FaultClass.UT
             if compiled.is_output_port[nid]:
                 if fault.site in self.netlist.unobservable_ports:
@@ -208,7 +213,8 @@ class TieAnalysis:
             return FaultClass.UO
 
         constant = self.engine.constant_of(compiled.net_names[nid])
-        if constant is not None and constant == fault.value:
+        if constant is not None and model_of(fault).excitation_blocked(
+                fault, constant):
             return FaultClass.UT
 
         if not is_input:
@@ -237,7 +243,7 @@ class TieAnalysis:
         return FaultClass.UB
 
     def _sequential_branch_class(self, seq_index: int, port: str,
-                                 fault: StuckAtFault) -> Optional[FaultClass]:
+                                 fault: Fault) -> Optional[FaultClass]:
         """Classification of a fault on a flip-flop input pin.
 
         In the DFT view a value captured into a flip-flop is observable, so
@@ -293,7 +299,7 @@ class TieAnalysis:
         return FaultClass.UB
 
     # ------------------------------------------------------------------ #
-    def run(self, faults: Iterable[StuckAtFault]) -> TieAnalysisResult:
+    def run(self, faults: Iterable[Fault]) -> TieAnalysisResult:
         """Classify every fault in ``faults``."""
         result = TieAnalysisResult()
         for fault in faults:

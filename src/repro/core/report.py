@@ -11,12 +11,27 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
     from repro.core.flow import OnlineUntestableReport
 
 
+def _model_label(report: "OnlineUntestableReport") -> str:
+    """Human wording of the report's fault model ("stuck-at", ...); an
+    unregistered model name is shown verbatim rather than failing the
+    render."""
+    from repro.faults.models import get_fault_model
+
+    try:
+        return get_fault_model(report.fault_model).label
+    except ValueError:
+        return report.fault_model
+
+
 def render_summary_table(report: "OnlineUntestableReport") -> str:
-    """Render the Table-I style summary of on-line functionally untestable faults."""
+    """Render the Table-I style summary of on-line functionally untestable
+    faults, titled with the report's fault model ("stuck-at faults",
+    "transition-delay faults", ...)."""
+    model_label = _model_label(report)
     table = Table(["Source", "[#]", "[%]"],
                   title=(f"On-line functionally untestable faults — "
                          f"{report.netlist_name} "
-                         f"({report.total_faults:,} stuck-at faults)"))
+                         f"({report.total_faults:,} {model_label} faults)"))
     for row in report.table_rows():
         count = row.get("detail", row["count"])
         if isinstance(count, int):
@@ -31,8 +46,8 @@ def render_source_details(report: "OnlineUntestableReport",
                           max_faults_per_source: int = 10) -> str:
     """A per-source breakdown with example faults, runtimes and counts."""
     lines: List[str] = []
-    lines.append(f"Fault universe: {report.total_faults:,} stuck-at faults "
-                 f"({report.netlist_name})")
+    lines.append(f"Fault universe: {report.total_faults:,} "
+                 f"{_model_label(report)} faults ({report.netlist_name})")
     lines.append(f"Baseline (already untestable before manipulation): "
                  f"{len(report.baseline_untestable):,}")
     for summary in report.sources:

@@ -21,7 +21,7 @@ from repro.core.memory_analysis import MemoryMapResult
 from repro.core.scan_analysis import ScanAnalysisResult
 from repro.faults.categories import (FaultClass, OnlineUntestableSource,
                                      source_label)
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import DEFAULT_FAULT_MODEL, Fault, parse_fault
 from repro.faults.faultlist import FaultList
 
 
@@ -30,6 +30,11 @@ class FlowConfig:
     """What the flow runs and how hard the ATPG engine works."""
 
     effort: AtpgEffort = AtpgEffort.TIE
+    # Fault model the flow enumerates and classifies (a registry name from
+    # repro.faults.models — "stuck_at" is the paper's universe,
+    # "transition" the launch-on-capture transition-delay model).  A cache
+    # facet: passes keyed on the fault universe re-run per model.
+    fault_model: str = DEFAULT_FAULT_MODEL
     run_scan: bool = True
     run_debug_control: bool = True
     run_debug_observe: bool = True
@@ -49,8 +54,8 @@ class SourceSummary:
     """Per-source contribution to the on-line untestable population."""
 
     source: OnlineUntestableSource
-    identified: Set[StuckAtFault] = field(default_factory=set)
-    attributed: Set[StuckAtFault] = field(default_factory=set)
+    identified: Set[Fault] = field(default_factory=set)
+    attributed: Set[Fault] = field(default_factory=set)
     runtime_seconds: float = 0.0
 
     @property
@@ -64,7 +69,9 @@ class OnlineUntestableReport:
 
     netlist_name: str
     total_faults: int
-    baseline_untestable: Set[StuckAtFault] = field(default_factory=set)
+    #: Registry name of the fault model the universe was enumerated under.
+    fault_model: str = DEFAULT_FAULT_MODEL
+    baseline_untestable: Set[Fault] = field(default_factory=set)
     sources: List[SourceSummary] = field(default_factory=list)
     scan_result: Optional[ScanAnalysisResult] = None
     debug_control_result: Optional[DebugControlResult] = None
@@ -73,8 +80,8 @@ class OnlineUntestableReport:
     runtimes: Dict[str, float] = field(default_factory=dict)
 
     @property
-    def online_untestable(self) -> Set[StuckAtFault]:
-        result: Set[StuckAtFault] = set()
+    def online_untestable(self) -> Set[Fault]:
+        result: Set[Fault] = set()
         for source in self.sources:
             result |= source.attributed
         return result
@@ -140,6 +147,7 @@ class OnlineUntestableReport:
         return {
             "schema": 1,
             "netlist": self.netlist_name,
+            "fault_model": self.fault_model,
             "total_faults": self.total_faults,
             "total_online_untestable": self.total_online_untestable,
             "baseline_untestable": sorted(str(f)
@@ -159,8 +167,8 @@ class OnlineUntestableReport:
 
     @classmethod
     def from_json_dict(cls, data: Dict[str, object]) -> "OnlineUntestableReport":
-        def parse_faults(items) -> Set[StuckAtFault]:
-            return {StuckAtFault.parse(text) for text in items}
+        def parse_faults(items) -> Set[Fault]:
+            return {parse_fault(text) for text in items}
 
         def parse_source(value: str):
             try:
@@ -171,6 +179,7 @@ class OnlineUntestableReport:
         report = cls(
             netlist_name=data["netlist"],
             total_faults=int(data["total_faults"]),
+            fault_model=str(data.get("fault_model", DEFAULT_FAULT_MODEL)),
             baseline_untestable=parse_faults(data.get("baseline_untestable", ())),
             runtimes={k: float(v)
                       for k, v in (data.get("runtimes") or {}).items()},

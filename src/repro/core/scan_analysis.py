@@ -22,10 +22,11 @@ classified "untestable due to tied value" by the structural engine).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Union
 
 from repro.atpg.engine import AtpgEffort, StructuralUntestabilityEngine
-from repro.faults.fault import SA0, SA1, StuckAtFault
+from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault, FaultModel, resolve_fault_model
 from repro.netlist.cells import LOGIC_0, LOGIC_1
 from repro.netlist.module import Netlist
 from repro.scan.chain_tracer import ScanChain, trace_scan_chains
@@ -36,13 +37,13 @@ class ScanAnalysisResult:
     """Scan-related on-line functionally untestable faults."""
 
     chains: List[ScanChain] = field(default_factory=list)
-    serial_input_faults: Set[StuckAtFault] = field(default_factory=set)
-    scan_enable_faults: Set[StuckAtFault] = field(default_factory=set)
-    path_faults: Set[StuckAtFault] = field(default_factory=set)
-    port_faults: Set[StuckAtFault] = field(default_factory=set)
+    serial_input_faults: Set[Fault] = field(default_factory=set)
+    scan_enable_faults: Set[Fault] = field(default_factory=set)
+    path_faults: Set[Fault] = field(default_factory=set)
+    port_faults: Set[Fault] = field(default_factory=set)
 
     @property
-    def untestable(self) -> Set[StuckAtFault]:
+    def untestable(self) -> Set[Fault]:
         return (self.serial_input_faults | self.scan_enable_faults
                 | self.path_faults | self.port_faults)
 
@@ -68,8 +69,19 @@ def _functional_se_value(cell) -> int:
 
 def identify_scan_untestable(netlist: Netlist,
                              scan_in_ports: Optional[Sequence[str]] = None,
-                             include_clock_pins: bool = False) -> ScanAnalysisResult:
-    """Trace the scan chains and prune the §3.1 fault population."""
+                             include_clock_pins: bool = False,
+                             model: Union[str, FaultModel, None] = None
+                             ) -> ScanAnalysisResult:
+    """Trace the scan chains and prune the §3.1 fault population.
+
+    Fault enumeration is delegated to the fault model: sites that are
+    never exercised in the field (serial inputs, path buffers, scan ports)
+    contribute every model fault, while the scan enable — *held* at its
+    functional value during the mission — contributes the model's
+    constant-site faults (stuck-at: the functional-value fault only;
+    transition-delay: both polarities, since a held net never toggles).
+    """
+    fault_model = resolve_fault_model(model)
     chains = trace_scan_chains(netlist, scan_in_ports)
     result = ScanAnalysisResult(chains=chains)
 
@@ -83,14 +95,15 @@ def identify_scan_untestable(netlist: Netlist,
             si_pin = cell.role_pin("scan_in")
             if si_pin is not None:
                 site = inst.pin(si_pin).name
-                result.serial_input_faults.add(StuckAtFault(site, SA0))
-                result.serial_input_faults.add(StuckAtFault(site, SA1))
+                result.serial_input_faults.update(
+                    fault_model.site_faults(site))
 
             se_pin = cell.role_pin("scan_enable")
             if se_pin is not None:
                 site = inst.pin(se_pin).name
                 functional_value = _functional_se_value(cell)
-                result.scan_enable_faults.add(StuckAtFault(site, functional_value))
+                result.scan_enable_faults.update(
+                    fault_model.constant_site_faults(site, functional_value))
                 se_net = inst.pin(se_pin).net
                 if se_net is not None:
                     scan_enable_nets.add(se_net.name)
@@ -99,29 +112,28 @@ def identify_scan_untestable(netlist: Netlist,
                 ck_pin = cell.role_pin("clock")
                 if ck_pin is not None:
                     site = inst.pin(ck_pin).name
-                    result.path_faults.add(StuckAtFault(site, SA0))
-                    result.path_faults.add(StuckAtFault(site, SA1))
+                    result.path_faults.update(fault_model.site_faults(site))
 
         for inst_name in chain.path_instances:
             inst = netlist.instance(inst_name)
             for pin in inst.pins.values():
                 if pin.net is None:
                     continue
-                result.path_faults.add(StuckAtFault(pin.name, SA0))
-                result.path_faults.add(StuckAtFault(pin.name, SA1))
+                result.path_faults.update(fault_model.site_faults(pin.name))
 
-        result.port_faults.add(StuckAtFault(chain.scan_in_port, SA0))
-        result.port_faults.add(StuckAtFault(chain.scan_in_port, SA1))
+        result.port_faults.update(
+            fault_model.site_faults(chain.scan_in_port))
         if chain.scan_out_port is not None:
-            result.port_faults.add(StuckAtFault(chain.scan_out_port, SA0))
-            result.port_faults.add(StuckAtFault(chain.scan_out_port, SA1))
+            result.port_faults.update(
+                fault_model.site_faults(chain.scan_out_port))
 
     # The scan-enable distribution: the port (and any net dedicated to SE)
-    # stuck at the functional value is untestable.
+    # held at the functional value is untestable.
     for net_name in scan_enable_nets:
         net = netlist.nets[net_name]
         if net.is_input_port:
-            result.port_faults.add(StuckAtFault(net_name, LOGIC_0))
+            result.port_faults.update(
+                fault_model.constant_site_faults(net_name, LOGIC_0))
 
     return result
 

@@ -1,4 +1,4 @@
-"""Structural equivalence collapsing of stuck-at faults.
+"""Structural equivalence collapsing, delegated to the fault model.
 
 The paper reports *uncollapsed* fault counts (that is what TetraMax prints by
 default for coverage figures), but collapsing is a standard ATPG front-end
@@ -6,31 +6,40 @@ step and is used here for the ablation study: the on-line untestable fraction
 is essentially unchanged whether counted on the collapsed or uncollapsed
 universe.
 
-Collapsing rules implemented (classic gate-level equivalences):
+Which faults are structurally equivalent depends on the fault model, so the
+rules live with the model (:meth:`repro.faults.models.FaultModel
+.equivalence_pairs`) and this module only runs the generic union-find:
 
-* a stuck-at fault on a gate *input* that forces the controlled output value
-  is equivalent to the corresponding output fault
-  (AND: in s-a-0 ≡ out s-a-0; OR: in s-a-1 ≡ out s-a-1;
-  NAND: in s-a-0 ≡ out s-a-1; NOR: in s-a-1 ≡ out s-a-0);
-* buffer: input s-a-v ≡ output s-a-v; inverter: input s-a-v ≡ output s-a-(1-v);
-* a fanout-free net connects its driver-pin faults with its single load-pin
-  faults (stem ≡ branch when there is exactly one branch).
+* **stuck-at** — the classic gate-level equivalences: a gate-input fault
+  that forces the controlled output value collapses onto the output fault
+  (AND: in s-a-0 ≡ out s-a-0; NAND: in s-a-0 ≡ out s-a-1; ...), buffers and
+  inverters collapse through (the inverter flipping polarity), and a
+  fanout-free net merges its driver- and single-load-pin faults;
+* **transition-delay** — only buffer/inverter chains (inverter swapping
+  slow-to-rise with slow-to-fall) and fanout-free stem/branch pairs: the
+  controlling-value rules are unsound once the two-pattern initialization
+  condition is accounted for, so the same netlist collapses differently
+  under the two models.
+
+Class membership and representatives are deterministic: identical inputs
+(netlist, fault order, model) produce identical classes in identical order,
+independent of hash randomization.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional
 
-from repro.faults.fault import SA0, SA1, StuckAtFault
 from repro.faults.faultlist import FaultList
+from repro.faults.models import Fault, FaultModel, model_of, resolve_fault_model
 from repro.netlist.module import Netlist
 
 
 class _UnionFind:
     def __init__(self) -> None:
-        self.parent: Dict[StuckAtFault, StuckAtFault] = {}
+        self.parent: Dict[Fault, Fault] = {}
 
-    def find(self, x: StuckAtFault) -> StuckAtFault:
+    def find(self, x: Fault) -> Fault:
         self.parent.setdefault(x, x)
         root = x
         while self.parent[root] != root:
@@ -39,81 +48,44 @@ class _UnionFind:
             self.parent[x], x = root, self.parent[x]
         return root
 
-    def union(self, a: StuckAtFault, b: StuckAtFault) -> None:
+    def union(self, a: Fault, b: Fault) -> None:
         ra, rb = self.find(a), self.find(b)
         if ra != rb:
             self.parent[rb] = ra
 
 
-# (cell prefix, input fault value, output fault value) equivalences.
-_GATE_RULES: Dict[str, Tuple[int, int]] = {
-    "AND": (SA0, SA0),
-    "NAND": (SA0, SA1),
-    "OR": (SA1, SA1),
-    "NOR": (SA1, SA0),
-}
-
-
-def _base_cell(cell_name: str) -> str:
-    return cell_name.rstrip("0123456789")
-
-
-def equivalence_classes(netlist: Netlist,
-                        faults: Iterable[StuckAtFault]) -> Dict[StuckAtFault, List[StuckAtFault]]:
+def equivalence_classes(netlist: Netlist, faults: Iterable[Fault],
+                        model: Optional[FaultModel] = None
+                        ) -> Dict[Fault, List[Fault]]:
     """Group faults into structural equivalence classes.
 
-    Returns a mapping from class representative to the members of its class.
-    Only faults present in ``faults`` participate.
+    Returns a mapping from class representative to the members of its
+    class, in the order the faults were supplied.  Only faults present in
+    ``faults`` participate.  ``model`` defaults to the model owning the
+    first fault (every generated fault list is single-model).
     """
-    present = set(faults)
-    uf = _UnionFind()
-    for fault in present:
-        uf.find(fault)
+    ordered = list(dict.fromkeys(faults))
+    present = set(ordered)
+    if model is None:
+        model = model_of(ordered[0]) if ordered else resolve_fault_model(None)
 
-    def maybe_union(a: StuckAtFault, b: StuckAtFault) -> None:
+    uf = _UnionFind()
+    for fault in ordered:
+        uf.find(fault)
+    for a, b in model.equivalence_pairs(netlist):
         if a in present and b in present:
             uf.union(a, b)
 
-    for inst in netlist.instances.values():
-        base = _base_cell(inst.cell.name)
-        if inst.is_sequential:
-            continue
-        out_pins = inst.output_pins()
-        if len(out_pins) != 1:
-            continue
-        out = out_pins[0]
-        if base == "BUF":
-            for value in (SA0, SA1):
-                maybe_union(StuckAtFault(out.name, value),
-                            StuckAtFault(inst.pin("A").name, value))
-        elif base == "INV":
-            for value in (SA0, SA1):
-                maybe_union(StuckAtFault(out.name, value),
-                            StuckAtFault(inst.pin("A").name, 1 - value))
-        elif base in _GATE_RULES:
-            in_value, out_value = _GATE_RULES[base]
-            for pin in inst.input_pins():
-                maybe_union(StuckAtFault(out.name, out_value),
-                            StuckAtFault(pin.name, in_value))
-
-    # Stem/branch equivalence on fanout-free nets.
-    for net in netlist.nets.values():
-        if len(net.loads) != 1 or net.driver is None:
-            continue
-        load = net.loads[0]
-        for value in (SA0, SA1):
-            maybe_union(StuckAtFault(net.driver.name, value),
-                        StuckAtFault(load.name, value))
-
-    classes: Dict[StuckAtFault, List[StuckAtFault]] = {}
-    for fault in present:
+    classes: Dict[Fault, List[Fault]] = {}
+    for fault in ordered:
         classes.setdefault(uf.find(fault), []).append(fault)
     return classes
 
 
-def collapse_fault_list(netlist: Netlist, fault_list: FaultList) -> FaultList:
+def collapse_fault_list(netlist: Netlist, fault_list: FaultList,
+                        model: Optional[FaultModel] = None) -> FaultList:
     """Return a collapsed fault list containing one representative per class."""
-    classes = equivalence_classes(netlist, fault_list.faults())
+    classes = equivalence_classes(netlist, fault_list.faults(), model=model)
     collapsed = FaultList(netlist_name=fault_list.netlist_name)
     for representative in classes:
         collapsed.add(representative, fault_list.get_class(representative))

@@ -20,6 +20,25 @@ SA0 = 0
 SA1 = 1
 
 
+def site_is_port(site: str) -> bool:
+    """Is a fault-site string a module port (vs an ``instance/PIN`` pin)?"""
+    return "/" not in site
+
+
+def site_instance_name(site: str) -> Optional[str]:
+    """Instance part of a pin site (None for port sites)."""
+    if site_is_port(site):
+        return None
+    return site.rpartition("/")[0]
+
+
+def site_pin_name(site: str) -> Optional[str]:
+    """Pin part of a pin site (None for port sites)."""
+    if site_is_port(site):
+        return None
+    return site.rpartition("/")[2]
+
+
 @dataclass(frozen=True, order=True)
 class StuckAtFault:
     """A single stuck-at fault at a pin or port site."""
@@ -33,19 +52,15 @@ class StuckAtFault:
 
     @property
     def is_port_fault(self) -> bool:
-        return "/" not in self.site
+        return site_is_port(self.site)
 
     @property
     def instance_name(self) -> Optional[str]:
-        if self.is_port_fault:
-            return None
-        return self.site.rpartition("/")[0]
+        return site_instance_name(self.site)
 
     @property
     def pin_name(self) -> Optional[str]:
-        if self.is_port_fault:
-            return None
-        return self.site.rpartition("/")[2]
+        return site_pin_name(self.site)
 
     def __str__(self) -> str:
         return f"{self.site} s-a-{self.value}"
@@ -55,7 +70,11 @@ class StuckAtFault:
         """Parse the ``"site s-a-V"`` form produced by :meth:`__str__`."""
         site, _, tail = text.rpartition(" s-a-")
         if not site or tail not in ("0", "1"):
-            raise ValueError(f"cannot parse stuck-at fault from {text!r}")
+            raise ValueError(
+                f"cannot parse stuck-at fault from {text!r}: expected "
+                f"'<site> s-a-0' or '<site> s-a-1', where <site> is "
+                f"'<instance>/<PIN>' or '<port>' — e.g. "
+                f"'u_alu_add_7/A s-a-0'")
         return cls(site=site, value=int(tail))
 
 

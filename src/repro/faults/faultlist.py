@@ -4,50 +4,51 @@ A :class:`FaultList` is the central object the identification flow operates
 on.  It tracks, per fault, an ATPG-style :class:`~repro.faults.categories.FaultClass`
 and (when applicable) the on-line untestability source that caused the fault
 to be pruned, so the Table-I style report can be produced directly from it.
+
+The container is model-agnostic: it holds whatever fault objects the
+selected :class:`~repro.faults.models.FaultModel` enumerates (stuck-at by
+default), and serialization round-trips through the model-dispatching
+parser, so persisted lists of any model restore losslessly.
 """
 
 from __future__ import annotations
 
 from collections import Counter
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.faults.categories import FaultClass, OnlineUntestableSource
-from repro.faults.fault import SA0, SA1, StuckAtFault
+from repro.faults.models import (Fault, FaultModel, parse_fault,
+                                 resolve_fault_model)
 from repro.netlist.module import Netlist
 
 
 def generate_fault_list(netlist: Netlist,
                         include_ports: bool = True,
-                        include_unconnected: bool = False) -> "FaultList":
+                        include_unconnected: bool = False,
+                        model: Union[str, FaultModel, None] = None
+                        ) -> "FaultList":
     """Create the uncollapsed pin-fault universe of a netlist.
 
-    Two stuck-at faults (s-a-0, s-a-1) per instance pin and, when
-    ``include_ports`` is set, per module port.  Pins left unconnected are
-    skipped unless ``include_unconnected`` is set (an unconnected pin has no
-    observable behaviour at all).
+    Site enumeration is delegated to the fault model (default: single
+    stuck-at — two faults per instance pin and, when ``include_ports`` is
+    set, per module port).  Pins left unconnected are skipped unless
+    ``include_unconnected`` is set (an unconnected pin has no observable
+    behaviour at all).
     """
-    faults: List[StuckAtFault] = []
-    for inst in netlist.instances.values():
-        for pin in inst.pins.values():
-            if pin.net is None and not include_unconnected:
-                continue
-            faults.append(StuckAtFault(pin.name, SA0))
-            faults.append(StuckAtFault(pin.name, SA1))
-    if include_ports:
-        for port in netlist.ports:
-            faults.append(StuckAtFault(port, SA0))
-            faults.append(StuckAtFault(port, SA1))
+    resolved = resolve_fault_model(model)
+    faults = resolved.generate(netlist, include_ports=include_ports,
+                               include_unconnected=include_unconnected)
     return FaultList(faults, netlist_name=netlist.name)
 
 
 class FaultList:
-    """An ordered collection of stuck-at faults with classification state."""
+    """An ordered collection of faults (any model) with classification state."""
 
-    def __init__(self, faults: Iterable[StuckAtFault] = (),
+    def __init__(self, faults: Iterable[Fault] = (),
                  netlist_name: str = "") -> None:
         self.netlist_name = netlist_name
-        self._faults: Dict[StuckAtFault, FaultClass] = {}
-        self._sources: Dict[StuckAtFault, OnlineUntestableSource] = {}
+        self._faults: Dict[Fault, FaultClass] = {}
+        self._sources: Dict[Fault, OnlineUntestableSource] = {}
         for f in faults:
             self._faults.setdefault(f, FaultClass.NC)
 
@@ -57,23 +58,23 @@ class FaultList:
     def __len__(self) -> int:
         return len(self._faults)
 
-    def __iter__(self) -> Iterator[StuckAtFault]:
+    def __iter__(self) -> Iterator[Fault]:
         return iter(self._faults)
 
-    def __contains__(self, fault: StuckAtFault) -> bool:
+    def __contains__(self, fault: Fault) -> bool:
         return fault in self._faults
 
-    def add(self, fault: StuckAtFault,
+    def add(self, fault: Fault,
             fault_class: FaultClass = FaultClass.NC) -> None:
         self._faults.setdefault(fault, fault_class)
 
-    def faults(self) -> List[StuckAtFault]:
+    def faults(self) -> List[Fault]:
         return list(self._faults)
 
     # ------------------------------------------------------------------ #
     # classification
     # ------------------------------------------------------------------ #
-    def classify(self, fault: StuckAtFault, fault_class: FaultClass,
+    def classify(self, fault: Fault, fault_class: FaultClass,
                  source: Optional[OnlineUntestableSource] = None) -> None:
         if fault not in self._faults:
             raise KeyError(f"fault {fault} not in fault list")
@@ -81,7 +82,7 @@ class FaultList:
         if source is not None:
             self._sources[fault] = source
 
-    def classify_many(self, faults: Iterable[StuckAtFault],
+    def classify_many(self, faults: Iterable[Fault],
                       fault_class: FaultClass,
                       source: Optional[OnlineUntestableSource] = None) -> int:
         """Classify every listed fault that is present; returns how many were."""
@@ -92,33 +93,33 @@ class FaultList:
                 count += 1
         return count
 
-    def get_class(self, fault: StuckAtFault) -> FaultClass:
+    def get_class(self, fault: Fault) -> FaultClass:
         return self._faults[fault]
 
-    def get_source(self, fault: StuckAtFault) -> Optional[OnlineUntestableSource]:
+    def get_source(self, fault: Fault) -> Optional[OnlineUntestableSource]:
         return self._sources.get(fault)
 
-    def with_class(self, *classes: FaultClass) -> List[StuckAtFault]:
+    def with_class(self, *classes: FaultClass) -> List[Fault]:
         wanted = set(classes)
         return [f for f, c in self._faults.items() if c in wanted]
 
-    def with_source(self, *sources: OnlineUntestableSource) -> List[StuckAtFault]:
+    def with_source(self, *sources: OnlineUntestableSource) -> List[Fault]:
         wanted = set(sources)
         return [f for f in self._faults if self._sources.get(f) in wanted]
 
-    def unclassified(self) -> List[StuckAtFault]:
+    def unclassified(self) -> List[Fault]:
         return self.with_class(FaultClass.NC)
 
-    def untestable(self) -> List[StuckAtFault]:
+    def untestable(self) -> List[Fault]:
         return [f for f, c in self._faults.items() if c.is_untestable]
 
-    def detected(self) -> List[StuckAtFault]:
+    def detected(self) -> List[Fault]:
         return [f for f, c in self._faults.items() if c.is_detected]
 
     # ------------------------------------------------------------------ #
     # pruning and set operations
     # ------------------------------------------------------------------ #
-    def prune(self, faults: Iterable[StuckAtFault]) -> "FaultList":
+    def prune(self, faults: Iterable[Fault]) -> "FaultList":
         """Return a new fault list with the given faults removed."""
         drop = set(faults)
         remaining = FaultList(netlist_name=self.netlist_name)
@@ -140,7 +141,7 @@ class FaultList:
                     subset._sources[fault] = self._sources[fault]
         return subset
 
-    def difference(self, other: "FaultList") -> List[StuckAtFault]:
+    def difference(self, other: "FaultList") -> List[Fault]:
         """Faults present here but not in ``other`` (order preserved)."""
         return [f for f in self._faults if f not in other]
 
@@ -206,7 +207,7 @@ class FaultList:
                     source = candidate
                     rest = rest[: -len(candidate.value) - 1]
                     break
-            fault = StuckAtFault.parse(rest.strip())
+            fault = parse_fault(rest.strip())
             result._faults[fault] = fault_class
             if source is not None:
                 result._sources[fault] = source

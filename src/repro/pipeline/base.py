@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Optional, Protocol, Set, Tuple,
                     runtime_checkable)
 
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault
 
 
 @dataclass
@@ -32,7 +32,7 @@ class PassResult:
     """
 
     artifacts: Dict[str, Any] = field(default_factory=dict)
-    identified: Optional[Set[StuckAtFault]] = None
+    identified: Optional[Set[Fault]] = None
     details: Any = None
 
     def __post_init__(self) -> None:

@@ -54,7 +54,9 @@ def fault_restriction_key(faults: Optional[Iterable] = None) -> str:
     if faults is None:
         return ""
     hasher = hashlib.sha256()
-    for fault in sorted(faults):
+    # Sort on the serialized form: fault objects of different models are
+    # not mutually orderable, but their strings always are.
+    for fault in sorted(faults, key=str):
         hasher.update(repr(fault).encode())
         hasher.update(b"\x00")
     return hasher.hexdigest()

@@ -16,7 +16,7 @@ import threading
 from typing import Any, Dict, Iterable, List, Optional, Union
 
 from repro.core.results import FlowConfig
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault
 from repro.memory.memory_map import MemoryMap
 from repro.netlist.module import Netlist
 from repro.pipeline.cache import (ArtifactCache, CacheKey,
@@ -42,8 +42,10 @@ SEED_ARTIFACTS = ("netlist", "memory_map", "config")
 #: order.  Passes narrow their cache key to a subset via ``cache_facets``
 #: (see :func:`repro.pipeline.registry.analysis_pass`): an effort-blind
 #: pass such as ``scan_analysis`` then replays from cache across scenario
-#: variants that only change the ATPG effort or the memory map.
-CONFIG_FACETS = ("effort", "ties", "memmap", "faults")
+#: variants that only change the ATPG effort or the memory map.  ``model``
+#: is the fault model: every pass that touches the fault universe keys on
+#: it, so stuck-at and transition runs of one netlist never share results.
+CONFIG_FACETS = ("model", "effort", "ties", "memmap", "faults")
 
 
 class PipelineContext:
@@ -52,12 +54,12 @@ class PipelineContext:
     def __init__(self, netlist: Netlist,
                  config: Optional[FlowConfig] = None,
                  memory_map: Optional[MemoryMap] = None,
-                 initial_faults: Optional[Iterable[StuckAtFault]] = None,
+                 initial_faults: Optional[Iterable[Fault]] = None,
                  cache: Optional[ArtifactCache] = None) -> None:
         self.netlist = netlist
         self.config = config or FlowConfig()
         self.memory_map = memory_map
-        self.initial_faults: Optional[List[StuckAtFault]] = (
+        self.initial_faults: Optional[List[Fault]] = (
             list(initial_faults) if initial_faults is not None else None)
         self.cache = cache
         self._artifacts: Dict[str, Any] = {
@@ -115,7 +117,14 @@ class PipelineContext:
         return getattr(self.config, "shard_backend", None)
 
     @property
-    def fault_universe(self) -> List[StuckAtFault]:
+    def fault_model(self):
+        """The resolved :class:`~repro.faults.models.FaultModel` of this run."""
+        from repro.faults.models import resolve_fault_model
+
+        return resolve_fault_model(getattr(self.config, "fault_model", None))
+
+    @property
+    def fault_universe(self) -> List[Fault]:
         return self.require("fault_universe")
 
     @property
@@ -153,6 +162,7 @@ class PipelineContext:
         if self._facet_fragments is None:
             cfg = self.config
             self._facet_fragments = {
+                "model": f"model={self.fault_model.name}",
                 "effort": f"effort={cfg.effort.name}",
                 "ties": (f"tie_out={int(cfg.tie_flop_outputs)};"
                          f"tie_in={int(cfg.tie_flop_inputs)}"),

@@ -77,11 +77,13 @@ def default_pass_names(config: Optional[FlowConfig] = None) -> list:
 # foundation passes
 # --------------------------------------------------------------------- #
 @analysis_pass("fault_list", provides=("fault_universe", "fault_set"),
-               cache_facets=("faults",))
+               cache_facets=("model", "faults"))
 def fault_list_pass(ctx: PipelineContext) -> PassResult:
-    """Enumerate the stuck-at fault universe (or adopt the caller's)."""
+    """Enumerate the configured fault model's universe (or adopt the
+    caller's)."""
     universe = (list(ctx.initial_faults) if ctx.initial_faults is not None
-                else generate_fault_list(ctx.netlist).faults())
+                else generate_fault_list(ctx.netlist,
+                                         model=ctx.fault_model).faults())
     return PassResult(artifacts={
         "fault_universe": universe,
         "fault_set": set(universe),
@@ -90,7 +92,7 @@ def fault_list_pass(ctx: PipelineContext) -> PassResult:
 
 @analysis_pass("baseline", requires=("fault_universe",),
                provides=("baseline_untestable",),
-               cache_facets=("effort", "faults"))
+               cache_facets=("model", "effort", "faults"))
 def baseline_pass(ctx: PipelineContext) -> PassResult:
     """Faults untestable before manipulation — Table I's "Original" row."""
     baseline = compute_baseline_untestable(
@@ -104,7 +106,7 @@ def baseline_pass(ctx: PipelineContext) -> PassResult:
 # --------------------------------------------------------------------- #
 @analysis_pass("scan_analysis", source=OnlineUntestableSource.SCAN,
                requires=("fault_set",), provides=("scan_result",),
-               cache_facets=())
+               cache_facets=("model",))
 def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
     """§3.1 — prune the scan-chain circuitry faults (no ATPG required).
 
@@ -112,10 +114,12 @@ def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
     the identified faults needs the fault universe, so ``fault_set`` is a
     declared dependency — selecting this pass alone still pulls in
     ``fault_list`` and produces a meaningful report.  Because it reads the
-    netlist alone, its cache key carries no configuration facet: every
-    scenario variant sharing the netlist replays it for free.
+    netlist alone, its cache key carries a single configuration facet —
+    the fault model, which decides what faults the traced sites contribute
+    — so every scenario variant sharing netlist and model replays it for
+    free.
     """
-    scan = identify_scan_untestable(ctx.netlist)
+    scan = identify_scan_untestable(ctx.netlist, model=ctx.fault_model)
     return PassResult(artifacts={"scan_result": scan},
                       identified=scan.untestable, details=scan)
 
@@ -123,7 +127,7 @@ def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("debug_control", source=OnlineUntestableSource.DEBUG_CONTROL,
                requires=("fault_universe", "baseline_untestable"),
                provides=("debug_control_result",),
-               cache_facets=("effort", "faults"))
+               cache_facets=("model", "effort", "faults"))
 def debug_control_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.1 — tie the debug control inputs to their mission constants."""
     ctrl = identify_debug_control_untestable(
@@ -137,7 +141,7 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("debug_observe", source=OnlineUntestableSource.DEBUG_OBSERVE,
                requires=("fault_universe", "baseline_untestable"),
                provides=("debug_observe_result",),
-               cache_facets=("effort", "faults"))
+               cache_facets=("model", "effort", "faults"))
 def debug_observe_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.2 — float the debug-only observation buses."""
     observe = identify_debug_observe_untestable(
@@ -152,7 +156,7 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
                requires=("fault_universe", "baseline_untestable"),
                provides=("memory_result",),
                when=lambda ctx: ctx.memory_map is not None,
-               cache_facets=("effort", "ties", "memmap", "faults"))
+               cache_facets=("model", "effort", "ties", "memmap", "faults"))
 def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
     """§3.3 — freeze the address bits the mission memory map never toggles."""
     memory = identify_memory_map_untestable(

@@ -357,6 +357,7 @@ class Pipeline:
         report = OnlineUntestableReport(
             netlist_name=ctx.netlist.name,
             total_faults=len(fault_universe),
+            fault_model=ctx.fault_model.name,
             baseline_untestable=set(baseline),
         )
 

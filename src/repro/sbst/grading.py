@@ -12,12 +12,12 @@ and without OLFU pruning.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Optional, Sequence, Set, Union
 
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault, FaultModel, resolve_fault_model
 from repro.faults.faultlist import FaultList, generate_fault_list
 from repro.netlist.module import Netlist
-from repro.sbst.monitor import CapturedPatterns
+from repro.sbst.monitor import CapturedPatterns, pattern_windows
 from repro.simulation.parallel import ParallelPatternSimulator
 from repro.simulation.simulator import MISSION_CAPTURE_ROLES
 
@@ -70,7 +70,8 @@ class FaultGrader:
     def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
                  word_size: int = 64, drop_detected: bool = True,
                  jobs: int = 1, backend: Optional[str] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 fault_model: "Union[str, FaultModel, None]" = None) -> None:
         # Mission-mode observation: the system-bus outputs plus the values
         # captured into the architectural state (a captured error eventually
         # propagates to memory over the following cycles of the self-test
@@ -83,6 +84,9 @@ class FaultGrader:
         self.jobs = max(1, jobs if jobs is not None else 1)
         self.backend = backend
         self.shards = shards
+        #: Model used to enumerate the default fault universe when a grade
+        #: call does not bring its own fault list.
+        self.fault_model = resolve_fault_model(fault_model)
         exclude: set = set(netlist.unobservable_ports)
         debug_spec = netlist.annotations.get("debug_interface")
         if isinstance(debug_spec, dict):
@@ -101,10 +105,16 @@ class FaultGrader:
 
     # ------------------------------------------------------------------ #
     def grade(self, patterns: CapturedPatterns,
-              faults: Optional[Iterable[StuckAtFault]] = None) -> Set[StuckAtFault]:
-        """Return the faults detected by the captured functional patterns."""
+              faults: Optional[Iterable[Fault]] = None) -> Set[Fault]:
+        """Return the faults detected by the captured functional patterns.
+
+        Model-generic: two-pattern faults treat the captured cycle stream
+        as consecutive launch-on-capture pairs (across window boundaries
+        too), so the verdicts are independent of ``word_size``.
+        """
         fault_universe = (list(faults) if faults is not None
-                          else generate_fault_list(self.netlist).faults())
+                          else generate_fault_list(
+                              self.netlist, model=self.fault_model).faults())
         if self.jobs > 1:
             from repro.simulation.sharded import sharded_mission_grade
 
@@ -113,33 +123,19 @@ class FaultGrader:
                 observation_nets=self.simulator.observation_nets,
                 word_size=self.word_size, drop_detected=self.drop_detected,
                 jobs=self.jobs, backend=self.backend, shards=self.shards)
-        remaining: Set[StuckAtFault] = set(fault_universe)
-        detected: Set[StuckAtFault] = set()
-
-        cycles = patterns.cycles
-        for start in range(0, len(cycles), self.word_size):
-            if not remaining:
-                break
-            window = cycles[start:start + self.word_size]
-            words = {net: 0 for net in patterns.controllable_nets}
-            for index, cycle in enumerate(window):
-                for net, value in cycle.items():
-                    if value == 1 and net in words:
-                        words[net] |= 1 << index
-            newly = self.simulator.detected_faults(remaining, words, len(window))
-            detected |= newly
-            if self.drop_detected:
-                remaining -= newly  # fault dropping: skip in later windows
-        return detected
+        windows = pattern_windows(patterns, self.word_size)
+        return self.simulator.run_windows(fault_universe, windows,
+                                          drop_detected=self.drop_detected)
 
     # ------------------------------------------------------------------ #
     def compare_with_pruning(self, patterns: CapturedPatterns,
-                             online_untestable: Set[StuckAtFault],
-                             faults: Optional[Iterable[StuckAtFault]] = None
+                             online_untestable: Set[Fault],
+                             faults: Optional[Iterable[Fault]] = None
                              ) -> CoverageComparison:
         """Coverage with the full fault list vs. the OLFU-pruned fault list."""
         fault_universe = (list(faults) if faults is not None
-                          else generate_fault_list(self.netlist).faults())
+                          else generate_fault_list(
+                              self.netlist, model=self.fault_model).faults())
         detected = self.grade(patterns, fault_universe)
         pruned_set = set(online_untestable) & set(fault_universe)
         detected_after = detected - pruned_set

@@ -12,7 +12,7 @@ flip-flop outputs) — the functional patterns later used for fault grading.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.netlist.cells import LOGIC_X
 from repro.netlist.module import Netlist
@@ -38,6 +38,28 @@ class CapturedPatterns:
                 if value == 1:
                     words[net] |= 1 << index
         return words
+
+
+def pattern_windows(patterns: "CapturedPatterns",
+                    word_size: int) -> List[Tuple[Dict[str, int], int]]:
+    """Chunk captured cycles into ``(word dict, n_patterns)`` windows.
+
+    The single packing used by the serial grader
+    (:meth:`repro.simulation.parallel.ParallelPatternSimulator.run_windows`)
+    and the sharded mission-grading engine, so both see byte-identical
+    windows of the same cycle stream.
+    """
+    windows: List[Tuple[Dict[str, int], int]] = []
+    cycles = patterns.cycles
+    for start in range(0, len(cycles), word_size):
+        window = cycles[start:start + word_size]
+        words = {net: 0 for net in patterns.controllable_nets}
+        for index, cycle in enumerate(window):
+            for net, value in cycle.items():
+                if value == 1 and net in words:
+                    words[net] |= 1 << index
+        windows.append((words, len(window)))
+    return windows
 
 
 class ToggleMonitor:

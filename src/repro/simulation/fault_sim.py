@@ -1,4 +1,4 @@
-"""Serial stuck-at fault simulation on the combinational view.
+"""Serial single-fault simulation on the combinational view (any model).
 
 Given a set of input patterns (primary inputs plus flip-flop state values),
 the simulator determines which faults are detected: a fault is detected by a
@@ -6,6 +6,16 @@ pattern when at least one observation point (observable output port, or
 sequential-cell data input when ``observe_state_inputs`` is set) differs
 between the good machine and the faulty machine with a definite (non-X)
 value on both sides.
+
+The engine is model-generic: every fault resolves — through its registered
+:class:`~repro.faults.models.FaultModel` — to an injection+detection spec
+(:class:`~repro.faults.models.InjectionSpec`), never to hardcoded stuck-at
+values.  Single-pattern models (stuck-at) force the spec's value at the
+site; two-pattern launch-on-capture models (transition-delay) additionally
+require the site's *good* value in the immediately preceding pattern to
+equal the spec's initialization value, expressed as a pattern-pair mask
+ANDed onto the per-window detection mask — pairs crossing a window
+boundary carry the last bit of the previous window's good planes.
 
 The engine runs on the compiled netlist IR (:mod:`repro.netlist.compiled`):
 
@@ -28,7 +38,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault, InjectionSpec, resolve_injection
 from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
 from repro.netlist.compiled import NO_NET, CompiledNetlist
 from repro.netlist.module import Netlist
@@ -52,7 +62,7 @@ def observation_net_names(netlist: Netlist, observe_state_inputs: bool = True,
     return nets
 
 
-def resolve_site(compiled: CompiledNetlist, fault: StuckAtFault) -> Tuple:
+def resolve_site(compiled: CompiledNetlist, fault: Fault) -> Tuple:
     """Classify a fault site against the compiled IR.
 
     Returns ``("net", nid)`` for stem/port faults, ``("branch", op, pos)``
@@ -80,6 +90,50 @@ def resolve_site(compiled: CompiledNetlist, fault: StuckAtFault) -> Tuple:
         # flip-flop captures; the combinational time frame never changes.
         return _INERT
     return ("branch", index, pos)
+
+
+def excitation_net_id(compiled: CompiledNetlist, site: Tuple) -> int:
+    """The net whose good value excites a fault at a resolved site.
+
+    For stem/port sites this is the forced net itself; for branch sites it
+    is the net feeding the perturbed input pin (the value the pin sees in
+    the good machine).  ``-1`` for inert/phantom sites.  Two-pattern models
+    evaluate their initialization condition on this net.
+    """
+    if site[0] == "net":
+        return site[1]
+    if site[0] == "branch":
+        return compiled.op_fanin[site[1]][site[2]]
+    return -1
+
+
+def pair_allowed_mask(compiled: CompiledNetlist, site: Tuple,
+                      spec: InjectionSpec, g1: Sequence[int],
+                      g0: Sequence[int], mask: int,
+                      prev: Optional[Tuple] = None) -> int:
+    """Pattern-pair mask of a two-pattern fault over one plane window.
+
+    Bit *i* is set when pattern *i* may serve as the capture pattern: the
+    good machine held the spec's initialization value — definitely — at the
+    excitation net under pattern *i-1*.  ``prev`` is the previous window's
+    ``(g1, g0, width)`` (or None at the very first window), so consecutive
+    pairs spanning a window boundary are honoured; bit 0 of the first
+    window has no predecessor and is never allowed.
+
+    Shared by the serial and the sharded simulators, so both mask every
+    detection identically (the byte-identity contract).
+    """
+    nid = excitation_net_id(compiled, site)
+    if nid < 0:
+        return 0
+    init_plane = g0 if spec.init_value == 0 else g1
+    allowed = (init_plane[nid] << 1) & mask
+    if prev is not None:
+        prev_g1, prev_g0, prev_width = prev
+        prev_plane = prev_g0 if spec.init_value == 0 else prev_g1
+        if (prev_plane[nid] >> (prev_width - 1)) & 1:
+            allowed |= 1
+    return allowed
 
 
 def good_planes(compiled: CompiledNetlist, program,
@@ -122,9 +176,9 @@ def good_planes(compiled: CompiledNetlist, program,
 class FaultSimResult:
     """Outcome of a fault-simulation run."""
 
-    detected: Set[StuckAtFault] = field(default_factory=set)
-    undetected: Set[StuckAtFault] = field(default_factory=set)
-    detecting_pattern: Dict[StuckAtFault, int] = field(default_factory=dict)
+    detected: Set[Fault] = field(default_factory=set)
+    undetected: Set[Fault] = field(default_factory=set)
+    detecting_pattern: Dict[Fault, int] = field(default_factory=dict)
 
     @property
     def coverage(self) -> float:
@@ -167,7 +221,7 @@ class FaultSimulator:
     # ------------------------------------------------------------------ #
     # fault-site resolution
     # ------------------------------------------------------------------ #
-    def _resolve(self, compiled: CompiledNetlist, fault: StuckAtFault) -> Tuple:
+    def _resolve(self, compiled: CompiledNetlist, fault: Fault) -> Tuple:
         """Classify the fault site: net force, comb branch pin, or inert."""
         return resolve_site(compiled, fault)
 
@@ -283,21 +337,26 @@ class FaultSimulator:
         """Simulate the fault-free machine for one pattern (flat input map)."""
         return self.sim.evaluate(pattern, state=pattern)
 
-    def faulty_values(self, fault: StuckAtFault,
+    def faulty_values(self, fault: Fault,
                       pattern: Mapping[str, int],
                       good: Optional[Mapping[str, int]] = None) -> Dict[str, int]:
-        """Simulate the faulty machine for one pattern."""
+        """Simulate the faulty machine for one pattern.
+
+        For a two-pattern model this is the *capture-frame* view: the site
+        shows the spec's stuck value (the transition arrived late).
+        """
         good = good if good is not None else self.good_values(pattern)
         compiled = self.sim._refresh()
         program, _ = plane_program(compiled)
         values = dict(good)
+        spec = resolve_injection(fault)
         site = self._resolve(compiled, fault)
         if site[0] == "phantom":
-            values[fault.site] = fault.value
+            values[fault.site] = spec.stuck_value
             return values
         g1, g0, frozen, mask = self._planes_from_values(compiled, good)
-        overlay = self._faulty_overlay(compiled, program, site, fault.value,
-                                       g1, g0, frozen, mask)
+        overlay = self._faulty_overlay(compiled, program, site,
+                                       spec.stuck_value, g1, g0, frozen, mask)
         if overlay:
             names = compiled.net_names
             for nid, (f1, f0) in overlay.items():
@@ -305,31 +364,49 @@ class FaultSimulator:
                                       (LOGIC_0 if f0 else LOGIC_X))
         return values
 
-    def detects(self, fault: StuckAtFault, pattern: Mapping[str, int],
-                good: Optional[Mapping[str, int]] = None) -> bool:
-        """True if ``pattern`` detects ``fault`` at an observation point."""
+    def detects(self, fault: Fault, pattern: Mapping[str, int],
+                good: Optional[Mapping[str, int]] = None,
+                prev_pattern: Optional[Mapping[str, int]] = None) -> bool:
+        """True if ``pattern`` detects ``fault`` at an observation point.
+
+        For a two-pattern model ``prev_pattern`` supplies the launch
+        pattern (the preceding one); a lone pattern never detects a
+        two-pattern fault, so without it the answer is always False.
+        """
         compiled = self.sim._refresh()
         program, _ = plane_program(compiled)
         if good is None:
             g1, g0, frozen, mask = self._good_planes(compiled, program, [pattern])
         else:
             g1, g0, frozen, mask = self._planes_from_values(compiled, good)
+        spec = resolve_injection(fault)
         site = self._resolve(compiled, fault)
         obs_ids = self._observation_ids(compiled)
-        return bool(self._detect_mask(compiled, program, site, fault.value,
-                                      g1, g0, frozen, mask, obs_ids))
+        det = self._detect_mask(compiled, program, site, spec.stuck_value,
+                                g1, g0, frozen, mask, obs_ids)
+        if det and spec.frames > 1:
+            if prev_pattern is None:
+                return False
+            p1, p0, _, _ = self._good_planes(compiled, program,
+                                             [prev_pattern])
+            det &= pair_allowed_mask(compiled, site, spec, g1, g0, mask,
+                                     prev=(p1, p0, 1))
+        return bool(det)
 
     # ------------------------------------------------------------------ #
     # multi-pattern runs
     # ------------------------------------------------------------------ #
-    def run(self, faults: Iterable[StuckAtFault],
+    def run(self, faults: Iterable[Fault],
             patterns: Sequence[Mapping[str, int]],
             drop_detected: Optional[bool] = None) -> FaultSimResult:
         """Fault-simulate ``patterns`` against ``faults``.
 
         With ``drop_detected`` (fault dropping, the constructor default — on
         unless overridden) a fault is not re-simulated once a pattern
-        detects it: the standard fault-simulation speed-up.
+        detects it: the standard fault-simulation speed-up.  Two-pattern
+        faults treat ``patterns`` as one consecutive launch-on-capture
+        sequence (pattern *i-1* launches, pattern *i* captures — across
+        window boundaries too).
         """
         drop = self.drop_detected if drop_detected is None else drop_detected
         compiled = self.sim._refresh()
@@ -337,19 +414,25 @@ class FaultSimulator:
         obs_ids = self._observation_ids(compiled)
 
         result = FaultSimResult()
-        remaining: List[StuckAtFault] = list(faults)
+        remaining: List[Fault] = list(faults)
         sites = {fault: self._resolve(compiled, fault) for fault in remaining}
+        specs = {fault: resolve_injection(fault) for fault in remaining}
 
         start = 0
         n_patterns = len(patterns)
+        prev_planes: Optional[Tuple] = None
         while start < n_patterns and remaining:
             window = patterns[start:start + self.word_size]
             g1, g0, frozen, mask = self._good_planes(compiled, program, window)
-            still_undetected: List[StuckAtFault] = []
+            still_undetected: List[Fault] = []
             for fault in remaining:
+                spec = specs[fault]
                 det = self._detect_mask(compiled, program, sites[fault],
-                                        fault.value, g1, g0, frozen, mask,
-                                        obs_ids)
+                                        spec.stuck_value, g1, g0, frozen,
+                                        mask, obs_ids)
+                if det and spec.frames > 1:
+                    det &= pair_allowed_mask(compiled, sites[fault], spec,
+                                             g1, g0, mask, prev=prev_planes)
                 if det:
                     result.detected.add(fault)
                     if drop:
@@ -365,6 +448,7 @@ class FaultSimulator:
                 else:
                     still_undetected.append(fault)
             remaining = still_undetected
+            prev_planes = (g1, g0, len(window))
             start += len(window)
         result.undetected.update(remaining)
         return result

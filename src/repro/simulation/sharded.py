@@ -56,12 +56,14 @@ from dataclasses import dataclass
 from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
                     Tuple)
 
-from repro.faults.fault import StuckAtFault
+from repro.faults.models import Fault, resolve_injection
 from repro.netlist.compiled import CompiledNetlist, get_compiled
 from repro.netlist.module import Netlist
 from repro.simulation.fault_sim import (FaultSimResult, good_planes,
-                                        observation_net_names, resolve_site)
-from repro.simulation.parallel import compute_good_words, word_program
+                                        observation_net_names,
+                                        pair_allowed_mask, resolve_site)
+from repro.simulation.parallel import (compute_good_words,
+                                       pair_allowed_words, word_program)
 from repro.simulation.simulator import plane_program
 from repro.utils.bitvec import mask as bitmask
 
@@ -102,7 +104,7 @@ class FaultShard:
     """One deterministic slice of the fault population."""
 
     index: int
-    faults: Tuple[StuckAtFault, ...]
+    faults: Tuple[Fault, ...]
     cost: int
 
 
@@ -122,7 +124,7 @@ def cone_representative(compiled: CompiledNetlist, site: Tuple) -> int:
     return -1
 
 
-def partition_faults(netlist: Netlist, faults: Iterable[StuckAtFault],
+def partition_faults(netlist: Netlist, faults: Iterable[Fault],
                      n_shards: int,
                      compiled: Optional[CompiledNetlist] = None
                      ) -> List[FaultShard]:
@@ -192,18 +194,18 @@ class DetectionFrontier:
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
-        self._detected: Dict[StuckAtFault, int] = {}
+        self._detected: Dict[Fault, int] = {}
 
-    def publish(self, fault: StuckAtFault, pattern_index: int) -> None:
+    def publish(self, fault: Fault, pattern_index: int) -> None:
         with self._lock:
             self._detected[fault] = pattern_index
 
     def publish_many(self,
-                     items: Iterable[Tuple[StuckAtFault, int]]) -> None:
+                     items: Iterable[Tuple[Fault, int]]) -> None:
         with self._lock:
             self._detected.update(items)
 
-    def __contains__(self, fault: StuckAtFault) -> bool:
+    def __contains__(self, fault: Fault) -> bool:
         with self._lock:
             return fault in self._detected
 
@@ -211,7 +213,7 @@ class DetectionFrontier:
         with self._lock:
             return len(self._detected)
 
-    def detected(self) -> Dict[StuckAtFault, int]:
+    def detected(self) -> Dict[Fault, int]:
         """Snapshot of every published verdict."""
         with self._lock:
             return dict(self._detected)
@@ -304,15 +306,21 @@ def _detect_mask_planes(compiled: CompiledNetlist, program, site: Tuple,
 
 def _detects_words(compiled: CompiledNetlist, program, site: Tuple,
                    fault_value: int, good: List[int], word_mask: int,
-                   obs_flags) -> bool:
+                   obs_flags, allowed: Optional[int] = None) -> bool:
     """Two-valued (word) detection of one fault over a pattern window.
 
     Same event-driven walk as :func:`_detect_mask_planes`, with one extra
-    liberty the boolean contract allows: return as soon as any observation
-    point differs (the verdict cannot change once a definite difference is
-    observed).  Verdict-identical to
+    liberty the boolean contract allows: return as soon as an observation
+    point differs under an *allowed* pattern (the verdict cannot change
+    once such a difference is observed).  ``allowed`` is the pattern-pair
+    mask of two-pattern models; ``None`` allows the whole window.
+    Verdict-identical to
     :meth:`repro.simulation.parallel.ParallelPatternSimulator._detects`.
     """
+    if allowed is None:
+        allowed = word_mask
+    elif not allowed:
+        return False
     fault_word = word_mask if fault_value else 0
     forced = -1
     branch_op = -1
@@ -330,7 +338,7 @@ def _detects_words(compiled: CompiledNetlist, program, site: Tuple,
         if good[forced] == fault_word:
             return False
         overlay[forced] = fault_word
-        if obs_flags[forced]:
+        if obs_flags[forced] and (good[forced] ^ fault_word) & allowed:
             return True
         for op, _pos in net_load_ops[forced]:
             if op not in scheduled:
@@ -363,7 +371,7 @@ def _detects_words(compiled: CompiledNetlist, program, site: Tuple,
             if value == good[nid]:
                 continue
             overlay[nid] = value
-            if obs_flags[nid]:
+            if obs_flags[nid] and (value ^ good[nid]) & allowed:
                 return True
             for lop, _pos in net_load_ops[nid]:
                 if lop not in scheduled:
@@ -387,10 +395,10 @@ class _ShardJob:
     """
 
     _RUNTIME_ATTRS = ("_prepared", "_compiled", "_program", "_obs_flags",
-                      "_sites", "_window_memo")
+                      "_sites", "_specs", "_window_memo")
 
     def __init__(self, netlist: Netlist,
-                 shards: Tuple[Tuple[StuckAtFault, ...], ...],
+                 shards: Tuple[Tuple[Fault, ...], ...],
                  observation_nets: frozenset) -> None:
         self.netlist = netlist
         self.shards = shards
@@ -419,6 +427,10 @@ class _ShardJob:
         self._program = self._build_program(compiled)
         self._sites = {
             fault: resolve_site(compiled, fault)
+            for shard in self.shards for fault in shard
+        }
+        self._specs = {
+            fault: resolve_injection(fault)
             for shard in self.shards for fault in shard
         }
         self._window_memo: Dict[int, tuple] = {}
@@ -458,12 +470,22 @@ class _PlaneSimJob(_ShardJob):
         g1, g0, frozen, mask = self._window_planes(start)
         shard = self.shards[shard_id]
         sites = self._sites
+        specs = self._specs
+        prev_planes = None  # previous window's (g1, g0, width), lazily built
         hits = []
         for position in positions:
             fault = shard[position]
+            spec = specs[fault]
             det = _detect_mask_planes(
-                self._compiled, self._program, sites[fault], fault.value,
-                g1, g0, frozen, mask, self._obs_flags)
+                self._compiled, self._program, sites[fault],
+                spec.stuck_value, g1, g0, frozen, mask, self._obs_flags)
+            if det and spec.frames > 1:
+                if prev_planes is None and start > 0:
+                    p1, p0, _, _ = self._window_planes(
+                        start - self.word_size)
+                    prev_planes = (p1, p0, self.word_size)
+                det &= pair_allowed_mask(self._compiled, sites[fault], spec,
+                                         g1, g0, mask, prev=prev_planes)
             if det:
                 hits.append((position, det))
         return shard_id, hits
@@ -497,11 +519,24 @@ class _WordGradeJob(_ShardJob):
         good, word_mask = self._window_words(window_index)
         shard = self.shards[shard_id]
         sites = self._sites
-        hits = [position for position in positions
-                if _detects_words(self._compiled, self._program,
-                                  sites[shard[position]],
-                                  shard[position].value, good, word_mask,
-                                  self._obs_flags)]
+        specs = self._specs
+        prev = None  # previous window's (good words, width), lazily built
+        hits = []
+        for position in positions:
+            fault = shard[position]
+            spec = specs[fault]
+            allowed = None
+            if spec.frames > 1:
+                if prev is None and window_index > 0:
+                    prev_good, _ = self._window_words(window_index - 1)
+                    prev = (prev_good, self.windows[window_index - 1][1])
+                allowed = pair_allowed_words(self._compiled, sites[fault],
+                                             spec, good, word_mask,
+                                             prev=prev)
+            if _detects_words(self._compiled, self._program, sites[fault],
+                              spec.stuck_value, good, word_mask,
+                              self._obs_flags, allowed):
+                hits.append(position)
         return shard_id, hits
 
 
@@ -514,7 +549,7 @@ class _DetectClassifyJob:
     """
 
     def __init__(self, netlist: Netlist,
-                 shards: Tuple[Tuple[StuckAtFault, ...], ...],
+                 shards: Tuple[Tuple[Fault, ...], ...],
                  effort, random_patterns: int, backtrack_limit: int,
                  seed: int) -> None:
         self.netlist = netlist
@@ -664,7 +699,7 @@ class ShardedFaultSimulator:
         self.shards = shards
         self.last_frontier: Optional[DetectionFrontier] = None
 
-    def run(self, faults: Iterable[StuckAtFault],
+    def run(self, faults: Iterable[Fault],
             patterns: Sequence[Mapping[str, int]],
             drop_detected: Optional[bool] = None) -> FaultSimResult:
         drop = self.drop_detected if drop_detected is None else drop_detected
@@ -726,7 +761,7 @@ class ShardedFaultSimulator:
         return result
 
 
-def sharded_mission_grade(netlist: Netlist, faults: Iterable[StuckAtFault],
+def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
                           patterns, *,
                           observation_nets: Iterable[str],
                           word_size: int = 64,
@@ -735,7 +770,7 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[StuckAtFault],
                           backend: Optional[str] = None,
                           shards: Optional[int] = None,
                           frontier: Optional[DetectionFrontier] = None
-                          ) -> Set[StuckAtFault]:
+                          ) -> Set[Fault]:
     """Sharded counterpart of :meth:`repro.sbst.grading.FaultGrader.grade`.
 
     ``patterns`` is a :class:`~repro.sbst.monitor.CapturedPatterns`-shaped
@@ -752,21 +787,14 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[StuckAtFault],
     fault_shards = partition_faults(netlist, fault_list, n_shards,
                                     compiled=compiled)
 
-    cycles = patterns.cycles
-    windows: List[Tuple[Dict[str, int], int]] = []
-    for start in range(0, len(cycles), word_size):
-        window = cycles[start:start + word_size]
-        words = {net: 0 for net in patterns.controllable_nets}
-        for index, cycle in enumerate(window):
-            for net, value in cycle.items():
-                if value == 1 and net in words:
-                    words[net] |= 1 << index
-        windows.append((words, len(window)))
+    from repro.sbst.monitor import pattern_windows
+
+    windows = pattern_windows(patterns, word_size)
 
     job = _WordGradeJob(netlist, tuple(shard.faults for shard in fault_shards),
                         frozenset(observation_nets), windows)
     frontier = frontier if frontier is not None else DetectionFrontier()
-    detected: Set[StuckAtFault] = set()
+    detected: Set[Fault] = set()
     remaining: List[List[int]] = [list(range(len(shard.faults)))
                                   for shard in fault_shards]
 
@@ -806,7 +834,7 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[StuckAtFault],
     return detected
 
 
-def sharded_classify(netlist: Netlist, faults: Iterable[StuckAtFault], *,
+def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                      effort, jobs: Optional[int] = None,
                      backend: Optional[str] = None,
                      shards: Optional[int] = None,

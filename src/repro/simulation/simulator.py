@@ -173,7 +173,11 @@ _SEQ_PLANE_OPS: Dict[str, Callable] = {
 # --------------------------------------------------------------------- #
 # truth-table fallback for cells without a hand-written plane function
 # --------------------------------------------------------------------- #
-_DECODE = {LOGIC_0: (0, 1), LOGIC_1: (1, 0), LOGIC_X: (0, 0)}
+#: The width-1 plane encoding of a logic value: value -> (p1, p0).  The
+#: single source of truth shared by the scalar bridges (PODEM's five-valued
+#: machine, the sequential simulator's state planes).
+PLANE_ENCODING = {LOGIC_0: (0, 1), LOGIC_1: (1, 0), LOGIC_X: (0, 0)}
+_DECODE = PLANE_ENCODING
 
 
 def _fallback_plane_fn(cell, output_names: Tuple[str, ...]) -> Callable:
