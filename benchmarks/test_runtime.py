@@ -254,3 +254,100 @@ def test_runtime_full_fault_grading_sharded(runtime_soc):
     _BENCH["full_fault_grading_speedup"] = round(speedup, 2)
     if RUNTIME_BENCH_CONFIG == "date13":
         assert speedup >= 2.0
+
+
+def test_runtime_static_prune(runtime_soc):
+    """The static netlist-analysis layer as a PODEM pre-filter.
+
+    Three quantities go into ``BENCH_latest.json``:
+
+    * the one-off analysis cost (SCOAP + implication learning + dominator
+      build, then ``prove_all`` over the complete stuck-at universe),
+    * the coverage of the prover against the tied-value UU population
+      (the PR's acceptance pin: on date13 the static proofs must cover at
+      least 20% of the tie-untestable faults — measured, they cover ~100%),
+    * an on-vs-off PODEM comparison on a deterministic mixed sample of
+      provable and unprovable faults: calls avoided, backtrack delta and
+      wall clock, with verdict agreement enforced.
+
+    The sample is intentionally small — a single date13 PODEM refutation
+    of a random-resistant fault runs ~10s, so the full population is out
+    of benchmark budget by ~3 orders of magnitude.
+    """
+    from repro.analysis import get_static_analysis
+    from repro.atpg.engine import AtpgEffort, run_detection_phases
+
+    netlist = runtime_soc.cpu
+    all_faults = generate_fault_list(netlist).faults()
+
+    start = time.perf_counter()
+    static = get_static_analysis(netlist)
+    build_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    proofs = static.prove_all(all_faults)
+    prove_seconds = time.perf_counter() - start
+
+    tie_report = StructuralUntestabilityEngine(netlist).classify(all_faults)
+    tie_uu = len(tie_report.untestable)
+    coverage = len(proofs) / tie_uu if tie_uu else float("inf")
+
+    # Deterministic mixed sample: provable faults exercise the pre-filter,
+    # unprovable ones keep the PODEM phase honest on both sides.
+    proven = [f for f in all_faults if f in proofs]
+    unproven = [f for f in all_faults if f not in proofs]
+    pstep = max(1, len(proven) // 8)
+    ustep = max(1, len(unproven) // 8)
+    sample = proven[::pstep][:8] + unproven[::ustep][:8]
+
+    start = time.perf_counter()
+    on_cls, _, on_stats = run_detection_phases(
+        netlist, sample, AtpgEffort.FULL)
+    on_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    off_cls, _, off_stats = run_detection_phases(
+        netlist, sample, AtpgEffort.FULL,
+        static_prune=False, static_learning=False)
+    off_seconds = time.perf_counter() - start
+
+    # Soundness: the two runs may only disagree across the PODEM abort
+    # boundary (SCOAP guidance reorders the search, so at a fixed
+    # backtrack limit a fault can flip between ABORTED and a definite
+    # verdict in either direction — which is why "static" is a cache
+    # facet).  A DT <-> UU contradiction would be a real bug.
+    for fault, off_class in off_cls.items():
+        on_class = on_cls[fault]
+        if on_class != off_class:
+            assert "AU" in (on_class.name, off_class.name), (
+                f"{fault}: {off_class.name} -> {on_class.name}")
+
+    calls_avoided = (off_stats.get("podem_calls", 0)
+                     - on_stats.get("podem_calls", 0))
+    backtrack_delta = (off_stats.get("podem_backtracks", 0)
+                       - on_stats.get("podem_backtracks", 0))
+    assert on_stats.get("static_proved", 0) >= 1
+    assert calls_avoided >= 1
+
+    print()
+    print(f"Static analysis: build {build_seconds:.2f}s, prove_all over "
+          f"{len(all_faults):,} faults {prove_seconds:.2f}s, "
+          f"{len(proofs):,} proofs ({coverage:.0%} of {tie_uu:,} tie-UU)")
+    print(f"PODEM sample of {len(sample)}: off {off_seconds:.1f}s / "
+          f"{off_stats.get('podem_calls', 0)} calls, on {on_seconds:.1f}s / "
+          f"{on_stats.get('podem_calls', 0)} calls "
+          f"({calls_avoided} avoided, backtrack delta {backtrack_delta})")
+    _record("static_prune", on_seconds,
+            build_seconds=round(build_seconds, 4),
+            prove_seconds=round(prove_seconds, 4),
+            faults=len(all_faults),
+            faults_proven_statically=len(proofs),
+            tie_untestable=tie_uu,
+            sample=len(sample),
+            podem_calls_avoided=calls_avoided,
+            podem_seconds_without=round(off_seconds, 4),
+            backtrack_delta=backtrack_delta)
+    _BENCH["static_proof_coverage_of_tie_uu"] = round(coverage, 4)
+    if RUNTIME_BENCH_CONFIG == "date13":
+        # Acceptance pin: >= 20% of the UU population proven statically.
+        assert coverage >= 0.20

@@ -42,6 +42,14 @@ engines across workers — results are identical to the serial run.
 select the fault universe (``sweep`` also takes it as a scenario axis:
 ``--axis fault_model=stuck_at,transition``); for ``corpus`` the flag
 restricts the run to the entries pinned under that model.
+
+``analyze`` and ``sweep`` also accept ``--static-prune`` /
+``--no-static-prune`` to control the static pre-PODEM untestability
+pruning (FULL effort only; default on), and the ``static`` subcommand
+dumps the underlying per-net SCOAP testability numbers::
+
+    python -m repro static tiny --limit 10
+    python -m repro static small --nets alu_out,pc_q --json
 """
 
 from __future__ import annotations
@@ -64,7 +72,7 @@ from repro.pipeline import DEFAULT_REGISTRY
 from repro.simulation.sharded import SHARD_BACKENDS
 from repro.soc.config import SoCConfig
 
-COMMANDS = ("analyze", "sweep", "report", "corpus")
+COMMANDS = ("analyze", "sweep", "report", "corpus", "static")
 
 
 def _add_fault_model_argument(parser: argparse.ArgumentParser,
@@ -72,6 +80,14 @@ def _add_fault_model_argument(parser: argparse.ArgumentParser,
     parser.add_argument(
         "--fault-model", default=None, dest="fault_model",
         choices=list(fault_model_names()), help=help_text)
+
+
+def _add_static_prune_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--static-prune", dest="static_prune", default=None,
+        action=argparse.BooleanOptionalAction,
+        help=("pre-classify statically proven untestable faults before "
+              "PODEM (FULL effort only; default: on)"))
 
 
 def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
@@ -128,6 +144,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="list the registered analysis passes and exit")
     _add_fault_model_argument(
         analyze, "fault model to enumerate and classify (default: stuck_at)")
+    _add_static_prune_argument(analyze)
     _add_sharding_arguments(analyze)
 
     sweep = sub.add_parser(
@@ -165,7 +182,25 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_fault_model_argument(
         sweep, ("default fault model for every scenario (also available as "
                 "a scenario axis: --axis fault_model=stuck_at,transition)"))
+    _add_static_prune_argument(sweep)
     _add_sharding_arguments(sweep)
+
+    static = sub.add_parser(
+        "static",
+        help="dump the static netlist analysis (SCOAP testability numbers)")
+    static.add_argument(
+        "config", nargs="?", default="small",
+        choices=sorted(SoCConfig.named_configs()),
+        help="named SoC configuration to analyse (default: small)")
+    static.add_argument(
+        "--nets", default=None, metavar="NAME[,NAME...]",
+        help="restrict the dump to these nets (comma-separated)")
+    static.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="max nets listed, hardest-to-control first (default: 20; 0=all)")
+    static.add_argument(
+        "--json", action="store_true",
+        help="emit the dump as JSON instead of a table")
 
     corpus = sub.add_parser(
         "corpus",
@@ -188,6 +223,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_fault_model_argument(
         corpus, ("restrict the run to entries pinned under this fault "
                  "model (a filter, never an override)"))
+    _add_static_prune_argument(corpus)
     _add_sharding_arguments(corpus)
 
     report = sub.add_parser(
@@ -265,7 +301,8 @@ def _cmd_analyze(args) -> int:
     started = time.perf_counter()
     session = Session(effort=args.effort, parallel_passes=args.parallel,
                       jobs=args.jobs, shard_backend=args.backend,
-                      fault_model=args.fault_model)
+                      fault_model=args.fault_model,
+                      static_prune=args.static_prune)
     try:
         report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
@@ -323,7 +360,8 @@ def _cmd_sweep(args) -> int:
 
     session = Session(executor=args.executor, max_workers=args.workers,
                       jobs=args.jobs, shard_backend=args.backend,
-                      fault_model=args.fault_model)
+                      fault_model=args.fault_model,
+                      static_prune=args.static_prune)
     passes = _split_passes(args.passes)
 
     if not args.quiet:
@@ -364,7 +402,8 @@ def _cmd_corpus(args) -> int:
         outcomes = run_corpus(args.dir, jobs=args.jobs,
                               shard_backend=args.backend,
                               update=args.update, only=args.only or None,
-                              fault_model=args.fault_model)
+                              fault_model=args.fault_model,
+                              static_prune=args.static_prune)
     except CorpusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -398,6 +437,66 @@ def _cmd_corpus(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# static
+# --------------------------------------------------------------------- #
+def _cmd_static(args) -> int:
+    from repro.analysis import INF, get_static_analysis
+    from repro.api.design import Design
+
+    design = Design.coerce(args.config)
+    static = get_static_analysis(design.netlist)
+    compiled = static.compiled
+    names = compiled.net_names
+
+    if args.nets:
+        wanted = [name.strip() for name in args.nets.split(",")
+                  if name.strip()]
+        unknown = [name for name in wanted if name not in compiled.net_id]
+        if unknown:
+            print(f"error: unknown net(s): {', '.join(unknown)}",
+                  file=sys.stderr)
+            return 2
+        ids = [compiled.net_id[name] for name in wanted]
+    else:
+        # Hardest-to-control first — the nets PODEM struggles with — with
+        # the net name breaking ties so the listing is deterministic.
+        def hardness(nid: int) -> tuple:
+            cc0, cc1 = static.scoap.cc0[nid], static.scoap.cc1[nid]
+            return (-min(max(cc0, cc1), INF), names[nid])
+
+        ids = sorted(range(compiled.n_nets), key=hardness)
+        if args.limit:
+            ids = ids[:args.limit]
+
+    def fmt(cost: int) -> str:
+        return "inf" if cost >= INF else str(cost)
+
+    rows = [{"net": names[nid],
+             "cc0": static.scoap.cc0[nid],
+             "cc1": static.scoap.cc1[nid],
+             "co": static.scoap.co[nid]} for nid in ids]
+
+    if args.json:
+        print(json.dumps({
+            "config": args.config,
+            "netlist": design.netlist.name,
+            "n_nets": compiled.n_nets,
+            "learned_implications": static.implications.n_edges,
+            "nets": rows,
+        }, indent=2))
+        return 0
+
+    width = max([len(row["net"]) for row in rows], default=3)
+    print(f"{design.netlist.name}: {compiled.n_nets} nets, "
+          f"{static.implications.n_edges} learned implications")
+    print(f"{'net':<{width}}  {'CC0':>6} {'CC1':>6} {'CO':>6}")
+    for row in rows:
+        print(f"{row['net']:<{width}}  {fmt(row['cc0']):>6} "
+              f"{fmt(row['cc1']):>6} {fmt(row['co']):>6}")
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------- #
 def _cmd_report(args) -> int:
@@ -423,7 +522,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     handler = {"analyze": _cmd_analyze,
                "sweep": _cmd_sweep,
                "report": _cmd_report,
-               "corpus": _cmd_corpus}[args.command]
+               "corpus": _cmd_corpus,
+               "static": _cmd_static}[args.command]
     return handler(args)
 
 

@@ -1,0 +1,116 @@
+"""Structural post-dominators of every net — unique sensitization points.
+
+A fault effect travels from its site to an observation point along paths of
+the combinational net graph (edges follow :attr:`CompiledNetlist.net_succ`,
+i.e. through combinational load ops; sequential cells end the time frame).
+A net ``d`` that lies on *every* such path is a post-dominator of the site:
+whatever pattern detects the fault must push a good/faulty difference
+through ``d``.  The prover exploits this — if ``d`` provably holds the same
+definite value in both machines, the fault is unobservable.
+
+Immediate post-dominators are computed with the Cooper–Harvey–Kennedy
+intersection algorithm on the reversed graph, with a virtual EXIT node that
+every observation net reaches directly.  The net graph is a DAG evaluated
+in reverse topological order, so a single pass suffices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.netlist.compiled import CompiledNetlist
+
+
+class DominatorAnalysis:
+    """Immediate post-dominators of the combinational net graph.
+
+    ``observation_ids`` are the sinks (PODEM's observation points).  A net
+    with no path to any sink is *unreachable* — structurally unobservable.
+    """
+
+    def __init__(self, compiled: CompiledNetlist,
+                 observation_ids: Set[int]) -> None:
+        n = compiled.n_nets
+        self.exit_node = n
+        self._observation_ids = frozenset(observation_ids)
+
+        # Reverse topological order: nets sorted by driver-op index
+        # descending (primary inputs and state nets, driver -1, come last),
+        # ties broken by id for determinism.  Every successor of a net is
+        # driven by a later op, so it precedes the net in this order.
+        driver = compiled.net_driver_op
+        order = sorted(range(n), key=lambda nid: (-driver[nid], -nid))
+        rank = [0] * (n + 1)
+        for position, nid in enumerate(order):
+            # Higher rank == closer to EXIT in processing order.
+            rank[nid] = n - 1 - position
+        rank[self.exit_node] = n
+        self._rank = rank
+
+        ipdom: List[Optional[int]] = [None] * (n + 1)
+        ipdom[self.exit_node] = self.exit_node
+
+        net_succ = compiled.net_succ
+        for nid in order:
+            new_idom: Optional[int] = None
+            if nid in self._observation_ids:
+                new_idom = self.exit_node
+            for succ in net_succ[nid]:
+                if ipdom[succ] is None:
+                    continue  # successor cannot reach an observation point
+                new_idom = succ if new_idom is None \
+                    else self._intersect(succ, new_idom, ipdom)
+            ipdom[nid] = new_idom
+        self._ipdom = ipdom
+
+    def _intersect(self, a: int, b: int,
+                   ipdom: Sequence[Optional[int]]) -> int:
+        rank = self._rank
+        while a != b:
+            while rank[a] < rank[b]:
+                nxt = ipdom[a]
+                assert nxt is not None
+                a = nxt
+            while rank[b] < rank[a]:
+                nxt = ipdom[b]
+                assert nxt is not None
+                b = nxt
+        return a
+
+    def reaches_observation(self, nid: int) -> bool:
+        """Can a fault effect on this net structurally reach a sink?"""
+        return self._ipdom[nid] is not None
+
+    def dominators(self, nid: int) -> Tuple[int, ...]:
+        """Proper post-dominators of ``nid`` (excluding the net itself),
+        nearest first; empty for observation nets and unreachable nets."""
+        chain: List[int] = []
+        current = self._ipdom[nid]
+        while current is not None and current != self.exit_node:
+            chain.append(current)
+            current = self._ipdom[current]
+        return tuple(chain)
+
+    def common_dominators(self, nids: Sequence[int]) -> Tuple[int, ...]:
+        """Nets every path from *any* of ``nids`` to a sink passes through.
+
+        Unreachable members contribute no detection paths and are ignored;
+        with no reachable member at all the result is empty (the caller
+        should treat the site as unobservable instead).  The result may
+        include a member of ``nids`` itself (when one origin post-dominates
+        the others).
+        """
+        head: Optional[int] = None
+        for nid in nids:
+            if self._ipdom[nid] is None:
+                continue
+            head = nid if head is None \
+                else self._intersect(nid, head, self._ipdom)
+        if head is None:
+            return ()
+        chain: List[int] = []
+        current: Optional[int] = head
+        while current is not None and current != self.exit_node:
+            chain.append(current)
+            current = self._ipdom[current]
+        return tuple(chain)

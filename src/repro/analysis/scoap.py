@@ -1,0 +1,201 @@
+"""SCOAP-style testability measures over the compiled IR.
+
+Classic SCOAP (Goldstein 1979) assigns every line three costs: CC0/CC1, the
+difficulty of justifying a 0/1 from the controllable points, and CO, the
+difficulty of propagating the line's value to an observation point.  This
+implementation is three-valued-aware: cell behaviour comes from the shared
+scalar evaluator program (:func:`repro.simulation.simulator.scalar3_program`),
+input combinations range over {0, 1, X} (an X pin costs nothing and covers
+"don't care"), and a cost of :data:`INF` has a *proved* meaning on the
+controllability side — see :func:`compute_scoap`.
+
+Costs are relative to the same combinational view PODEM searches: tied nets
+and flip-flop outputs frozen by the mission constants are fixed, free primary
+inputs and free flip-flop outputs are the controllable points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
+from repro.netlist.compiled import CompiledNetlist
+from repro.simulation.simulator import scalar3_program
+
+#: Cost meaning "impossible" (controllability) or "never observed here"
+#: (observability).  Sums are clamped so arithmetic never overflows it.
+INF = 10 ** 9
+
+_VALUE_DOMAIN = (LOGIC_0, LOGIC_1, LOGIC_X)
+
+
+@dataclass(frozen=True)
+class ScoapTables:
+    """Net-ID-indexed SCOAP arrays.
+
+    ``cc0[nid]``/``cc1[nid]`` estimate the effort to justify net ``nid`` to
+    0/1; ``co[nid]`` the effort to observe it.  Controllability values of
+    :data:`INF` are sound proofs of impossibility (the net can *never* take
+    that value for any assignment of the controllable points).
+    ``co[nid] == INF`` is only a heuristic "no sensitized path was found" —
+    reconvergent multi-path sensitization can observe a net the single-path
+    analysis misses, so CO must never back an untestability claim.
+    """
+
+    cc0: Tuple[int, ...]
+    cc1: Tuple[int, ...]
+    co: Tuple[int, ...]
+
+    def cc(self, nid: int, value: int) -> int:
+        return self.cc0[nid] if value == LOGIC_0 else self.cc1[nid]
+
+
+def _combo_domains(arity: int) -> List[Tuple[int, ...]]:
+    """All {0,1,X} input combinations for a cell of the given arity."""
+    return list(product(_VALUE_DOMAIN, repeat=arity))
+
+
+def compute_scoap(compiled: CompiledNetlist,
+                  base: Sequence[int],
+                  controllable_ids: Set[int],
+                  observation_ids: Set[int]) -> ScoapTables:
+    """Compute CC0/CC1/CO for every net of the compiled netlist.
+
+    ``base`` is the three-valued constant fixpoint (tied nets, frozen
+    flip-flop outputs and everything they imply); ``controllable_ids`` and
+    ``observation_ids`` are PODEM's controllable/observation net sets.
+
+    Soundness of the controllability INF claims: a net is assigned a finite
+    CCv if and only if the forward enumeration finds, at its driver, an input
+    combination producing ``v`` whose definite pins each have finite
+    controllability themselves.  If some assignment of the controllable
+    points actually produced ``v`` on the net, simulating that assignment
+    yields exactly such a combination, so the net's CCv would be finite.
+    Contrapositively CCv == INF proves no assignment ever sets the net to
+    ``v``.  (The finite costs themselves stay heuristic: summing pin costs
+    ignores reconvergence, as in classic SCOAP.)
+    """
+    n = compiled.n_nets
+    cc0 = [INF] * n
+    cc1 = [INF] * n
+
+    for nid in range(n):
+        held = base[nid]
+        if held == LOGIC_0:
+            cc0[nid] = 0
+        elif held == LOGIC_1:
+            cc1[nid] = 0
+        elif nid in controllable_ids:
+            cc0[nid] = 1
+            cc1[nid] = 1
+
+    program = scalar3_program(compiled)
+    op_fanin = compiled.op_fanin
+    op_fanout = compiled.op_fanout
+    combos_by_arity: Dict[int, List[Tuple[int, ...]]] = {}
+
+    for op in range(compiled.n_ops):
+        fanin = op_fanin[op]
+        targets = [nid for nid in op_fanout[op]
+                   if nid >= 0 and base[nid] == LOGIC_X]
+        if not targets:
+            continue
+        arity = len(fanin)
+        combos = combos_by_arity.setdefault(arity, _combo_domains(arity))
+        fn = program[op]
+        best0 = {nid: INF for nid in targets}
+        best1 = {nid: INF for nid in targets}
+        for combo in combos:
+            cost = 0
+            feasible = True
+            for pos, value in enumerate(combo):
+                nid = fanin[pos]
+                if nid < 0:
+                    if value != LOGIC_X:
+                        feasible = False
+                        break
+                    continue
+                if value == LOGIC_X:
+                    continue
+                pin_cost = cc0[nid] if value == LOGIC_0 else cc1[nid]
+                if pin_cost >= INF:
+                    feasible = False
+                    break
+                cost += pin_cost
+            if not feasible:
+                continue
+            cost = min(cost, INF - 1)
+            outs = fn(*combo)
+            for pos, nid in enumerate(op_fanout[op]):
+                if nid not in best0:
+                    continue
+                out = outs[pos]
+                if out == LOGIC_0 and cost < best0[nid]:
+                    best0[nid] = cost
+                elif out == LOGIC_1 and cost < best1[nid]:
+                    best1[nid] = cost
+        for nid in targets:
+            if best0[nid] < INF:
+                cc0[nid] = min(cc0[nid], best0[nid] + 1)
+            if best1[nid] < INF:
+                cc1[nid] = min(cc1[nid], best1[nid] + 1)
+
+    co = [INF] * n
+    for nid in observation_ids:
+        co[nid] = 0
+
+    for op in range(compiled.n_ops - 1, -1, -1):
+        fanin = op_fanin[op]
+        fanout = op_fanout[op]
+        out_costs = [(pos, co[nid]) for pos, nid in enumerate(fanout)
+                     if nid >= 0 and co[nid] < INF]
+        if not out_costs:
+            continue
+        arity = len(fanin)
+        combos = combos_by_arity.setdefault(arity, _combo_domains(arity))
+        fn = program[op]
+        for pin_pos, pin_net in enumerate(fanin):
+            if pin_net < 0:
+                continue
+            best = co[pin_net]
+            for combo in combos:
+                if combo[pin_pos] != LOGIC_X:
+                    continue
+                side_cost = 0
+                feasible = True
+                for pos, value in enumerate(combo):
+                    if pos == pin_pos:
+                        continue
+                    nid = fanin[pos]
+                    if nid < 0:
+                        if value != LOGIC_X:
+                            feasible = False
+                            break
+                        continue
+                    if value == LOGIC_X:
+                        continue
+                    pin_cost = cc0[nid] if value == LOGIC_0 else cc1[nid]
+                    if pin_cost >= INF:
+                        feasible = False
+                        break
+                    side_cost += pin_cost
+                if not feasible:
+                    continue
+                lo = list(combo)
+                lo[pin_pos] = LOGIC_0
+                hi = list(combo)
+                hi[pin_pos] = LOGIC_1
+                out_lo = fn(*lo)
+                out_hi = fn(*hi)
+                for out_pos, out_co in out_costs:
+                    a, b = out_lo[out_pos], out_hi[out_pos]
+                    if a == LOGIC_X or b == LOGIC_X or a == b:
+                        continue
+                    cand = min(side_cost + out_co + 1, INF - 1)
+                    if cand < best:
+                        best = cand
+            co[pin_net] = best
+
+    return ScoapTables(cc0=tuple(cc0), cc1=tuple(cc1), co=tuple(co))

@@ -153,7 +153,8 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                shard_backend: Optional[str] = None,
                update: bool = False,
                only: Optional[Sequence[str]] = None,
-               fault_model: Optional[str] = None) -> List[CorpusOutcome]:
+               fault_model: Optional[str] = None,
+               static_prune: Optional[bool] = None) -> List[CorpusOutcome]:
     """Run (or refresh) the corpus; one outcome per entry, sorted by name.
 
     ``jobs``/``shard_backend`` configure fault-population sharding for the
@@ -161,6 +162,9 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
     not move a single byte of any capture.  ``fault_model`` restricts the
     run to the entries pinned under that model (a filter, never an
     override: each entry's golden capture belongs to its declared model).
+    ``static_prune`` toggles the static pre-filter for every entry — the
+    goldens are pinned at tie effort, where the static layer never runs,
+    so both settings must reproduce every capture byte-for-byte.
     """
     from repro.api.session import Session
 
@@ -187,7 +191,9 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                 f"no corpus entries use fault model {wanted_model!r}{detail}")
 
     if session is None:
-        session = Session(jobs=jobs, shard_backend=shard_backend)
+        session = Session(jobs=jobs, shard_backend=shard_backend,
+                          static_prune=static_prune,
+                          static_learning=static_prune)
 
     outcomes: List[CorpusOutcome] = []
     for entry in entries:

@@ -33,9 +33,30 @@ from repro.faults.models import resolve_fault_model
 from repro.soc.config import SoCConfig, axis_value_label, expand_axes
 
 #: The axes expanded at run level rather than into the SoC configuration:
-#: the ATPG effort and the fault model select *how* a scenario is analyzed
-#: without changing the generated SoC.
-RUN_AXES = ("effort", "fault_model")
+#: the ATPG effort, the fault model and the static-prune knob select *how*
+#: a scenario is analyzed without changing the generated SoC.
+RUN_AXES = ("effort", "fault_model", "static_prune")
+
+
+def _resolve_flag(name: str, value: object) -> bool:
+    """Coerce a boolean axis value, accepting the CLI spellings.
+
+    ``bool("off")`` is ``True`` — accepting raw strings here would turn a
+    programmatic ``axis("static_prune", ["on", "off"])`` into two
+    identical scenarios, so strings are resolved like the CLI resolves
+    them and anything unrecognised is rejected.
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return bool(value)
+    if isinstance(value, str):
+        lowered = value.strip().lower()
+        if lowered in ("true", "on", "yes", "1"):
+            return True
+        if lowered in ("false", "off", "no", "0"):
+            return False
+    raise ValueError(f"bad value {value!r} for boolean axis {name!r}")
 
 
 @dataclass(frozen=True)
@@ -55,6 +76,9 @@ class Scenario:
     #: keeps the session/flow default.  Declared after ``index`` so the
     #: pre-existing positional construction order is preserved.
     fault_model: Optional[str] = None
+    #: Static pre-PODEM pruning (FULL effort only); None keeps the
+    #: session/flow default (on).  Appended last for the same reason.
+    static_prune: Optional[bool] = None
 
     def build_design(self):
         from repro.api.design import Design
@@ -94,6 +118,8 @@ class ScenarioGrid:
             values = [resolve_effort(v) for v in values]
         elif name == "fault_model":
             values = [resolve_fault_model(v).name for v in values]
+        elif name == "static_prune":
+            values = [_resolve_flag(name, v) for v in values]
         else:
             # Validate config axes eagerly — a typo should fail at grid
             # construction, not halfway through a long sweep.
@@ -126,22 +152,30 @@ class ScenarioGrid:
             self._axes.get("effort") or [None])
         fault_models: Sequence[Optional[str]] = (
             self._axes.get("fault_model") or [None])
+        static_prunes: Sequence[Optional[bool]] = (
+            self._axes.get("static_prune") or [None])
 
         points: List[Scenario] = []
         for config_label, config in expand_axes(self.base, config_axes):
             for effort in efforts:
                 for fault_model in fault_models:
-                    parts = [part for part in (config_label,) if part]
-                    if effort is not None:
-                        parts.append(f"effort={axis_value_label(effort)}")
-                    if fault_model is not None:
-                        parts.append(f"fault_model={fault_model}")
-                    label = (f"{self.base_name}" if not parts
-                             else f"{self.base_name}[{','.join(parts)}]")
-                    points.append(Scenario(label=label, config=config,
-                                           effort=effort,
-                                           fault_model=fault_model,
-                                           index=len(points)))
+                    for static_prune in static_prunes:
+                        parts = [part for part in (config_label,) if part]
+                        if effort is not None:
+                            parts.append(
+                                f"effort={axis_value_label(effort)}")
+                        if fault_model is not None:
+                            parts.append(f"fault_model={fault_model}")
+                        if static_prune is not None:
+                            parts.append(
+                                f"static_prune={int(static_prune)}")
+                        label = (f"{self.base_name}" if not parts
+                                 else f"{self.base_name}[{','.join(parts)}]")
+                        points.append(Scenario(label=label, config=config,
+                                               effort=effort,
+                                               fault_model=fault_model,
+                                               static_prune=static_prune,
+                                               index=len(points)))
         return points
 
     def __repr__(self) -> str:

@@ -63,7 +63,8 @@ def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
                              effort=job.scenario.effort or job.effort,
                              parallel=job.parallel_passes,
                              config=job.flow_config,
-                             fault_model=job.scenario.fault_model)
+                             fault_model=job.scenario.fault_model,
+                             static_prune=job.scenario.static_prune)
     return {
         "label": job.scenario.label,
         "signature": design.signature,
@@ -89,7 +90,9 @@ class Session:
                  parallel_passes: Union[bool, int] = False,
                  jobs: Optional[int] = None,
                  shard_backend: Optional[str] = None,
-                 fault_model: Union[str, FaultModel, None] = None) -> None:
+                 fault_model: Union[str, FaultModel, None] = None,
+                 static_prune: Optional[bool] = None,
+                 static_learning: Optional[bool] = None) -> None:
         self.executor = resolve_executor(executor, max_workers)
         self.max_workers = max_workers
         self.cache = (cache if cache is not None
@@ -108,6 +111,10 @@ class Session:
         #: one (None keeps the FlowConfig default, i.e. stuck-at).
         self.fault_model = (resolve_fault_model(fault_model).name
                             if fault_model is not None else None)
+        #: Session defaults for the static-analysis knobs (None keeps the
+        #: FlowConfig defaults — both on at FULL effort).
+        self.static_prune = static_prune
+        self.static_learning = static_learning
 
     # ------------------------------------------------------------------ #
     # single-design analysis
@@ -125,7 +132,9 @@ class Session:
                 memory_map=None,
                 faults: Optional[Iterable] = None,
                 jobs: Optional[int] = None,
-                fault_model: Union[str, FaultModel, None] = None
+                fault_model: Union[str, FaultModel, None] = None,
+                static_prune: Optional[bool] = None,
+                static_learning: Optional[bool] = None
                 ) -> OnlineUntestableReport:
         """Analyze one design, applying session defaults where not overridden.
 
@@ -138,7 +147,8 @@ class Session:
         """
         design = self.design(target, memory_map=memory_map)
         flow_config = self._effective_flow_config(config, effort, jobs,
-                                                  fault_model)
+                                                  fault_model, static_prune,
+                                                  static_learning)
         pipeline = self._pipeline(passes, flow_config, parallel)
         result = pipeline.run(design.netlist, config=flow_config,
                               memory_map=design.memory_map, faults=faults)
@@ -250,7 +260,10 @@ class Session:
     def _effective_flow_config(self, config: Optional[FlowConfig],
                                effort,
                                jobs: Optional[int] = None,
-                               fault_model=None) -> FlowConfig:
+                               fault_model=None,
+                               static_prune: Optional[bool] = None,
+                               static_learning: Optional[bool] = None
+                               ) -> FlowConfig:
         flow_config = config if config is not None else self.flow_config
         flow_config = flow_config if flow_config is not None else FlowConfig()
         resolved = resolve_effort(effort, self.effort if config is None
@@ -279,6 +292,20 @@ class Session:
             # no explicit config was handed in — FlowConfig(fault_model=
             # "stuck_at") passed by the caller must stay stuck-at.
             flow_config = _replace(flow_config, fault_model=self.fault_model)
+        # Static-analysis knobs: explicit per-call wins; the session default
+        # applies only when no explicit config was handed in (same rule as
+        # the fault model above).
+        if static_prune is not None:
+            flow_config = _replace(flow_config, static_prune=static_prune)
+        elif self.static_prune is not None and config is None:
+            flow_config = _replace(flow_config,
+                                   static_prune=self.static_prune)
+        if static_learning is not None:
+            flow_config = _replace(flow_config,
+                                   static_learning=static_learning)
+        elif self.static_learning is not None and config is None:
+            flow_config = _replace(flow_config,
+                                   static_learning=self.static_learning)
         return flow_config
 
     def _pipeline(self, passes: Optional[Sequence],
@@ -303,7 +330,8 @@ class Session:
         report = self.analyze(design, passes=passes,
                               effort=scenario.effort or effort_default,
                               config=config,
-                              fault_model=scenario.fault_model)
+                              fault_model=scenario.fault_model,
+                              static_prune=scenario.static_prune)
         return SweepResult(
             index=scenario.index, label=scenario.label,
             design_signature=design.signature,
@@ -340,6 +368,8 @@ class Session:
                        if (self.jobs is not None
                            or self.shard_backend is not None
                            or self.fault_model is not None
+                           or self.static_prune is not None
+                           or self.static_learning is not None
                            or config is not None
                            or self.flow_config is not None)
                        else None)

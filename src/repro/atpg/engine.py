@@ -67,6 +67,9 @@ class UntestabilityReport:
     classifications: Dict[Fault, FaultClass] = field(default_factory=dict)
     runtime_seconds: float = 0.0
     phase_runtimes: Dict[str, float] = field(default_factory=dict)
+    #: Search statistics: faults proven statically (total and per proof
+    #: category), PODEM invocations, backtracks, learned-implication skips.
+    stats: Dict[str, int] = field(default_factory=dict)
 
     def with_class(self, *classes: FaultClass) -> List[Fault]:
         wanted = set(classes)
@@ -91,7 +94,9 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
                          effort: AtpgEffort, *,
                          random_patterns: int = 256,
                          backtrack_limit: int = 200,
-                         seed: int = 2013):
+                         seed: int = 2013,
+                         static_prune: bool = True,
+                         static_learning: bool = True):
     """Phases 2-3 of the engine: random-pattern detection, then PODEM.
 
     Operates on faults the tied-value analysis left unclassified.  Every
@@ -99,11 +104,19 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
     burst, PODEM searches per fault), so the result is independent of how
     the fault list is batched — which is what lets the sharded classifier
     (:func:`repro.simulation.sharded.sharded_classify`) run the tie
-    fixpoint once and farm only these phases out to workers.  Returns
-    ``(classifications, phase_runtimes)``.
+    fixpoint once and farm only these phases out to workers.
+
+    At FULL effort the static-analysis layer (:mod:`repro.analysis`) joins
+    in: with ``static_prune`` the prover classifies faults UU *before* any
+    PODEM call; with ``static_learning`` the remaining searches consult the
+    learned implications and SCOAP guidance.  Both default on; turning both
+    off reproduces the plain search bit-for-bit (the oracle path).
+
+    Returns ``(classifications, phase_runtimes, stats)``.
     """
     classifications: Dict[Fault, FaultClass] = {}
     phase_runtimes: Dict[str, float] = {}
+    stats: Dict[str, int] = {}
     remaining = list(faults)
 
     if effort in (AtpgEffort.RANDOM, AtpgEffort.FULL) and remaining:
@@ -116,10 +129,36 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
         phase_runtimes["random"] = time.perf_counter() - phase_start
 
     if effort is AtpgEffort.FULL and remaining:
+        static = None
+        if static_prune or static_learning:
+            from repro.analysis import get_static_analysis
+
+            phase_start = time.perf_counter()
+            static = get_static_analysis(netlist)
+            phase_runtimes["static_build"] = time.perf_counter() - phase_start
+
+        if static is not None and static_prune:
+            phase_start = time.perf_counter()
+            unproven: List[Fault] = []
+            for fault in remaining:
+                proof = static.prove(fault)
+                if proof is None:
+                    unproven.append(fault)
+                    continue
+                classifications[fault] = FaultClass.UU
+                stats["static_proved"] = stats.get("static_proved", 0) + 1
+                key = f"static_proved_{proof.category}"
+                stats[key] = stats.get(key, 0) + 1
+            remaining = unproven
+            phase_runtimes["static_prune"] = time.perf_counter() - phase_start
+
         phase_start = time.perf_counter()
-        podem = Podem(netlist, backtrack_limit=backtrack_limit)
+        podem = Podem(netlist, backtrack_limit=backtrack_limit,
+                      static=static if static_learning else None)
+        backtracks = 0
         for fault in remaining:
             result = podem.generate(fault)
+            backtracks += result.backtracks
             if result.status is PodemStatus.DETECTED:
                 classifications[fault] = FaultClass.DT
             elif result.status is PodemStatus.UNTESTABLE:
@@ -127,8 +166,14 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
             else:
                 classifications[fault] = FaultClass.AU
         phase_runtimes["podem"] = time.perf_counter() - phase_start
+        stats["podem_calls"] = stats.get("podem_calls", 0) + len(remaining)
+        stats["podem_backtracks"] = (stats.get("podem_backtracks", 0)
+                                     + backtracks)
+        if static is not None and static_learning:
+            stats["learned_skips"] = (stats.get("learned_skips", 0)
+                                      + podem.learned_skips)
 
-    return classifications, phase_runtimes
+    return classifications, phase_runtimes, stats
 
 
 class StructuralUntestabilityEngine:
@@ -149,7 +194,9 @@ class StructuralUntestabilityEngine:
                  seed: int = 2013,
                  jobs: int = 1,
                  backend: Optional[str] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 static_prune: bool = True,
+                 static_learning: bool = True) -> None:
         self.netlist = netlist
         self.effort = effort
         self.random_patterns = random_patterns
@@ -158,6 +205,8 @@ class StructuralUntestabilityEngine:
         self.jobs = max(1, jobs if jobs is not None else 1)
         self.backend = backend
         self.shards = shards
+        self.static_prune = static_prune
+        self.static_learning = static_learning
         self.implication = ImplicationEngine(netlist)
 
     def classify(self, faults: Iterable[Fault]) -> UntestabilityReport:
@@ -171,7 +220,9 @@ class StructuralUntestabilityEngine:
                 self.netlist, fault_list, effort=self.effort,
                 jobs=self.jobs, backend=self.backend, shards=self.shards,
                 random_patterns=self.random_patterns,
-                backtrack_limit=self.backtrack_limit, seed=self.seed)
+                backtrack_limit=self.backtrack_limit, seed=self.seed,
+                static_prune=self.static_prune,
+                static_learning=self.static_learning)
         report = UntestabilityReport(effort=self.effort)
         start = time.perf_counter()
 
@@ -183,12 +234,15 @@ class StructuralUntestabilityEngine:
         report.phase_runtimes["tie"] = time.perf_counter() - phase_start
 
         remaining = [f for f in fault_list if f not in report.classifications]
-        classifications, phase_runtimes = run_detection_phases(
+        classifications, phase_runtimes, stats = run_detection_phases(
             self.netlist, remaining, self.effort,
             random_patterns=self.random_patterns,
-            backtrack_limit=self.backtrack_limit, seed=self.seed)
+            backtrack_limit=self.backtrack_limit, seed=self.seed,
+            static_prune=self.static_prune,
+            static_learning=self.static_learning)
         report.classifications.update(classifications)
         report.phase_runtimes.update(phase_runtimes)
+        report.stats.update(stats)
 
         report.runtime_seconds = time.perf_counter() - start
         return report

@@ -30,9 +30,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from repro.faults.models import Fault, InjectionSpec, resolve_injection
+
+if TYPE_CHECKING:
+    from repro.analysis.prover import StaticAnalysis
+    from repro.atpg.implication import ImplicationEngine
 from repro.netlist.cells import LOGIC_0, LOGIC_1, LOGIC_X
 from repro.netlist.compiled import NO_NET, get_compiled
 from repro.netlist.module import Netlist
@@ -88,13 +92,22 @@ class Podem:
     """
 
     def __init__(self, netlist: Netlist, backtrack_limit: int = 200,
-                 implication: Optional["ImplicationEngine"] = None) -> None:
+                 implication: Optional["ImplicationEngine"] = None,
+                 static: Optional["StaticAnalysis"] = None) -> None:
         from repro.atpg.implication import ImplicationEngine
 
         self.netlist = netlist
         self.backtrack_limit = backtrack_limit
         self.compiled = get_compiled(netlist)
         self.implication = implication or ImplicationEngine(netlist)
+        #: Optional static-analysis handle (repro.analysis): when present,
+        #: the learned-implication closure vetoes provably futile decision
+        #: branches and SCOAP controllability guides the backtrace.  ``None``
+        #: keeps the plain search as the oracle path.
+        self.static = static
+        #: Decision branches skipped because the learned implications proved
+        #: them futile (they would otherwise have cost backtracks).
+        self.learned_skips = 0
 
         compiled = self.compiled
         names = compiled.net_names
@@ -336,10 +349,20 @@ class Podem:
             target = (LOGIC_1 - current_value) if inversion else current_value
 
             chosen = -1
-            for fanin_nid in compiled.op_fanin[op]:
-                if fanin_nid >= 0 and good[fanin_nid] == LOGIC_X:
-                    chosen = fanin_nid
-                    break
+            if self.static is not None:
+                # SCOAP guidance: pursue the cheapest-to-justify fanin.
+                best_cost: Optional[int] = None
+                for fanin_nid in compiled.op_fanin[op]:
+                    if fanin_nid >= 0 and good[fanin_nid] == LOGIC_X:
+                        cost = self.static.scoap.cc(fanin_nid, target)
+                        if best_cost is None or cost < best_cost:
+                            chosen = fanin_nid
+                            best_cost = cost
+            else:
+                for fanin_nid in compiled.op_fanin[op]:
+                    if fanin_nid >= 0 and good[fanin_nid] == LOGIC_X:
+                        chosen = fanin_nid
+                        break
             if chosen < 0:
                 return None
             current = chosen
@@ -369,6 +392,15 @@ class Podem:
 
         stem, branch_op, branch_pos = self._fault_refs(fault)
         names = compiled.net_names
+
+        # Static learning: the values every detecting pattern must justify.
+        # A contradiction in the closure proves the excitation value is
+        # unreachable, hence the exhaustive search would return UNTESTABLE.
+        necessary: Optional[Dict[int, int]] = None
+        if self.static is not None:
+            necessary = self.static.necessary(excite, LOGIC_1 - fault_value)
+            if necessary is None:
+                return PodemResult(PodemStatus.UNTESTABLE, fault)
 
         assignments: Dict[int, int] = {}
         # Decision stack entries: (net id, value, alternative_tried)
@@ -412,8 +444,19 @@ class Podem:
                     dead_end = True
                 else:
                     nid, value = pi
+                    skipped = False
+                    if necessary is not None:
+                        required = necessary.get(nid)
+                        if required is not None and required != value:
+                            # The suggested branch contradicts a necessary
+                            # assignment: take the other branch directly and
+                            # mark it tried (the skipped branch is covered
+                            # by the static proof, not by search).
+                            value = required
+                            skipped = True
+                            self.learned_skips += 1
                     assignments[nid] = value
-                    stack.append([nid, value, False])
+                    stack.append([nid, value, skipped])
                     decisions += 1
                     continue
 

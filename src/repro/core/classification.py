@@ -59,7 +59,9 @@ class FaultUniverse:
 def build_fault_universe(original: Netlist,
                          functional_constraints: Optional[Dict[str, int]] = None,
                          online_untestable: Optional[Iterable[StuckAtFault]] = None,
-                         effort: AtpgEffort = AtpgEffort.TIE) -> FaultUniverse:
+                         effort: AtpgEffort = AtpgEffort.TIE,
+                         static_prune: bool = True,
+                         static_learning: bool = True) -> FaultUniverse:
     """Compute the Fig. 1 categories for a netlist.
 
     Parameters
@@ -81,7 +83,9 @@ def build_fault_universe(original: Netlist,
     fault_list = generate_fault_list(original)
     universe = FaultUniverse(all_faults=set(fault_list.faults()))
 
-    engine = StructuralUntestabilityEngine(original, effort=effort)
+    engine = StructuralUntestabilityEngine(original, effort=effort,
+                                           static_prune=static_prune,
+                                           static_learning=static_learning)
     baseline = engine.classify(fault_list.faults())
     universe.structurally_untestable = set(baseline.untestable)
 
@@ -89,7 +93,9 @@ def build_fault_universe(original: Netlist,
         constrained = original.clone(f"{original.name}_functional_view")
         for net, value in functional_constraints.items():
             constrained.net(net).tied = value
-        func_engine = StructuralUntestabilityEngine(constrained, effort=effort)
+        func_engine = StructuralUntestabilityEngine(constrained, effort=effort,
+                                                    static_prune=static_prune,
+                                                    static_learning=static_learning)
         func_report = func_engine.classify(fault_list.faults())
         universe.functionally_untestable = (
             set(func_report.untestable) | universe.structurally_untestable

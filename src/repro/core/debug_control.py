@@ -54,12 +54,16 @@ def compute_baseline_untestable(netlist: Netlist,
                                 faults: Optional[Iterable[StuckAtFault]] = None,
                                 effort: AtpgEffort = AtpgEffort.TIE,
                                 jobs: int = 1,
-                                backend: Optional[str] = None
+                                backend: Optional[str] = None,
+                                static_prune: bool = True,
+                                static_learning: bool = True
                                 ) -> Set[StuckAtFault]:
     """Faults untestable in the unmanipulated netlist (structural baseline)."""
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
     engine = StructuralUntestabilityEngine(netlist, effort=effort, jobs=jobs,
-                                           backend=backend)
+                                           backend=backend,
+                                           static_prune=static_prune,
+                                           static_learning=static_learning)
     report = engine.classify(fault_universe)
     return set(report.untestable)
 
@@ -70,7 +74,9 @@ def identify_debug_control_untestable(netlist: Netlist,
                                       baseline_untestable: Optional[Set[StuckAtFault]] = None,
                                       effort: AtpgEffort = AtpgEffort.TIE,
                                       jobs: int = 1,
-                                      backend: Optional[str] = None
+                                      backend: Optional[str] = None,
+                                      static_prune: bool = True,
+                                      static_learning: bool = True
                                       ) -> DebugControlResult:
     """Identify the on-line untestable faults caused by mission-constant
     debug control inputs."""
@@ -81,7 +87,8 @@ def identify_debug_control_untestable(netlist: Netlist,
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
     if baseline_untestable is None:
         baseline_untestable = compute_baseline_untestable(
-            netlist, fault_universe, effort, jobs=jobs, backend=backend)
+            netlist, fault_universe, effort, jobs=jobs, backend=backend,
+            static_prune=static_prune, static_learning=static_learning)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_tied")
     tied: Dict[str, int] = {}
@@ -91,7 +98,9 @@ def identify_debug_control_untestable(netlist: Netlist,
             tied[port] = value
 
     engine = StructuralUntestabilityEngine(manipulated, effort=effort,
-                                           jobs=jobs, backend=backend)
+                                           jobs=jobs, backend=backend,
+                                           static_prune=static_prune,
+                                           static_learning=static_learning)
     report = engine.classify(fault_universe)
 
     return DebugControlResult(

@@ -50,7 +50,9 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                       baseline_untestable: Optional[Set[StuckAtFault]] = None,
                                       effort: AtpgEffort = AtpgEffort.TIE,
                                       jobs: int = 1,
-                                      backend: Optional[str] = None
+                                      backend: Optional[str] = None,
+                                      static_prune: bool = True,
+                                      static_learning: bool = True
                                       ) -> DebugObserveResult:
     """Identify the on-line untestable faults caused by floating debug outputs."""
     interface = interface or discover_debug_interface(netlist)
@@ -61,7 +63,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
     if baseline_untestable is None:
         from repro.core.debug_control import compute_baseline_untestable
         baseline_untestable = compute_baseline_untestable(
-            netlist, fault_universe, effort, jobs=jobs, backend=backend)
+            netlist, fault_universe, effort, jobs=jobs, backend=backend,
+            static_prune=static_prune, static_learning=static_learning)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_floated")
     floated: List[str] = []
@@ -72,7 +75,9 @@ def identify_debug_observe_untestable(netlist: Netlist,
             floated.append(port)
 
     engine = StructuralUntestabilityEngine(manipulated, effort=effort,
-                                           jobs=jobs, backend=backend)
+                                           jobs=jobs, backend=backend,
+                                           static_prune=static_prune,
+                                           static_learning=static_learning)
     report = engine.classify(fault_universe)
 
     return DebugObserveResult(

@@ -64,7 +64,9 @@ def identify_memory_map_untestable(netlist: Netlist,
                                    tie_flop_outputs: bool = True,
                                    tie_flop_inputs: bool = True,
                                    jobs: int = 1,
-                                   backend: Optional[str] = None
+                                   backend: Optional[str] = None,
+                                   static_prune: bool = True,
+                                   static_learning: bool = True
                                    ) -> MemoryMapResult:
     """Identify on-line untestable faults caused by frozen address bits.
 
@@ -83,7 +85,8 @@ def identify_memory_map_untestable(netlist: Netlist,
     if baseline_untestable is None:
         from repro.core.debug_control import compute_baseline_untestable
         baseline_untestable = compute_baseline_untestable(
-            netlist, fault_universe, effort, jobs=jobs, backend=backend)
+            netlist, fault_universe, effort, jobs=jobs, backend=backend,
+            static_prune=static_prune, static_learning=static_learning)
 
     constants = constant_address_bits(memory_map)
     result = MemoryMapResult(constant_bits=dict(constants),
@@ -122,7 +125,9 @@ def identify_memory_map_untestable(netlist: Netlist,
                         result.tied_nets[data_pin.net.name] = value
 
     engine = StructuralUntestabilityEngine(manipulated, effort=effort,
-                                           jobs=jobs, backend=backend)
+                                           jobs=jobs, backend=backend,
+                                           static_prune=static_prune,
+                                           static_learning=static_learning)
     report = engine.classify(fault_universe)
 
     result.untestable = set(report.untestable)

@@ -224,7 +224,10 @@ class CompiledNetlist:
         self.op_level = levels
 
         # ------------- lazy memos ------------- #
-        self._lock = threading.Lock()
+        # Re-entrant: an extension factory may itself request other
+        # extensions (the static-analysis handle builds on the evaluator
+        # programs, which live in extension slots too).
+        self._lock = threading.RLock()
         self._fanout_ops_memo: Dict[int, Tuple[int, ...]] = {}
         self._branch_cone_memo: Dict[int, Tuple[int, ...]] = {}
         self._fanout_nets_memo: Dict[int, frozenset] = {}

@@ -45,7 +45,7 @@ SEED_ARTIFACTS = ("netlist", "memory_map", "config")
 #: variants that only change the ATPG effort or the memory map.  ``model``
 #: is the fault model: every pass that touches the fault universe keys on
 #: it, so stuck-at and transition runs of one netlist never share results.
-CONFIG_FACETS = ("model", "effort", "ties", "memmap", "faults")
+CONFIG_FACETS = ("model", "effort", "ties", "memmap", "faults", "static")
 
 
 class PipelineContext:
@@ -124,6 +124,16 @@ class PipelineContext:
         return resolve_fault_model(getattr(self.config, "fault_model", None))
 
     @property
+    def static_prune(self) -> bool:
+        """Pre-classify statically proven faults before PODEM (FULL effort)."""
+        return bool(getattr(self.config, "static_prune", True))
+
+    @property
+    def static_learning(self) -> bool:
+        """Let PODEM consult the learned implications and SCOAP guidance."""
+        return bool(getattr(self.config, "static_learning", True))
+
+    @property
     def fault_universe(self) -> List[Fault]:
         return self.require("fault_universe")
 
@@ -168,6 +178,8 @@ class PipelineContext:
                          f"tie_in={int(cfg.tie_flop_inputs)}"),
                 "memmap": f"memmap={memory_map_key(self.memory_map)}",
                 "faults": f"faults={fault_restriction_key(self.initial_faults)}",
+                "static": (f"static=prune{int(self.static_prune)}:"
+                           f"learn{int(self.static_learning)}"),
             }
         return self._facet_fragments
 

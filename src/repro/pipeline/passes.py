@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
+from repro.atpg.engine import AtpgEffort
 from repro.core.debug_control import (compute_baseline_untestable,
                                       identify_debug_control_untestable)
 from repro.core.debug_observe import identify_debug_observe_untestable
@@ -61,7 +62,10 @@ REPORT_DETAIL_FIELDS: Dict[str, str] = {
 def default_pass_names(config: Optional[FlowConfig] = None) -> list:
     """The pass selection matching a legacy :class:`FlowConfig`."""
     cfg = config or FlowConfig()
-    names = ["fault_list", "baseline"]
+    names = ["fault_list"]
+    if cfg.effort is AtpgEffort.FULL and getattr(cfg, "static_prune", True):
+        names.append("static_analysis")
+    names.append("baseline")
     if cfg.run_scan:
         names.append("scan_analysis")
     if cfg.run_debug_control:
@@ -90,14 +94,37 @@ def fault_list_pass(ctx: PipelineContext) -> PassResult:
     })
 
 
+@analysis_pass("static_analysis", requires=("fault_universe",),
+               provides=("static_analysis", "static_proofs"),
+               cache_facets=("model",))
+def static_analysis_pass(ctx: PipelineContext) -> PassResult:
+    """Build the per-signature static handle and prove what it can.
+
+    The handle itself (SCOAP tables, learned implications, dominator
+    chains) is memoised on the compiled netlist, so this pass mainly
+    exists to surface the per-fault proof objects as a pipeline artifact
+    and count them into the report.  Its cache key carries only the
+    fault-model facet: the proofs read the netlist structure alone, never
+    the ATPG effort or the memory map.
+    """
+    from repro.analysis import get_static_analysis
+
+    static = get_static_analysis(ctx.netlist)
+    proofs = static.prove_all(ctx.fault_universe)
+    return PassResult(artifacts={"static_analysis": static,
+                                 "static_proofs": proofs},
+                      details=proofs)
+
+
 @analysis_pass("baseline", requires=("fault_universe",),
                provides=("baseline_untestable",),
-               cache_facets=("model", "effort", "faults"))
+               cache_facets=("model", "effort", "faults", "static"))
 def baseline_pass(ctx: PipelineContext) -> PassResult:
     """Faults untestable before manipulation — Table I's "Original" row."""
     baseline = compute_baseline_untestable(
         ctx.netlist, ctx.fault_universe, ctx.effort,
-        jobs=ctx.jobs, backend=ctx.shard_backend)
+        jobs=ctx.jobs, backend=ctx.shard_backend,
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
     return PassResult(artifacts={"baseline_untestable": baseline})
 
 
@@ -127,13 +154,14 @@ def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("debug_control", source=OnlineUntestableSource.DEBUG_CONTROL,
                requires=("fault_universe", "baseline_untestable"),
                provides=("debug_control_result",),
-               cache_facets=("model", "effort", "faults"))
+               cache_facets=("model", "effort", "faults", "static"))
 def debug_control_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.1 — tie the debug control inputs to their mission constants."""
     ctrl = identify_debug_control_untestable(
         ctx.netlist, faults=ctx.fault_universe,
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
-        jobs=ctx.jobs, backend=ctx.shard_backend)
+        jobs=ctx.jobs, backend=ctx.shard_backend,
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
     return PassResult(artifacts={"debug_control_result": ctrl},
                       identified=ctrl.newly_untestable, details=ctrl)
 
@@ -141,13 +169,14 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("debug_observe", source=OnlineUntestableSource.DEBUG_OBSERVE,
                requires=("fault_universe", "baseline_untestable"),
                provides=("debug_observe_result",),
-               cache_facets=("model", "effort", "faults"))
+               cache_facets=("model", "effort", "faults", "static"))
 def debug_observe_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.2 — float the debug-only observation buses."""
     observe = identify_debug_observe_untestable(
         ctx.netlist, faults=ctx.fault_universe,
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
-        jobs=ctx.jobs, backend=ctx.shard_backend)
+        jobs=ctx.jobs, backend=ctx.shard_backend,
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
     return PassResult(artifacts={"debug_observe_result": observe},
                       identified=observe.newly_untestable, details=observe)
 
@@ -156,7 +185,8 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
                requires=("fault_universe", "baseline_untestable"),
                provides=("memory_result",),
                when=lambda ctx: ctx.memory_map is not None,
-               cache_facets=("model", "effort", "ties", "memmap", "faults"))
+               cache_facets=("model", "effort", "ties", "memmap", "faults",
+                             "static"))
 def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
     """§3.3 — freeze the address bits the mission memory map never toggles."""
     memory = identify_memory_map_untestable(
@@ -164,6 +194,7 @@ def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
         tie_flop_outputs=ctx.config.tie_flop_outputs,
         tie_flop_inputs=ctx.config.tie_flop_inputs,
-        jobs=ctx.jobs, backend=ctx.shard_backend)
+        jobs=ctx.jobs, backend=ctx.shard_backend,
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
     return PassResult(artifacts={"memory_result": memory},
                       identified=memory.newly_untestable, details=memory)

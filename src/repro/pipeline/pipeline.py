@@ -386,6 +386,13 @@ class Pipeline:
             if pass_name in result.results:
                 setattr(report, attr, result.results[pass_name].details)
 
+        static_proofs = ctx.get("static_proofs")
+        if static_proofs:
+            counts: Dict[str, int] = {}
+            for proof in static_proofs.values():
+                counts[proof.category] = counts.get(proof.category, 0) + 1
+            report.static_proof_counts = counts
+
         report.runtimes = {
             LEGACY_RUNTIME_KEYS.get(name, name): runtime
             for name, runtime in result.runtimes.items()

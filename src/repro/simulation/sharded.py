@@ -551,13 +551,16 @@ class _DetectClassifyJob:
     def __init__(self, netlist: Netlist,
                  shards: Tuple[Tuple[Fault, ...], ...],
                  effort, random_patterns: int, backtrack_limit: int,
-                 seed: int) -> None:
+                 seed: int, static_prune: bool = True,
+                 static_learning: bool = True) -> None:
         self.netlist = netlist
         self.shards = shards
         self.effort = effort
         self.random_patterns = random_patterns
         self.backtrack_limit = backtrack_limit
         self.seed = seed
+        self.static_prune = static_prune
+        self.static_learning = static_learning
 
     def prepare(self) -> None:
         # The phases build their own derived state; compiling the netlist
@@ -569,15 +572,17 @@ class _DetectClassifyJob:
 
     def run_shard(self, task):
         """task = (shard id,) -> (shard id, classifications, phase
-        runtimes)."""
+        runtimes, stats)."""
         from repro.atpg.engine import run_detection_phases
 
         (shard_id,) = task
-        classifications, phase_runtimes = run_detection_phases(
+        classifications, phase_runtimes, stats = run_detection_phases(
             self.netlist, list(self.shards[shard_id]), self.effort,
             random_patterns=self.random_patterns,
-            backtrack_limit=self.backtrack_limit, seed=self.seed)
-        return shard_id, classifications, phase_runtimes
+            backtrack_limit=self.backtrack_limit, seed=self.seed,
+            static_prune=self.static_prune,
+            static_learning=self.static_learning)
+        return shard_id, classifications, phase_runtimes, stats
 
 
 # --------------------------------------------------------------------- #
@@ -840,7 +845,9 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                      shards: Optional[int] = None,
                      random_patterns: int = 256,
                      backtrack_limit: int = 200,
-                     seed: int = 2013):
+                     seed: int = 2013,
+                     static_prune: bool = True,
+                     static_learning: bool = True):
     """Classify a fault population across shard workers.
 
     The netlist-global tied-value fixpoint runs exactly once, in the
@@ -882,14 +889,17 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
     fault_shards = partition_faults(netlist, remaining, n_shards)
     job = _DetectClassifyJob(netlist,
                              tuple(shard.faults for shard in fault_shards),
-                             effort, random_patterns, backtrack_limit, seed)
+                             effort, random_patterns, backtrack_limit, seed,
+                             static_prune, static_learning)
     with _ShardRunner(backend, jobs).start(job) as runner:
         tasks = [(shard.index,) for shard in fault_shards]
-        for _shard_id, classifications, phase_runtimes in sorted(
+        for _shard_id, classifications, phase_runtimes, stats in sorted(
                 runner.map("run_shard", tasks), key=lambda item: item[0]):
             report.classifications.update(classifications)
             for phase, seconds in phase_runtimes.items():
                 report.phase_runtimes[phase] = (
                     report.phase_runtimes.get(phase, 0.0) + seconds)
+            for key, count in stats.items():
+                report.stats[key] = report.stats.get(key, 0) + count
     report.runtime_seconds = time.perf_counter() - start
     return report

@@ -1,0 +1,237 @@
+#!/usr/bin/env python
+"""AST lint: no unordered iteration in the rendering / collapse modules.
+
+The repository's reports, fault-universe summaries and collapse classes are
+pinned byte-for-byte by the golden corpus, so any iteration whose order
+depends on hash randomization is a latent flaky diff.  This lint walks the
+modules that produce user-visible or golden-pinned output and flags
+
+* ``for``-loops and comprehensions iterating a set-valued expression
+  (set/frozenset displays and constructors, set comprehensions, set algebra
+  on set-valued operands, names bound to any of those in the same scope,
+  and the set-typed report attributes listed below), and
+* ``str.join`` called on such an expression,
+
+unless the expression is wrapped in ``sorted(...)``.  Dict *displays* are
+insertion-ordered and therefore fine; ``set`` is the only builtin whose
+iteration order varies run to run.
+
+Usage::
+
+    python tools/lint_determinism.py            # lint the default modules
+    python tools/lint_determinism.py FILE...    # lint specific files
+
+Exit status 1 when any finding is reported (CI fails the lint job).
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Set, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The modules whose output is golden-pinned or user-visible.
+DEFAULT_TARGETS = (
+    "src/repro/core/report.py",
+    "src/repro/core/results.py",
+    "src/repro/core/classification.py",
+    "src/repro/faults/collapse.py",
+)
+
+#: Attributes documented as ``Set[Fault]`` on the report / universe objects
+#: (repro.core.results, repro.core.classification, the per-source results).
+SET_ATTRIBUTES = frozenset({
+    "baseline_untestable",
+    "untestable",
+    "newly_untestable",
+    "identified",
+    "attributed",
+    "online_untestable",
+    "online_functionally_untestable",
+    "online_detectable",
+    "functionally_untestable",
+    "structurally_untestable",
+    "all_faults",
+    "fault_set",
+    "controllable_ids",
+    "observation_ids",
+})
+
+#: Wrappers that preserve (or define) their argument's iteration order —
+#: looking through them keeps ``for i, f in enumerate(sorted(s))`` clean
+#: while still flagging ``for f in list(s)``.
+ORDER_PRESERVING_WRAPPERS = ("list", "tuple", "enumerate", "reversed", "iter")
+
+SET_BINOPS = (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+
+#: Builtins whose result does not depend on the iteration order of their
+#: argument — a comprehension feeding one of these is deterministic even
+#: when it walks a set.
+ORDER_INSENSITIVE_CONSUMERS = ("sorted", "set", "frozenset", "sum", "min",
+                               "max", "any", "all", "len")
+
+
+class _Finding(Tuple[str, int, str]):
+    __slots__ = ()
+
+
+def _unwrap(node: ast.expr) -> ast.expr:
+    while (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+           and node.func.id in ORDER_PRESERVING_WRAPPERS and node.args):
+        node = node.args[0]
+    return node
+
+
+class _ScopeChecker(ast.NodeVisitor):
+    """Per-module walker tracking which local names hold sets."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.findings: List[Tuple[str, int, str]] = []
+        # Stack of per-scope name sets; module scope at the bottom.
+        self._set_names: List[Set[str]] = [set()]
+        # Comprehensions consumed by an order-insensitive builtin
+        # (``sorted(str(f) for f in some_set)``) — exempt by node identity.
+        self._exempt: Set[int] = set()
+
+    # -------------------------------------------------------------- #
+    # set-ness of an expression
+    # -------------------------------------------------------------- #
+    def _is_set_expr(self, node: ast.expr) -> bool:
+        node = _unwrap(node)
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id in (
+                    "set", "frozenset"):
+                return True
+            if (isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("union", "intersection",
+                                           "difference",
+                                           "symmetric_difference")
+                    and self._is_set_expr(node.func.value)):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(node.op, SET_BINOPS):
+            return (self._is_set_expr(node.left)
+                    or self._is_set_expr(node.right))
+        if isinstance(node, ast.Attribute):
+            return node.attr in SET_ATTRIBUTES
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self._set_names)
+        if isinstance(node, ast.IfExp):
+            return (self._is_set_expr(node.body)
+                    or self._is_set_expr(node.orelse))
+        return False
+
+    def _is_sorted_call(self, node: ast.expr) -> bool:
+        return (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted")
+
+    def _check_iter(self, node: ast.expr, context: str) -> None:
+        unwrapped = _unwrap(node)
+        if self._is_sorted_call(unwrapped):
+            return
+        if self._is_set_expr(unwrapped):
+            self.findings.append((
+                self.path, node.lineno,
+                f"{context} iterates a set-valued expression without "
+                f"sorted() — order depends on hash randomization"))
+
+    # -------------------------------------------------------------- #
+    # scope handling + assignments
+    # -------------------------------------------------------------- #
+    def _visit_scope(self, node: ast.AST) -> None:
+        self._set_names.append(set())
+        self.generic_visit(node)
+        self._set_names.pop()
+
+    visit_FunctionDef = _visit_scope
+    visit_AsyncFunctionDef = _visit_scope
+    visit_ClassDef = _visit_scope
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if self._is_set_expr(node.value):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    self._set_names[-1].add(target.id)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None and self._is_set_expr(node.value):
+            if isinstance(node.target, ast.Name):
+                self._set_names[-1].add(node.target.id)
+        self.generic_visit(node)
+
+    # -------------------------------------------------------------- #
+    # iteration sites
+    # -------------------------------------------------------------- #
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter, "for-loop")
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST, kind: str) -> None:
+        if id(node) not in self._exempt:
+            for comp in node.generators:  # type: ignore[attr-defined]
+                self._check_iter(comp.iter, kind)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension(node, "list comprehension")
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # Building a *set* from a set is order-insensitive.
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension(node, "dict comprehension")
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension(node, "generator expression")
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (isinstance(node.func, ast.Name)
+                and node.func.id in ORDER_INSENSITIVE_CONSUMERS):
+            for arg in node.args:
+                if isinstance(arg, (ast.GeneratorExp, ast.ListComp,
+                                    ast.SetComp)):
+                    self._exempt.add(id(arg))
+        if (isinstance(node.func, ast.Attribute)
+                and node.func.attr == "join" and node.args):
+            self._check_iter(node.args[0], "str.join")
+        self.generic_visit(node)
+
+
+def lint_file(path: Path) -> List[Tuple[str, int, str]]:
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    checker = _ScopeChecker(str(path))
+    checker.visit(tree)
+    return checker.findings
+
+
+def main(argv: List[str]) -> int:
+    targets = ([Path(arg) for arg in argv]
+               if argv else [REPO_ROOT / rel for rel in DEFAULT_TARGETS])
+    findings: List[Tuple[str, int, str]] = []
+    for target in targets:
+        if not target.exists():
+            print(f"lint_determinism: missing target {target}",
+                  file=sys.stderr)
+            return 2
+        findings.extend(lint_file(target))
+    for path, lineno, message in findings:
+        print(f"{path}:{lineno}: {message}")
+    if findings:
+        print(f"lint_determinism: {len(findings)} finding(s)",
+              file=sys.stderr)
+        return 1
+    print(f"lint_determinism: {len(targets)} file(s) clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
