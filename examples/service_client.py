@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Talk to the analysis service: submit, stream, inspect, shut down.
+
+The service (:mod:`repro.service`) runs analyses and scenario sweeps as
+*jobs* against one long-lived :class:`repro.Session`, so every job it
+serves shares the same warm artifact cache — and, when started with
+``--store``, the same durable on-disk artifact store.  This example
+starts a service on an ephemeral port in-process (so it is runnable
+stand-alone; against a real deployment you would skip that part and just
+point :class:`~repro.service.ServiceClient` at the host/port of a
+``python -m repro serve`` instance), then walks the full client surface:
+
+* submit an ``analyze`` job, wait for it, print the served Table I;
+* submit a ``sweep`` job and *stream* it — one event per completed
+  scenario, with the scenario's Table I attached;
+* hit the per-client quota and ride out the structured backpressure
+  rejection with ``submit_with_retry``;
+* inspect ``jobs`` / ``stats``, then drain the service gracefully.
+
+The CLI spellings of the same operations::
+
+    python -m repro serve --port 7321 --store /tmp/repro-store
+    python -m repro submit analyze --port 7321 --design tiny
+    python -m repro submit sweep --port 7321 --base tiny \\
+        --axis effort=tie,random --stream
+    python -m repro jobs --port 7321
+
+Run with:  python examples/service_client.py
+"""
+
+import tempfile
+import threading
+
+from repro.service import AnalysisService, ServiceClient, ServiceError
+
+
+def start_service(store_dir: str) -> AnalysisService:
+    """An in-process service on an ephemeral port (demo convenience)."""
+    service = AnalysisService(port=0, store=store_dir,
+                              max_queue=4, max_jobs_per_client=2)
+    ready = threading.Event()
+    threading.Thread(target=service.run,
+                     kwargs={"ready": lambda _svc: ready.set()},
+                     daemon=True).start()
+    assert ready.wait(10), "service did not come up"
+    print(f"service listening on 127.0.0.1:{service.port}")
+    return service
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory(prefix="repro-store-") as store_dir:
+        service = start_service(store_dir)
+        client = ServiceClient(port=service.port, timeout=300.0,
+                               client_id="example")
+
+        # -- one analysis job: submit, wait, fetch the rendered table ---- #
+        job = client.submit("analyze", {"design": "tiny", "effort": "tie"})
+        print(f"submitted {job['id']} ({job['state']})")
+        final = client.wait(job["id"])
+        outcome = client.result(job["id"])
+        print(f"{job['id']} finished: {final['state']}")
+        print(outcome["result"]["table"])
+
+        # -- a streamed sweep: one event per completed scenario ---------- #
+        sweep = client.submit(
+            "sweep", {"base": "tiny", "axes": {"effort": ["tie", "random"]}})
+        print(f"\nstreaming {sweep['id']} ...")
+        for event in client.stream(sweep["id"]):
+            if event["event"] == "scenario":
+                verdict = "ok" if event["ok"] else f"FAILED ({event['error']})"
+                print(f"  scenario {event['label']}: {verdict} "
+                      f"({event['elapsed_seconds']:.2f}s)")
+            elif event["event"] == "done":
+                print(f"  -> {event['state']}")
+
+        # -- backpressure: quota rejections carry a retry_after hint ----- #
+        # The service admits at most max_jobs_per_client live jobs per
+        # client; beyond that, submit fails with a structured error whose
+        # retry_after estimates when a slot will free up.  The jobs here
+        # are warm-cached, so a burst may drain before the quota trips —
+        # submit_with_retry handles both outcomes by sleeping out the hint.
+        print("\nburst of 6 submits against a quota of 2:")
+        burst = []
+        for n in range(6):
+            try:
+                burst.append(client.submit("analyze", {"design": "tiny"}))
+            except ServiceError as exc:
+                print(f"  submit #{n + 1} rejected: {exc.code} "
+                      f"(retry after ~{exc.retry_after:.1f}s)")
+                burst.append(client.submit_with_retry(
+                    "analyze", {"design": "tiny"}, attempts=30))
+        for pending in burst:
+            client.wait(pending["id"])
+        print(f"  all {len(burst)} jobs landed and finished")
+
+        # -- introspection, then a graceful drain ------------------------ #
+        states = [f"{entry['id']}={entry['state']}"
+                  for entry in client.jobs()]
+        stats = client.stats()
+        print(f"\njobs: {', '.join(states)}")
+        print(f"cache after serving everything: {stats['cache']}")
+        print(f"shutdown: {client.shutdown(drain=True)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -28,6 +28,11 @@ executor backend with cross-scenario artifact reuse::
     print(sweep.to_table())                  # per-scenario Table I + deltas
     open("sweep.json", "w").write(sweep.to_json())
 
+Artifacts can outlive the process: ``Session(store=DIR)`` layers a
+durable content-addressed store (:mod:`repro.store`) under the session
+cache, and :mod:`repro.service` serves the same sessions as a long-lived
+asyncio job service (``python -m repro serve`` / ``submit`` / ``jobs``).
+
 The same flows run from the command line (``python -m repro analyze small``,
 ``python -m repro sweep --base tiny --axis effort=tie,random``,
 ``python -m repro report sweep.json``).  Custom analyses plug in through
@@ -56,6 +61,7 @@ from repro.faults.models import (FaultModel, StuckAtFault, TransitionFault,
 from repro.pipeline import (AnalysisPass, ArtifactCache, Pipeline,
                             PipelineBuilder, PipelineResult, analysis_pass,
                             default_pass_names)
+from repro.store import ArtifactStore, LocalDirStore, resolve_store
 
 __all__ = [
     # primary API
@@ -73,6 +79,10 @@ __all__ = [
     "Pipeline",
     "AnalysisPass",
     "ArtifactCache",
+    # durable artifact store
+    "ArtifactStore",
+    "LocalDirStore",
+    "resolve_store",
     "AtpgEffort",
     "resolve_effort",
     # fault models

@@ -50,6 +50,24 @@ dumps the underlying per-net SCOAP testability numbers::
 
     python -m repro static tiny --limit 10
     python -m repro static small --nets alu_out,pc_q --json
+
+``analyze``, ``sweep`` and ``corpus`` accept ``--store DIR`` to attach a
+durable artifact store (:mod:`repro.store`): pass results persist under
+DIR and replay across runs and processes.  ``cache`` inspects and prunes
+such a store::
+
+    python -m repro analyze tiny --store ~/.cache/repro
+    python -m repro cache ls --store ~/.cache/repro
+    python -m repro cache gc --store ~/.cache/repro --max-bytes 500000000
+
+``serve`` starts the asyncio analysis service (:mod:`repro.service`);
+``submit`` and ``jobs`` talk to it::
+
+    python -m repro serve --port 7321 --store ~/.cache/repro
+    python -m repro submit analyze --port 7321 --design tiny
+    python -m repro submit sweep --port 7321 --base tiny \\
+        --axis effort=tie,random --stream
+    python -m repro jobs --port 7321
 """
 
 from __future__ import annotations
@@ -72,7 +90,11 @@ from repro.pipeline import DEFAULT_REGISTRY
 from repro.simulation.sharded import SHARD_BACKENDS
 from repro.soc.config import SoCConfig
 
-COMMANDS = ("analyze", "sweep", "report", "corpus", "static")
+COMMANDS = ("analyze", "sweep", "report", "corpus", "static",
+            "serve", "submit", "jobs", "cache")
+
+#: Default TCP port of the analysis service (``repro serve``).
+DEFAULT_SERVICE_PORT = 7321
 
 
 def _add_fault_model_argument(parser: argparse.ArgumentParser,
@@ -88,6 +110,23 @@ def _add_static_prune_argument(parser: argparse.ArgumentParser) -> None:
         action=argparse.BooleanOptionalAction,
         help=("pre-classify statically proven untestable faults before "
               "PODEM (FULL effort only; default: on)"))
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help=("durable artifact store directory (or 'backend:location' "
+              "spec); pass results persist there and replay across runs"))
+
+
+def _add_endpoint_arguments(parser: argparse.ArgumentParser,
+                            default_port: int) -> None:
+    parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="service host (default: 127.0.0.1)")
+    parser.add_argument(
+        "--port", type=int, default=default_port, metavar="PORT",
+        help=f"service port (default: {default_port})")
 
 
 def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
@@ -146,6 +185,7 @@ def _build_parser() -> argparse.ArgumentParser:
         analyze, "fault model to enumerate and classify (default: stuck_at)")
     _add_static_prune_argument(analyze)
     _add_sharding_arguments(analyze)
+    _add_store_argument(analyze)
 
     sweep = sub.add_parser(
         "sweep", help="run a scenario grid through an executor backend")
@@ -184,6 +224,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 "a scenario axis: --axis fault_model=stuck_at,transition)"))
     _add_static_prune_argument(sweep)
     _add_sharding_arguments(sweep)
+    _add_store_argument(sweep)
 
     static = sub.add_parser(
         "static",
@@ -225,6 +266,7 @@ def _build_parser() -> argparse.ArgumentParser:
                  "model (a filter, never an override)"))
     _add_static_prune_argument(corpus)
     _add_sharding_arguments(corpus)
+    _add_store_argument(corpus)
 
     report = sub.add_parser(
         "report", help="re-render a persisted sweep report")
@@ -233,6 +275,88 @@ def _build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="re-emit the JSON document")
     report.add_argument(
         "--csv", action="store_true", help="emit the comparison as CSV")
+
+    serve = sub.add_parser(
+        "serve", help="run the asyncio analysis service (repro.service)")
+    _add_endpoint_arguments(serve, DEFAULT_SERVICE_PORT)
+    serve.add_argument(
+        "--max-queue", type=int, default=8, metavar="N",
+        help="pending-job bound before submissions are rejected (default: 8)")
+    serve.add_argument(
+        "--quota", type=int, default=2, metavar="N",
+        help="max live (queued+running) jobs per client (default: 2)")
+    serve.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent job workers (default: 1)")
+    _add_store_argument(serve)
+
+    submit = sub.add_parser(
+        "submit", help="submit a job to a running analysis service")
+    submit.add_argument(
+        "kind", choices=("analyze", "sweep"), help="job kind to submit")
+    _add_endpoint_arguments(submit, DEFAULT_SERVICE_PORT)
+    submit.add_argument(
+        "--design", default="date13",
+        choices=sorted(SoCConfig.named_configs()),
+        help="SoC configuration for analyze jobs (default: date13)")
+    submit.add_argument(
+        "--base", default="tiny",
+        choices=sorted(SoCConfig.named_configs()),
+        help="base SoC configuration for sweep jobs (default: tiny)")
+    submit.add_argument(
+        "--axis", action="append", default=[], metavar="NAME=V1,V2[,...]",
+        help="scenario axis for sweep jobs (repeatable)")
+    submit.add_argument(
+        "--effort", default=None, choices=[e.value for e in AtpgEffort],
+        help="ATPG effort (default: the service session's default)")
+    submit.add_argument(
+        "--client", default="cli", metavar="ID",
+        help="client identity for quota accounting (default: cli)")
+    submit.add_argument(
+        "--no-wait", action="store_true",
+        help="print the job id and return without waiting for completion")
+    submit.add_argument(
+        "--stream", action="store_true",
+        help=("follow the job's event stream; each completed sweep "
+              "scenario prints its Table I on stdout as it arrives"))
+    submit.add_argument(
+        "--json", action="store_true",
+        help="emit the job result as JSON instead of the rendered table")
+    submit.add_argument(
+        "--quiet", action="store_true",
+        help="suppress progress lines on stderr")
+    submit.add_argument(
+        "--timeout", type=float, default=600.0, metavar="SECONDS",
+        help="give up waiting for the job after this long (default: 600)")
+    _add_fault_model_argument(
+        submit, "fault model for analyze jobs (default: stuck_at)")
+    _add_static_prune_argument(submit)
+
+    jobs = sub.add_parser(
+        "jobs", help="list the jobs of a running analysis service")
+    _add_endpoint_arguments(jobs, DEFAULT_SERVICE_PORT)
+    jobs.add_argument(
+        "--json", action="store_true",
+        help="emit the job list (and service stats) as JSON")
+
+    cache = sub.add_parser(
+        "cache", help="inspect / garbage-collect a durable artifact store")
+    cache.add_argument(
+        "action", choices=("ls", "gc", "prune"),
+        help=("ls: list stored artifacts; gc: drop debris + apply the "
+              "retention policy; prune: apply only the size/age bounds"))
+    cache.add_argument(
+        "--store", required=True, metavar="DIR",
+        help="artifact store directory (or 'backend:location' spec)")
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="retention: total artifact bytes to keep (LRU beyond that)")
+    cache.add_argument(
+        "--max-age", type=float, default=None, metavar="SECONDS",
+        help="retention: drop artifacts unused for longer than this")
+    cache.add_argument(
+        "--json", action="store_true",
+        help="emit the listing / prune outcome as JSON")
 
     return parser
 
@@ -302,12 +426,14 @@ def _cmd_analyze(args) -> int:
     session = Session(effort=args.effort, parallel_passes=args.parallel,
                       jobs=args.jobs, shard_backend=args.backend,
                       fault_model=args.fault_model,
-                      static_prune=args.static_prune)
+                      static_prune=args.static_prune,
+                      store=args.store)
     try:
         report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    session.cache.flush()
     elapsed = time.perf_counter() - started
 
     if args.json:
@@ -319,8 +445,15 @@ def _cmd_analyze(args) -> int:
         print()
         print(render_source_details(report))
     print()
-    print(f"({args.config}: {report.total_faults:,} faults analysed "
-          f"in {elapsed:.2f}s)")
+    summary = (f"({args.config}: {report.total_faults:,} faults analysed "
+               f"in {elapsed:.2f}s")
+    if args.store:
+        stats = session.cache_stats
+        summary += (f"; store: {stats.get('store_hits', 0)} hits, "
+                    f"{stats.get('store_misses', 0)} misses, "
+                    f"{stats.get('store_writes', 0)} writes, "
+                    f"{stats.get('store_corruptions', 0)} corruptions")
+    print(summary + ")")
     return 0
 
 
@@ -361,7 +494,8 @@ def _cmd_sweep(args) -> int:
     session = Session(executor=args.executor, max_workers=args.workers,
                       jobs=args.jobs, shard_backend=args.backend,
                       fault_model=args.fault_model,
-                      static_prune=args.static_prune)
+                      static_prune=args.static_prune,
+                      store=args.store)
     passes = _split_passes(args.passes)
 
     if not args.quiet:
@@ -403,7 +537,8 @@ def _cmd_corpus(args) -> int:
                               shard_backend=args.backend,
                               update=args.update, only=args.only or None,
                               fault_model=args.fault_model,
-                              static_prune=args.static_prune)
+                              static_prune=args.static_prune,
+                              store=args.store)
     except CorpusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -497,6 +632,224 @@ def _cmd_static(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# service: serve / submit / jobs
+# --------------------------------------------------------------------- #
+def _cmd_serve(args) -> int:
+    from repro.service import AnalysisService
+
+    service = AnalysisService(host=args.host, port=args.port,
+                              store=args.store,
+                              max_queue=args.max_queue,
+                              max_jobs_per_client=args.quota,
+                              workers=args.workers)
+
+    def announce(svc: AnalysisService) -> None:
+        # One parseable readiness line on stdout — scripts and CI poll for
+        # it (and read the port back when --port 0 asked the kernel).
+        print(f"repro-service listening on {svc.host}:{svc.port}",
+              flush=True)
+
+    try:
+        service.run(ready=announce)
+    except OSError as exc:
+        print(f"error: cannot bind {args.host}:{args.port} ({exc})",
+              file=sys.stderr)
+        return 2
+    print("repro-service drained and stopped", flush=True)
+    return 0
+
+
+def _build_submit_spec(args) -> dict:
+    if args.kind == "analyze":
+        spec = {"design": args.design}
+    else:
+        axes = {}
+        for axis_spec in args.axis:
+            name, sep, values = axis_spec.partition("=")
+            if not sep or not values.strip():
+                raise ValueError(
+                    f"bad --axis {axis_spec!r}; expected NAME=VALUE[,VALUE...]")
+            axes[name.strip()] = [_parse_axis_value(v)
+                                  for v in values.split(",") if v.strip()]
+        spec = {"base": args.base, "axes": axes}
+    if args.effort is not None:
+        spec["effort"] = args.effort
+    if args.fault_model is not None and args.kind == "analyze":
+        spec["fault_model"] = args.fault_model
+    if args.static_prune is not None and args.kind == "analyze":
+        spec["static_prune"] = args.static_prune
+    return spec
+
+
+def _cmd_submit(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    try:
+        spec = _build_submit_spec(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    client = ServiceClient(args.host, args.port, timeout=args.timeout,
+                           client_id=args.client)
+    try:
+        job = client.submit(args.kind, spec)
+    except ServiceError as exc:
+        hint = (f" (retry after {exc.retry_after:.1f}s)"
+                if exc.retry_after else "")
+        print(f"error: submission rejected: {exc}{hint}", file=sys.stderr)
+        return 3 if exc.code in ("queue_full", "quota_exceeded") else 2
+
+    if not args.quiet:
+        print(f"submitted {job['id']} ({args.kind}) as {args.client!r}",
+              file=sys.stderr)
+    if args.no_wait:
+        print(job["id"])
+        return 0
+
+    try:
+        if args.stream:
+            final_state = None
+            for event in client.stream(job["id"]):
+                kind = event.get("event")
+                if kind == "scenario":
+                    if event.get("table"):
+                        # The streamed per-scenario Table I, byte-exact —
+                        # what the corpus goldens pin.
+                        print(event["table"], flush=True)
+                    if not args.quiet:
+                        status = ("ok" if event.get("ok")
+                                  else f"FAILED ({event.get('error')})")
+                        print(f"  [{event.get('index')}] "
+                              f"{event.get('label')}: {status} "
+                              f"({event.get('elapsed_seconds', 0.0):.2f}s)",
+                              file=sys.stderr)
+                elif kind == "done":
+                    final_state = event.get("state")
+        else:
+            final_state = client.wait(job["id"],
+                                      timeout=args.timeout)["state"]
+    except (ServiceError, TimeoutError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    outcome = client.result(job["id"])
+    if final_state != "done":
+        print(f"error: job {job['id']} ended "
+              f"{outcome['job'].get('state')}: "
+              f"{outcome['job'].get('error')}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(outcome["result"], indent=2))
+    elif not args.stream:
+        print(outcome["result"]["table"])
+    return 0
+
+
+def _cmd_jobs(args) -> int:
+    from repro.service import ServiceClient, ServiceError
+
+    client = ServiceClient(args.host, args.port, timeout=30.0)
+    try:
+        jobs = client.jobs()
+        stats = client.stats()
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.json:
+        print(json.dumps({"jobs": jobs, "stats": stats}, indent=2))
+        return 0
+    if not jobs:
+        print("no jobs")
+    else:
+        print(f"{'id':<10} {'kind':<8} {'state':<10} {'client':<12} "
+              f"{'events':>6}  error")
+        for job in jobs:
+            print(f"{job['id']:<10} {job['kind']:<8} {job['state']:<10} "
+                  f"{job['client']:<12} {job['events']:>6}  "
+                  f"{job['error'] or '-'}")
+    queue_stats = stats.get("jobs", {})
+    print(f"(queued={queue_stats.get('queued', 0)} "
+          f"running={queue_stats.get('running', 0)} "
+          f"done={queue_stats.get('done', 0)} "
+          f"failed={queue_stats.get('failed', 0)} "
+          f"cancelled={queue_stats.get('cancelled', 0)}; "
+          f"draining={stats.get('draining', False)})")
+    return 0
+
+
+# --------------------------------------------------------------------- #
+# cache: ls / gc / prune over a durable artifact store
+# --------------------------------------------------------------------- #
+def _cmd_cache(args) -> int:
+    from repro.store import resolve_store
+
+    try:
+        store = resolve_store(args.store)
+    except (TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.action == "ls":
+        entries = store.entries()
+        total = sum(entry.size_bytes for entry in entries)
+        if args.json:
+            print(json.dumps({
+                "store": args.store,
+                "entries": [{
+                    "signature": entry.signature,
+                    "config": entry.key[1],
+                    "pass": entry.pass_name,
+                    "size_bytes": entry.size_bytes,
+                    "created": entry.created,
+                    "last_used": entry.last_used,
+                } for entry in entries],
+                "total_bytes": total,
+                "stats": store.stats,
+            }, indent=2))
+            return 0
+        if not entries:
+            print(f"store {args.store}: empty")
+            return 0
+        now = time.time()
+        print(f"{'pass':<18} {'signature':<14} {'size':>10}  {'idle':>8}")
+        for entry in sorted(entries, key=lambda e: (e.pass_name, e.key)):
+            idle = max(0.0, now - entry.last_used)
+            print(f"{entry.pass_name:<18} {entry.signature[:12] + '..':<14} "
+                  f"{entry.size_bytes:>10,}  {idle:>7.0f}s")
+        print(f"({len(entries)} artifacts, {total:,} bytes)")
+        return 0
+
+    # gc / prune
+    if args.action == "gc":
+        store.max_bytes = (args.max_bytes if args.max_bytes is not None
+                           else store.max_bytes)
+        store.max_age_seconds = (args.max_age if args.max_age is not None
+                                 else store.max_age_seconds)
+        result = store.gc()
+    else:
+        result = store.prune(max_bytes=args.max_bytes,
+                             max_age_seconds=args.max_age)
+    if args.json:
+        print(json.dumps({
+            "action": args.action,
+            "removed_entries": result.removed_entries,
+            "removed_bytes": result.removed_bytes,
+            "removed_debris": result.removed_debris,
+            "kept_entries": result.kept_entries,
+            "kept_bytes": result.kept_bytes,
+            "reasons": result.reasons,
+        }, indent=2))
+    else:
+        print(f"{args.action}: removed {result.removed_entries} artifacts "
+              f"({result.removed_bytes:,} bytes) and "
+              f"{result.removed_debris} debris files; kept "
+              f"{result.kept_entries} ({result.kept_bytes:,} bytes)")
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------- #
 def _cmd_report(args) -> int:
@@ -523,7 +876,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                "sweep": _cmd_sweep,
                "report": _cmd_report,
                "corpus": _cmd_corpus,
-               "static": _cmd_static}[args.command]
+               "static": _cmd_static,
+               "serve": _cmd_serve,
+               "submit": _cmd_submit,
+               "jobs": _cmd_jobs,
+               "cache": _cmd_cache}[args.command]
     return handler(args)
 
 

@@ -154,7 +154,8 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                update: bool = False,
                only: Optional[Sequence[str]] = None,
                fault_model: Optional[str] = None,
-               static_prune: Optional[bool] = None) -> List[CorpusOutcome]:
+               static_prune: Optional[bool] = None,
+               store=None) -> List[CorpusOutcome]:
     """Run (or refresh) the corpus; one outcome per entry, sorted by name.
 
     ``jobs``/``shard_backend`` configure fault-population sharding for the
@@ -165,6 +166,9 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
     ``static_prune`` toggles the static pre-filter for every entry — the
     goldens are pinned at tie effort, where the static layer never runs,
     so both settings must reproduce every capture byte-for-byte.
+    ``store`` attaches a durable artifact store (:mod:`repro.store`) to
+    the run's session — warm artifacts replay across corpus runs, and
+    the captures must still not move a byte.
     """
     from repro.api.session import Session
 
@@ -193,7 +197,8 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
     if session is None:
         session = Session(jobs=jobs, shard_backend=shard_backend,
                           static_prune=static_prune,
-                          static_learning=static_prune)
+                          static_learning=static_prune,
+                          store=store)
 
     outcomes: List[CorpusOutcome] = []
     for entry in entries:

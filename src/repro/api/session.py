@@ -46,6 +46,11 @@ class _ProcessJob:
     flow_config: Optional[FlowConfig]
     effort: Optional[AtpgEffort]
     parallel_passes: Union[bool, int]
+    #: Durable artifact-store spec (a path / "backend:location" string).
+    #: Workers cannot share the parent's in-memory LRU, but they *can*
+    #: share the on-disk store — so a process-backend sweep still reuses
+    #: warm artifacts across scenarios and with every earlier run.
+    store: Optional[str] = None
 
 
 def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
@@ -56,7 +61,9 @@ def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
     travels back as its serializable core (detail objects stay behind).
     """
     started = time.perf_counter()
-    session = Session(cache_entries=None)  # fresh, unshared worker session
+    # Fresh, unshared worker session — but attached to the shared durable
+    # store when the parent session has one.
+    session = Session(cache_entries=None, store=job.store)
     design = job.scenario.build_design()
     report = session.analyze(design,
                              passes=list(job.passes) if job.passes else None,
@@ -84,6 +91,7 @@ class Session:
                  max_workers: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
                  cache_entries: Optional[int] = DEFAULT_CACHE_ENTRIES,
+                 store=None,
                  passes: Optional[Sequence] = None,
                  effort: Union[AtpgEffort, str, None] = None,
                  flow_config: Optional[FlowConfig] = None,
@@ -95,8 +103,19 @@ class Session:
                  static_learning: Optional[bool] = None) -> None:
         self.executor = resolve_executor(executor, max_workers)
         self.max_workers = max_workers
-        self.cache = (cache if cache is not None
-                      else ArtifactCache(max_entries=cache_entries))
+        if cache is not None:
+            if store is not None and cache.store is not store:
+                raise ValueError(
+                    "pass either an explicit cache or a store spec, not "
+                    "both (attach the store when building the cache: "
+                    "ArtifactCache(store=...))")
+            self.cache = cache
+        else:
+            #: ``store`` makes the cache durable: a path (or
+            #: "backend:location" spec, or ArtifactStore instance) under
+            #: which pass results persist across processes and machines —
+            #: see :mod:`repro.store`.
+            self.cache = ArtifactCache(max_entries=cache_entries, store=store)
         self.passes = list(passes) if passes is not None else None
         self.effort = resolve_effort(effort)
         self.flow_config = flow_config
@@ -227,19 +246,42 @@ class Session:
             if on_result is not None:
                 on_result(result)
         results.sort(key=lambda r: r.index)
+        # Make the sweep's artifacts durable before reporting: anything
+        # still in the write-behind lane lands now, so the store counters
+        # below are final and a follow-up process sees every warm entry.
+        self.cache.flush()
         after = self.cache.stats
         return SweepReport(
             results=results,
             grid_name=getattr(grid, "name", "") or "",
             executor=backend.name,
             elapsed_seconds=time.perf_counter() - started,
-            cache_stats={key: after[key] - before.get(key, 0)
-                         for key in ("hits", "misses", "evictions")},
+            cache_stats={key: value - before.get(key, 0)
+                         for key, value in after.items()
+                         if key != "entries"},
         )
 
     @property
     def cache_stats(self) -> Dict[str, int]:
         return self.cache.stats
+
+    @property
+    def store(self):
+        """The durable artifact store behind the cache (None = memory only)."""
+        return self.cache.store
+
+    def _store_spec(self) -> Optional[str]:
+        """A picklable respawn spec of the session's store, if one exists.
+
+        Local directory stores reduce to their root path; an exotic custom
+        backend instance has no string spelling, so process-backend workers
+        then run store-less (the sweep still succeeds, just cold).
+        """
+        store = self.cache.store
+        if store is None:
+            return None
+        root = getattr(store, "root", None)
+        return str(root) if root is not None else None
 
     # ------------------------------------------------------------------ #
     # internals
@@ -376,7 +418,8 @@ class Session:
         return _ProcessJob(scenario=scenario, passes=names,
                            flow_config=flow_config,
                            effort=effort_default,
-                           parallel_passes=self.parallel_passes)
+                           parallel_passes=self.parallel_passes,
+                           store=self._store_spec())
 
     def __repr__(self) -> str:
         return (f"Session(executor={self.executor.name!r}, "

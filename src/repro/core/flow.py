@@ -54,9 +54,14 @@ class OnlineUntestableFlow:
 
     def run(self, faults: Optional[Iterable[StuckAtFault]] = None) -> OnlineUntestableReport:
         """Run the configured analyses and return the report."""
-        from repro.pipeline import Pipeline, default_pass_names
+        from repro.pipeline import ArtifactCache, Pipeline, default_pass_names
 
-        pipeline = Pipeline(default_pass_names(self.config))
+        # FlowConfig.store attaches the durable artifact tier even on this
+        # legacy path, so repeated runs of one design replay warm pass
+        # results across processes (see repro.store).
+        cache = (ArtifactCache(store=self.config.store)
+                 if getattr(self.config, "store", None) else None)
+        pipeline = Pipeline(default_pass_names(self.config), cache=cache)
         result = pipeline.run(self.netlist, config=self.config,
                               memory_map=self.memory_map, faults=faults)
         return result.report

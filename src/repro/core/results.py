@@ -47,6 +47,12 @@ class FlowConfig:
     # verdict, so jobs is deliberately *not* a cache facet.
     jobs: int = 1
     shard_backend: Optional[str] = None
+    # Durable artifact store spec (repro.store.resolve_store vocabulary:
+    # a directory path or "backend:location").  Like ``jobs`` this is a
+    # *runtime* knob, deliberately not a cache facet: where artifacts are
+    # persisted can never change what an analysis computes.  None (the
+    # default) keeps the flow purely in-memory.
+    store: Optional[str] = None
     # Static netlist analysis (repro.analysis), FULL effort only:
     # ``static_prune`` classifies statically proven faults UU before any
     # PODEM call; ``static_learning`` lets the remaining searches consult

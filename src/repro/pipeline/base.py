@@ -81,7 +81,8 @@ class FunctionPass:
                  provides: Tuple[str, ...] = (),
                  when: Optional[Callable[["PipelineContext"], bool]] = None,  # noqa: F821
                  cacheable: bool = True,
-                 cache_facets: Optional[Tuple[str, ...]] = None) -> None:
+                 cache_facets: Optional[Tuple[str, ...]] = None,
+                 persist: bool = True) -> None:
         self._fn = fn
         self.name = name
         self.source = source
@@ -89,6 +90,11 @@ class FunctionPass:
         self.provides = tuple(provides)
         self.when = when
         self.cacheable = cacheable
+        # Whether the result may be published to a durable artifact store
+        # (repro.store).  Passes whose artifacts are process-local handles
+        # (unpicklable, or memoised elsewhere) opt out with persist=False;
+        # they still use the in-memory cache tier.
+        self.persist = persist
         # Which configuration facets influence this pass's result (None =
         # all of them).  A pass that declares e.g. () or ("effort",) stays
         # replayable across scenario variants that only change the facets

@@ -19,7 +19,9 @@ without touching the ATPG engine.
 
 from __future__ import annotations
 
+import atexit
 import hashlib
+import queue
 import threading
 from collections import OrderedDict
 from typing import Any, Dict, Iterable, Optional, Tuple
@@ -62,6 +64,45 @@ def fault_restriction_key(faults: Optional[Iterable] = None) -> str:
     return hasher.hexdigest()
 
 
+class _StoreWriter:
+    """The write-behind lane of a store-backed cache.
+
+    Computing threads enqueue ``(key, value, on_done)`` and return to
+    their caller immediately; one daemon thread serializes and publishes
+    in arrival order, then runs ``on_done`` (which releases the key's
+    cross-process single-flight lock, so no other process recomputes a
+    value that is still in flight to disk).  :meth:`flush` blocks until
+    everything enqueued so far has landed — registered via ``atexit`` so
+    a process never exits with warm artifacts stuck in the queue.
+    """
+
+    def __init__(self, store) -> None:
+        self._store = store
+        self._queue: "queue.Queue" = queue.Queue()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="repro-store-writer")
+        self._thread.start()
+        atexit.register(self.flush)
+
+    def _run(self) -> None:
+        while True:
+            key, value, on_done = self._queue.get()
+            try:
+                self._store.put(key, value)
+            except Exception:  # noqa: BLE001 — a failed write is a cold entry
+                pass
+            finally:
+                if on_done is not None:
+                    on_done()
+                self._queue.task_done()
+
+    def submit(self, key: CacheKey, value: Any, on_done=None) -> None:
+        self._queue.put((key, value, on_done))
+
+    def flush(self) -> None:
+        self._queue.join()
+
+
 class ArtifactCache:
     """Thread-safe LRU pass-result cache with hit/miss accounting.
 
@@ -77,13 +118,29 @@ class ArtifactCache:
     scenarios is by construction a replay of an artifact some earlier
     scenario produced — :meth:`repro.api.Session.sweep` snapshots
     :attr:`stats` around the sweep to report exactly that reuse.
+
+    With a durable ``store`` (:mod:`repro.store`) attached, the cache
+    becomes the hot tier of a two-level hierarchy: misses *read through*
+    to the store (a warm artifact from an earlier process replays without
+    recomputation and is promoted into memory), and computed values are
+    *written behind* by a background thread so callers never wait on
+    serialization.  ``get_or_compute`` extends its single-flight guarantee
+    across processes via the store's per-key lock.  Store activity shows
+    up in :attr:`stats` under ``store_*`` keys; :meth:`clear` only drops
+    the in-memory tier.
     """
 
-    def __init__(self, max_entries: Optional[int] = None) -> None:
+    def __init__(self, max_entries: Optional[int] = None,
+                 store=None) -> None:
+        from repro.store import resolve_store
+
         self._entries: "OrderedDict[CacheKey, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._inflight: Dict[CacheKey, threading.Event] = {}
         self.max_entries = max_entries
+        self.store = resolve_store(store)
+        self._writer = (_StoreWriter(self.store)
+                        if self.store is not None else None)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -95,9 +152,15 @@ class ArtifactCache:
                 self._entries.move_to_end(key)
                 return self._entries[key]
             self.misses += 1
-            return None
+        if self.store is not None:
+            value = self.store.get(key)
+            if value is not None:
+                self.put(key, value)
+                return value
+        return None
 
-    def get_or_compute(self, key: CacheKey, factory) -> Tuple[Any, bool]:
+    def get_or_compute(self, key: CacheKey, factory,
+                       persist: bool = True) -> Tuple[Any, bool]:
         """Return ``(value, was_hit)``, computing and storing on a miss.
 
         Concurrent callers of the same key are *single-flighted*: one
@@ -106,6 +169,15 @@ class ArtifactCache:
         expensive pass when two scenario variants sharing a netlist reach
         it simultaneously.  If the computing caller fails, one waiter takes
         over; the failure propagates to the caller that raised it.
+
+        With a store attached the same discipline extends across
+        processes: the computing thread holds the key's store lock, checks
+        whether a sibling process already published the artifact (replayed
+        as a hit), and otherwise computes and hands the value to the
+        write-behind lane — the lock is released only once the artifact is
+        durable, so concurrent processes compute each key exactly once.
+        ``persist=False`` keeps a value out of the durable tier entirely
+        (process-local handles that cannot or should not be serialized).
         """
         while True:
             with self._lock:
@@ -120,12 +192,35 @@ class ArtifactCache:
                     break
             waiter.wait()
         try:
-            value = factory()
+            if self.store is None or not persist:
+                value, hit = factory(), False
+            else:
+                value, hit = self._compute_through_store(key, factory)
         except BaseException:
             self._finish(key)
             raise
         self.put(key, value)
         self._finish(key)
+        return value, hit
+
+    def _compute_through_store(self, key: CacheKey,
+                               factory) -> Tuple[Any, bool]:
+        """Read-through / write-behind miss path under the store lock."""
+        lock = self.store.lock(key)
+        lock.__enter__()
+        try:
+            stored = self.store.get(key)
+            if stored is not None:
+                return stored, True
+            value = factory()
+        except BaseException:
+            lock.__exit__(None, None, None)
+            raise
+        # Publish asynchronously; the cross-process lock travels with the
+        # write so sibling processes block until the artifact is durable
+        # (then read it) instead of recomputing.
+        self._writer.submit(key, value,
+                            on_done=lambda: lock.__exit__(None, None, None))
         return value, False
 
     def _finish(self, key: CacheKey) -> None:
@@ -144,6 +239,11 @@ class ArtifactCache:
                 self.evictions += 1
             self._entries[key] = value
 
+    def flush(self) -> None:
+        """Block until every write-behind publication has landed on disk."""
+        if self._writer is not None:
+            self._writer.flush()
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
@@ -158,6 +258,10 @@ class ArtifactCache:
     @property
     def stats(self) -> Dict[str, int]:
         with self._lock:
-            return {"entries": len(self._entries),
-                    "hits": self.hits, "misses": self.misses,
-                    "evictions": self.evictions}
+            stats = {"entries": len(self._entries),
+                     "hits": self.hits, "misses": self.misses,
+                     "evictions": self.evictions}
+        if self.store is not None:
+            stats.update({f"store_{name}": count
+                          for name, count in self.store.stats.items()})
+        return stats

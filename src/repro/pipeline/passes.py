@@ -96,7 +96,7 @@ def fault_list_pass(ctx: PipelineContext) -> PassResult:
 
 @analysis_pass("static_analysis", requires=("fault_universe",),
                provides=("static_analysis", "static_proofs"),
-               cache_facets=("model",))
+               cache_facets=("model",), persist=False)
 def static_analysis_pass(ctx: PipelineContext) -> PassResult:
     """Build the per-signature static handle and prove what it can.
 

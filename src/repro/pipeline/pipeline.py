@@ -328,7 +328,8 @@ class Pipeline:
             # facets, pass) — e.g. two sweep scenarios sharing a netlist —
             # coalesce into one computation; the others replay it.
             pass_result, hit = self.cache.get_or_compute(
-                ctx.cache_key(pass_), compute)
+                ctx.cache_key(pass_), compute,
+                persist=getattr(pass_, "persist", True))
             status = "cached" if hit else "completed"
         else:
             pass_result, status = compute(), "completed"

@@ -88,6 +88,7 @@ def analysis_pass(name: str,
                   when: Optional[Callable] = None,
                   cacheable: bool = True,
                   cache_facets: Optional[Iterable[str]] = None,
+                  persist: bool = True,
                   registry: Optional[PassRegistry] = None
                   ) -> Callable[[Callable], FunctionPass]:
     """Decorator turning ``fn(ctx) -> PassResult`` into a registered pass.
@@ -104,7 +105,8 @@ def analysis_pass(name: str,
                              when=when, cacheable=cacheable,
                              cache_facets=(tuple(cache_facets)
                                            if cache_facets is not None
-                                           else None))
+                                           else None),
+                             persist=persist)
         target_registry.register(pass_)
         return pass_
 

@@ -1,0 +1,33 @@
+"""Asynchronous analysis service over :class:`repro.api.Session`.
+
+A stdlib-only job server: submit analyses and scenario sweeps over a
+line-delimited-JSON TCP protocol, stream per-scenario results as they
+complete, with bounded queues (backpressure with ``retry_after`` hints),
+per-client quotas and graceful drain on shutdown.  Pairs naturally with
+the durable artifact store (:mod:`repro.store`): give the service a
+store and every job it runs warms — and is warmed by — artifacts from
+any other process sharing that store.
+
+Server side: :class:`AnalysisService` (``repro serve``).  Client side:
+:class:`ServiceClient` (``repro submit`` / ``repro jobs``).
+"""
+
+from repro.service.client import (ServiceClient, ServiceError,
+                                  ServiceUnavailable)
+from repro.service.jobs import (Job, JobCancelled, JobManager, JobState,
+                                SubmitRejected)
+from repro.service.protocol import PROTOCOL_VERSION
+from repro.service.server import AnalysisService
+
+__all__ = [
+    "AnalysisService",
+    "Job",
+    "JobCancelled",
+    "JobManager",
+    "JobState",
+    "PROTOCOL_VERSION",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "SubmitRejected",
+]

@@ -1,0 +1,71 @@
+"""The wire protocol of the analysis service: line-delimited JSON.
+
+One request or response per ``\\n``-terminated UTF-8 line, each a JSON
+object.  Requests carry an ``op`` field; responses carry ``ok`` plus
+op-specific payload, or ``ok: false`` with an ``error`` code (and, for
+backpressure rejections, a ``retry_after`` hint in seconds).  Streaming
+responses (the ``stream`` op) are a sequence of event lines —
+``{"event": "scenario", ...}`` per completed sweep scenario, closed by
+``{"event": "done", ...}`` — on a connection dedicated to that stream.
+
+Everything here is stdlib-only and transport-agnostic: the asyncio
+server and the blocking client share these helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+#: Bumped on any incompatible message change; ``ping`` reports it so
+#: clients can refuse to talk across versions.
+PROTOCOL_VERSION = 1
+
+#: Upper bound on one message line (a sweep spec, never a result payload
+#: this size) — a malformed peer cannot make the server buffer without
+#: bound.
+MAX_LINE_BYTES = 4 * 1024 * 1024
+
+#: The operations the server understands.
+OPS = ("ping", "submit", "status", "jobs", "result", "stream", "cancel",
+       "stats", "shutdown")
+
+#: Machine-readable error codes.
+ERR_BAD_REQUEST = "bad_request"
+ERR_UNKNOWN_OP = "unknown_op"
+ERR_UNKNOWN_JOB = "unknown_job"
+ERR_QUEUE_FULL = "queue_full"
+ERR_QUOTA_EXCEEDED = "quota_exceeded"
+ERR_NOT_DONE = "not_done"
+ERR_SHUTTING_DOWN = "shutting_down"
+ERR_INTERNAL = "internal"
+
+
+def encode(message: Dict[str, Any]) -> bytes:
+    """One protocol line: compact JSON + newline."""
+    return json.dumps(message, separators=(",", ":"),
+                      sort_keys=False).encode("utf-8") + b"\n"
+
+
+def decode(line: bytes) -> Dict[str, Any]:
+    """Parse one protocol line; raises ``ValueError`` on malformed input."""
+    message = json.loads(line.decode("utf-8"))
+    if not isinstance(message, dict):
+        raise ValueError("protocol messages must be JSON objects")
+    return message
+
+
+def ok(**payload: Any) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": True}
+    response.update(payload)
+    return response
+
+
+def error(code: str, detail: str = "",
+          retry_after: Optional[float] = None) -> Dict[str, Any]:
+    response: Dict[str, Any] = {"ok": False, "error": code}
+    if detail:
+        response["detail"] = detail
+    if retry_after is not None:
+        response["retry_after"] = round(retry_after, 3)
+    return response

@@ -1,0 +1,215 @@
+"""The asyncio TCP front-end — ``repro serve``.
+
+:class:`AnalysisService` binds a line-delimited-JSON listener (see
+:mod:`repro.service.protocol`) over one :class:`JobManager`, which in
+turn wraps one shared :class:`~repro.api.Session` — so every job the
+service runs shares the warm in-memory cache and, when configured, the
+durable artifact store.
+
+Connections are cheap request/response exchanges; the one long-lived op
+is ``stream``, which dedicates its connection to a job's event feed
+(history replay + live scenario completions) until the terminal ``done``
+event, after which the connection is again free for requests.
+
+Shutdown is graceful by default: the ``shutdown`` op (or SIGINT/SIGTERM
+when running under :meth:`run`) stops admissions, lets queued and
+running jobs drain, flushes the artifact store and only then exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import signal
+from typing import Any, Callable, Dict, Optional
+
+from repro.service import protocol
+from repro.service.jobs import JobManager, SubmitRejected
+
+
+class AnalysisService:
+    """One listener + one job manager + one shared analysis session."""
+
+    def __init__(self, *,
+                 host: str = "127.0.0.1",
+                 port: int = 0,
+                 session=None,
+                 store=None,
+                 max_queue: int = 8,
+                 max_jobs_per_client: int = 2,
+                 workers: int = 1,
+                 runner=None) -> None:
+        if session is None and runner is None:
+            from repro.api import Session
+            session = Session(store=store)
+        self.host = host
+        self.port = port  # rebound to the kernel-chosen port after start()
+        self.manager = JobManager(session, max_queue=max_queue,
+                                  max_jobs_per_client=max_jobs_per_client,
+                                  workers=workers, runner=runner)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._shutdown: Optional[asyncio.Event] = None
+        self._drain = True
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self) -> None:
+        self._shutdown = asyncio.Event()
+        await self.manager.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port,
+            limit=protocol.MAX_LINE_BYTES)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    def request_shutdown(self, drain: bool = True) -> None:
+        """Flip the service into shutdown; safe from signal handlers."""
+        self._drain = drain
+        self.manager.begin_drain()
+        if self._shutdown is not None:
+            self._shutdown.set()
+
+    async def serve_until_shutdown(self) -> None:
+        await self._shutdown.wait()
+        self._server.close()
+        await self._server.wait_closed()
+        await self.manager.shutdown(drain=self._drain)
+
+    async def main(self, ready: Optional[Callable[["AnalysisService"],
+                                                  None]] = None) -> None:
+        """start → announce → serve → drain, as one awaitable."""
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            with contextlib.suppress(NotImplementedError, RuntimeError):
+                loop.add_signal_handler(
+                    signum, self.request_shutdown, True)
+        if ready is not None:
+            ready(self)
+        await self.serve_until_shutdown()
+
+    def run(self, ready: Optional[Callable[["AnalysisService"],
+                                           None]] = None) -> None:
+        """Blocking convenience wrapper: ``asyncio.run(self.main(...))``."""
+        asyncio.run(self.main(ready))
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader: asyncio.StreamReader,
+                                 writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    await self._send(writer, protocol.error(
+                        protocol.ERR_BAD_REQUEST, "request line too long"))
+                    break
+                if not line:
+                    break
+                try:
+                    request = protocol.decode(line)
+                except ValueError as exc:
+                    await self._send(writer, protocol.error(
+                        protocol.ERR_BAD_REQUEST, f"malformed request: {exc}"))
+                    continue
+                if not await self._dispatch(request, writer):
+                    break
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    async def _dispatch(self, request: Dict[str, Any],
+                        writer: asyncio.StreamWriter) -> bool:
+        """Handle one request; returns False to end the connection."""
+        op = request.get("op")
+        if op == "stream":
+            return await self._op_stream(request, writer)
+        handler = getattr(self, f"_op_{op}", None) if isinstance(op, str) \
+            else None
+        if handler is None:
+            await self._send(writer, protocol.error(
+                protocol.ERR_UNKNOWN_OP, f"unknown op {op!r}"))
+            return True
+        try:
+            response = handler(request)
+        except SubmitRejected as exc:
+            response = protocol.error(exc.code, exc.detail,
+                                      retry_after=exc.retry_after)
+        except KeyError as exc:
+            response = protocol.error(protocol.ERR_UNKNOWN_JOB, str(exc))
+        except Exception as exc:  # noqa: BLE001 — never kill the connection
+            response = protocol.error(protocol.ERR_INTERNAL,
+                                      f"{type(exc).__name__}: {exc}")
+        await self._send(writer, response)
+        return op != "shutdown"
+
+    @staticmethod
+    async def _send(writer: asyncio.StreamWriter,
+                    message: Dict[str, Any]) -> None:
+        writer.write(protocol.encode(message))
+        await writer.drain()
+
+    # ------------------------------------------------------------------ #
+    # ops
+    # ------------------------------------------------------------------ #
+    def _op_ping(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return protocol.ok(version=protocol.PROTOCOL_VERSION,
+                           service="repro-analysis-service")
+
+    def _op_submit(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self.manager.submit(request.get("kind", ""),
+                                  request.get("spec") or {},
+                                  client=str(request.get("client",
+                                                         "anonymous")))
+        return protocol.ok(job=job.describe())
+
+    def _op_status(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self.manager.get(str(request.get("job_id")))
+        return protocol.ok(job=job.describe())
+
+    def _op_jobs(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return protocol.ok(jobs=[job.describe()
+                                 for job in self.manager.jobs()])
+
+    def _op_result(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self.manager.get(str(request.get("job_id")))
+        if not job.state.terminal:
+            return protocol.error(
+                protocol.ERR_NOT_DONE,
+                f"job {job.id} is {job.state.value}",
+                retry_after=self.manager.retry_after())
+        return protocol.ok(job=job.describe(), result=job.result)
+
+    def _op_cancel(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        job = self.manager.cancel(str(request.get("job_id")))
+        return protocol.ok(job=job.describe())
+
+    def _op_stats(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        return protocol.ok(stats=self.manager.stats())
+
+    def _op_shutdown(self, request: Dict[str, Any]) -> Dict[str, Any]:
+        drain = bool(request.get("drain", True))
+        self.request_shutdown(drain)
+        return protocol.ok(state="draining" if drain else "aborting")
+
+    async def _op_stream(self, request: Dict[str, Any],
+                         writer: asyncio.StreamWriter) -> bool:
+        try:
+            job = self.manager.get(str(request.get("job_id")))
+        except KeyError as exc:
+            await self._send(writer, protocol.error(
+                protocol.ERR_UNKNOWN_JOB, str(exc)))
+            return True
+        await self._send(writer, protocol.ok(job=job.describe(),
+                                             streaming=True))
+        queue = self.manager.subscribe(job)
+        while True:
+            event = await queue.get()
+            await self._send(writer, event)
+            if event.get("event") == "done":
+                return True
