@@ -36,7 +36,11 @@ Three subcommands mirror the Session/Design API:
 
 ``analyze``, ``sweep`` and ``corpus`` accept ``--jobs N`` (plus
 ``--backend serial|thread|process``) to shard the fault-population
-engines across workers — results are identical to the serial run.
+engines across workers — results are identical to the serial run.  The
+same three subcommands accept ``--kernel auto|int|numpy`` to pick the
+simulation kernel (:mod:`repro.simulation.kernels`; also available as a
+scenario axis: ``--axis kernel=int,numpy``) — kernels are byte-identical
+too, only speed changes.
 
 ``analyze`` and ``sweep`` accept ``--fault-model stuck_at|transition`` to
 select the fault universe (``sweep`` also takes it as a scenario axis:
@@ -87,6 +91,7 @@ from repro.core.report import render_source_details
 from repro.faults.categories import source_label
 from repro.faults.models import fault_model_names
 from repro.pipeline import DEFAULT_REGISTRY
+from repro.simulation.kernels import KERNEL_CHOICES, kernel_info
 from repro.simulation.sharded import SHARD_BACKENDS
 from repro.soc.config import SoCConfig
 
@@ -141,6 +146,13 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
               "available, else thread)"))
 
 
+def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--kernel", default=None, choices=list(KERNEL_CHOICES),
+        help=("simulation kernel (identical results; default: auto = "
+              "numpy when installed, else int)"))
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -185,6 +197,7 @@ def _build_parser() -> argparse.ArgumentParser:
         analyze, "fault model to enumerate and classify (default: stuck_at)")
     _add_static_prune_argument(analyze)
     _add_sharding_arguments(analyze)
+    _add_kernel_argument(analyze)
     _add_store_argument(analyze)
 
     sweep = sub.add_parser(
@@ -224,6 +237,7 @@ def _build_parser() -> argparse.ArgumentParser:
                 "a scenario axis: --axis fault_model=stuck_at,transition)"))
     _add_static_prune_argument(sweep)
     _add_sharding_arguments(sweep)
+    _add_kernel_argument(sweep)
     _add_store_argument(sweep)
 
     static = sub.add_parser(
@@ -266,6 +280,7 @@ def _build_parser() -> argparse.ArgumentParser:
                  "model (a filter, never an override)"))
     _add_static_prune_argument(corpus)
     _add_sharding_arguments(corpus)
+    _add_kernel_argument(corpus)
     _add_store_argument(corpus)
 
     report = sub.add_parser(
@@ -389,13 +404,22 @@ def _split_passes(spec: Optional[str]) -> Optional[List[str]]:
     return [name.strip() for name in spec.split(",") if name.strip()]
 
 
-def _report_as_json(report, config_name: str, elapsed: float) -> str:
+def _kernel_label(spec) -> str:
+    """Human-readable resolved-kernel blurb, e.g. ``numpy 2.4.6``."""
+    info = kernel_info(spec)
+    version = info.get("numpy_version")
+    return f"{info['kernel']} {version}" if version else info["kernel"]
+
+
+def _report_as_json(report, config_name: str, elapsed: float,
+                    kernel=None) -> str:
     # Keep the original CLI summary contract (counts, not fault lists);
     # the full fault populations are available via report.to_json() /
     # the sweep subcommand's persisted documents.
     return json.dumps({
         "config": config_name,
         "netlist": report.netlist_name,
+        **kernel_info(kernel),
         "fault_model": report.fault_model,
         "total_faults": report.total_faults,
         "baseline_untestable": len(report.baseline_untestable),
@@ -425,6 +449,7 @@ def _cmd_analyze(args) -> int:
     started = time.perf_counter()
     session = Session(effort=args.effort, parallel_passes=args.parallel,
                       jobs=args.jobs, shard_backend=args.backend,
+                      kernel=args.kernel,
                       fault_model=args.fault_model,
                       static_prune=args.static_prune,
                       store=args.store)
@@ -437,7 +462,8 @@ def _cmd_analyze(args) -> int:
     elapsed = time.perf_counter() - started
 
     if args.json:
-        print(_report_as_json(report, args.config, elapsed))
+        print(_report_as_json(report, args.config, elapsed,
+                              kernel=args.kernel))
         return 0
 
     print(report.to_table())
@@ -446,7 +472,7 @@ def _cmd_analyze(args) -> int:
         print(render_source_details(report))
     print()
     summary = (f"({args.config}: {report.total_faults:,} faults analysed "
-               f"in {elapsed:.2f}s")
+               f"in {elapsed:.2f}s; kernel: {_kernel_label(args.kernel)}")
     if args.store:
         stats = session.cache_stats
         summary += (f"; store: {stats.get('store_hits', 0)} hits, "
@@ -493,6 +519,7 @@ def _cmd_sweep(args) -> int:
 
     session = Session(executor=args.executor, max_workers=args.workers,
                       jobs=args.jobs, shard_backend=args.backend,
+                      kernel=args.kernel,
                       fault_model=args.fault_model,
                       static_prune=args.static_prune,
                       store=args.store)
@@ -535,6 +562,7 @@ def _cmd_corpus(args) -> int:
     try:
         outcomes = run_corpus(args.dir, jobs=args.jobs,
                               shard_backend=args.backend,
+                              kernel=args.kernel,
                               update=args.update, only=args.only or None,
                               fault_model=args.fault_model,
                               static_prune=args.static_prune,
@@ -807,10 +835,12 @@ def _cmd_cache(args) -> int:
                 } for entry in entries],
                 "total_bytes": total,
                 "stats": store.stats,
+                **kernel_info(),
             }, indent=2))
             return 0
         if not entries:
-            print(f"store {args.store}: empty")
+            print(f"store {args.store}: empty "
+                  f"(kernel: {_kernel_label(None)})")
             return 0
         now = time.time()
         print(f"{'pass':<18} {'signature':<14} {'size':>10}  {'idle':>8}")
@@ -818,7 +848,8 @@ def _cmd_cache(args) -> int:
             idle = max(0.0, now - entry.last_used)
             print(f"{entry.pass_name:<18} {entry.signature[:12] + '..':<14} "
                   f"{entry.size_bytes:>10,}  {idle:>7.0f}s")
-        print(f"({len(entries)} artifacts, {total:,} bytes)")
+        print(f"({len(entries)} artifacts, {total:,} bytes; "
+              f"kernel: {_kernel_label(None)})")
         return 0
 
     # gc / prune

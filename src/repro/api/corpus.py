@@ -57,6 +57,11 @@ class CorpusEntry:
     fault_model: str
     description: str
     path: Path
+    #: Simulation kernel pinned by the spec ("auto"/"int"/"numpy"); None
+    #: defers to the run's session default.  Kernels are byte-identical by
+    #: contract, so this never changes a capture — it only pins which
+    #: engine a CI leg exercises.
+    kernel: Optional[str] = None
 
     @property
     def golden_path(self) -> Path:
@@ -75,6 +80,8 @@ class CorpusEntry:
         parts.append(f"effort={self.effort}")
         if self.fault_model != resolve_fault_model(None).name:
             parts.append(f"fault_model={self.fault_model}")
+        if self.kernel is not None:
+            parts.append(f"kernel={self.kernel}")
         return ",".join(parts)
 
 
@@ -113,6 +120,13 @@ def _parse_entry(path: Path) -> CorpusEntry:
         fault_model = resolve_fault_model(data.get("fault_model")).name
     except ValueError as exc:
         raise CorpusError(f"corpus spec {path}: {exc}") from exc
+    kernel = data.get("kernel")
+    if kernel is not None:
+        from repro.simulation.kernels import normalize_kernel
+        try:
+            kernel = normalize_kernel(kernel)
+        except ValueError as exc:
+            raise CorpusError(f"corpus spec {path}: {exc}") from exc
     return CorpusEntry(
         name=path.stem,
         base=base,
@@ -121,6 +135,7 @@ def _parse_entry(path: Path) -> CorpusEntry:
         fault_model=fault_model,
         description=str(data.get("description", "")),
         path=path,
+        kernel=kernel,
     )
 
 
@@ -143,7 +158,8 @@ def render_entry(entry: CorpusEntry, session=None) -> str:
 
     session = session if session is not None else Session()
     report = session.analyze(entry.build_config(), effort=entry.effort,
-                             fault_model=entry.fault_model)
+                             fault_model=entry.fault_model,
+                             kernel=entry.kernel)
     return report.to_table() + "\n"
 
 
@@ -151,6 +167,7 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                session=None,
                jobs: Optional[int] = None,
                shard_backend: Optional[str] = None,
+               kernel: Optional[str] = None,
                update: bool = False,
                only: Optional[Sequence[str]] = None,
                fault_model: Optional[str] = None,
@@ -158,9 +175,11 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                store=None) -> List[CorpusOutcome]:
     """Run (or refresh) the corpus; one outcome per entry, sorted by name.
 
-    ``jobs``/``shard_backend`` configure fault-population sharding for the
-    underlying analyses — the whole point of the corpus is that they must
-    not move a single byte of any capture.  ``fault_model`` restricts the
+    ``jobs``/``shard_backend``/``kernel`` configure fault-population
+    sharding and the simulation kernel for the underlying analyses — the
+    whole point of the corpus is that they must not move a single byte of
+    any capture (an entry pinning its own ``"kernel"`` overrides the
+    run-level spec for that entry).  ``fault_model`` restricts the
     run to the entries pinned under that model (a filter, never an
     override: each entry's golden capture belongs to its declared model).
     ``static_prune`` toggles the static pre-filter for every entry — the
@@ -196,6 +215,7 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
 
     if session is None:
         session = Session(jobs=jobs, shard_backend=shard_backend,
+                          kernel=kernel,
                           static_prune=static_prune,
                           static_learning=static_prune,
                           store=store)

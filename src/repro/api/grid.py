@@ -33,9 +33,10 @@ from repro.faults.models import resolve_fault_model
 from repro.soc.config import SoCConfig, axis_value_label, expand_axes
 
 #: The axes expanded at run level rather than into the SoC configuration:
-#: the ATPG effort, the fault model and the static-prune knob select *how*
-#: a scenario is analyzed without changing the generated SoC.
-RUN_AXES = ("effort", "fault_model", "static_prune")
+#: the ATPG effort, the fault model, the static-prune knob and the
+#: simulation kernel select *how* a scenario is analyzed without changing
+#: the generated SoC.
+RUN_AXES = ("effort", "fault_model", "static_prune", "kernel")
 
 
 def _resolve_flag(name: str, value: object) -> bool:
@@ -79,6 +80,9 @@ class Scenario:
     #: Static pre-PODEM pruning (FULL effort only); None keeps the
     #: session/flow default (on).  Appended last for the same reason.
     static_prune: Optional[bool] = None
+    #: Simulation kernel ("auto"/"int"/"numpy"); None keeps the
+    #: session/flow default.  Appended last for the same reason.
+    kernel: Optional[str] = None
 
     def build_design(self):
         from repro.api.design import Design
@@ -120,6 +124,9 @@ class ScenarioGrid:
             values = [resolve_fault_model(v).name for v in values]
         elif name == "static_prune":
             values = [_resolve_flag(name, v) for v in values]
+        elif name == "kernel":
+            from repro.simulation.kernels import normalize_kernel
+            values = [normalize_kernel(v) for v in values]
         else:
             # Validate config axes eagerly — a typo should fail at grid
             # construction, not halfway through a long sweep.
@@ -154,28 +161,36 @@ class ScenarioGrid:
             self._axes.get("fault_model") or [None])
         static_prunes: Sequence[Optional[bool]] = (
             self._axes.get("static_prune") or [None])
+        kernels: Sequence[Optional[str]] = (
+            self._axes.get("kernel") or [None])
 
         points: List[Scenario] = []
         for config_label, config in expand_axes(self.base, config_axes):
             for effort in efforts:
                 for fault_model in fault_models:
                     for static_prune in static_prunes:
-                        parts = [part for part in (config_label,) if part]
-                        if effort is not None:
-                            parts.append(
-                                f"effort={axis_value_label(effort)}")
-                        if fault_model is not None:
-                            parts.append(f"fault_model={fault_model}")
-                        if static_prune is not None:
-                            parts.append(
-                                f"static_prune={int(static_prune)}")
-                        label = (f"{self.base_name}" if not parts
-                                 else f"{self.base_name}[{','.join(parts)}]")
-                        points.append(Scenario(label=label, config=config,
-                                               effort=effort,
-                                               fault_model=fault_model,
-                                               static_prune=static_prune,
-                                               index=len(points)))
+                        for kernel in kernels:
+                            parts = [part for part in (config_label,) if part]
+                            if effort is not None:
+                                parts.append(
+                                    f"effort={axis_value_label(effort)}")
+                            if fault_model is not None:
+                                parts.append(f"fault_model={fault_model}")
+                            if static_prune is not None:
+                                parts.append(
+                                    f"static_prune={int(static_prune)}")
+                            if kernel is not None:
+                                parts.append(f"kernel={kernel}")
+                            label = (f"{self.base_name}" if not parts
+                                     else
+                                     f"{self.base_name}[{','.join(parts)}]")
+                            points.append(
+                                Scenario(label=label, config=config,
+                                         effort=effort,
+                                         fault_model=fault_model,
+                                         static_prune=static_prune,
+                                         kernel=kernel,
+                                         index=len(points)))
         return points
 
     def __repr__(self) -> str:

@@ -31,6 +31,7 @@ from repro.api.executors import Executor, resolve_executor
 from repro.api.grid import Scenario, ScenarioGrid
 from repro.api.sweep import SweepReport, SweepResult
 from repro.pipeline import (ArtifactCache, Pipeline, default_pass_names)
+from repro.simulation.kernels import normalize_kernel
 
 #: Default LRU bound of a session's artifact cache — large enough for every
 #: pass of a few hundred scenarios, small enough to bound long sweeps.
@@ -46,6 +47,11 @@ class _ProcessJob:
     flow_config: Optional[FlowConfig]
     effort: Optional[AtpgEffort]
     parallel_passes: Union[bool, int]
+    #: Simulation-kernel spec ("auto"/"int"/"numpy") — a plain string, so
+    #: it crosses the process boundary untouched; the worker session
+    #: resolves it to a kernel object locally (the worker environment may
+    #: lack numpy even when the parent has it, and vice versa).
+    kernel: Optional[str] = None
     #: Durable artifact-store spec (a path / "backend:location" string).
     #: Workers cannot share the parent's in-memory LRU, but they *can*
     #: share the on-disk store — so a process-backend sweep still reuses
@@ -71,7 +77,8 @@ def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
                              parallel=job.parallel_passes,
                              config=job.flow_config,
                              fault_model=job.scenario.fault_model,
-                             static_prune=job.scenario.static_prune)
+                             static_prune=job.scenario.static_prune,
+                             kernel=job.scenario.kernel or job.kernel)
     return {
         "label": job.scenario.label,
         "signature": design.signature,
@@ -98,6 +105,7 @@ class Session:
                  parallel_passes: Union[bool, int] = False,
                  jobs: Optional[int] = None,
                  shard_backend: Optional[str] = None,
+                 kernel: Optional[str] = None,
                  fault_model: Union[str, FaultModel, None] = None,
                  static_prune: Optional[bool] = None,
                  static_learning: Optional[bool] = None) -> None:
@@ -126,6 +134,10 @@ class Session:
         #: share cache entries.
         self.jobs = jobs
         self.shard_backend = shard_backend
+        #: Default simulation kernel ("auto"/"int"/"numpy"); like the
+        #: sharding knobs it never changes a verdict, only speed.
+        self.kernel = (normalize_kernel(kernel) if kernel is not None
+                       else None)
         #: Default fault model applied when a call / scenario does not pick
         #: one (None keeps the FlowConfig default, i.e. stuck-at).
         self.fault_model = (resolve_fault_model(fault_model).name
@@ -151,6 +163,7 @@ class Session:
                 memory_map=None,
                 faults: Optional[Iterable] = None,
                 jobs: Optional[int] = None,
+                kernel: Optional[str] = None,
                 fault_model: Union[str, FaultModel, None] = None,
                 static_prune: Optional[bool] = None,
                 static_learning: Optional[bool] = None
@@ -167,7 +180,7 @@ class Session:
         design = self.design(target, memory_map=memory_map)
         flow_config = self._effective_flow_config(config, effort, jobs,
                                                   fault_model, static_prune,
-                                                  static_learning)
+                                                  static_learning, kernel)
         pipeline = self._pipeline(passes, flow_config, parallel)
         result = pipeline.run(design.netlist, config=flow_config,
                               memory_map=design.memory_map, faults=faults)
@@ -304,7 +317,8 @@ class Session:
                                jobs: Optional[int] = None,
                                fault_model=None,
                                static_prune: Optional[bool] = None,
-                               static_learning: Optional[bool] = None
+                               static_learning: Optional[bool] = None,
+                               kernel: Optional[str] = None
                                ) -> FlowConfig:
         flow_config = config if config is not None else self.flow_config
         flow_config = flow_config if flow_config is not None else FlowConfig()
@@ -323,6 +337,15 @@ class Session:
                 and flow_config.shard_backend is None):
             flow_config = _replace(flow_config,
                                    shard_backend=self.shard_backend)
+        # Simulation kernel: explicit per-call wins, the session default
+        # fills in only when the config carries none (same rule as the
+        # shard backend — a runtime knob, never a cache facet).
+        if kernel is not None:
+            flow_config = _replace(flow_config,
+                                   kernel=normalize_kernel(kernel))
+        elif (self.kernel is not None
+                and getattr(flow_config, "kernel", None) is None):
+            flow_config = _replace(flow_config, kernel=self.kernel)
         if fault_model is not None:
             # Explicit per-call model wins over the session default and the
             # flow config.
@@ -373,7 +396,8 @@ class Session:
                               effort=scenario.effort or effort_default,
                               config=config,
                               fault_model=scenario.fault_model,
-                              static_prune=scenario.static_prune)
+                              static_prune=scenario.static_prune,
+                              kernel=scenario.kernel)
         return SweepResult(
             index=scenario.index, label=scenario.label,
             design_signature=design.signature,
@@ -409,6 +433,7 @@ class Session:
         flow_config = (self._effective_flow_config(config, None)
                        if (self.jobs is not None
                            or self.shard_backend is not None
+                           or self.kernel is not None
                            or self.fault_model is not None
                            or self.static_prune is not None
                            or self.static_learning is not None
@@ -419,7 +444,8 @@ class Session:
                            flow_config=flow_config,
                            effort=effort_default,
                            parallel_passes=self.parallel_passes,
-                           store=self._store_spec())
+                           store=self._store_spec(),
+                           kernel=self.kernel)
 
     def __repr__(self) -> str:
         return (f"Session(executor={self.executor.name!r}, "

@@ -96,7 +96,8 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
                          backtrack_limit: int = 200,
                          seed: int = 2013,
                          static_prune: bool = True,
-                         static_learning: bool = True):
+                         static_learning: bool = True,
+                         kernel: Optional[str] = None):
     """Phases 2-3 of the engine: random-pattern detection, then PODEM.
 
     Operates on faults the tied-value analysis left unclassified.  Every
@@ -122,7 +123,8 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
     if effort in (AtpgEffort.RANDOM, AtpgEffort.FULL) and remaining:
         phase_start = time.perf_counter()
         detected = random_pattern_detection(
-            netlist, remaining, n_patterns=random_patterns, seed=seed)
+            netlist, remaining, n_patterns=random_patterns, seed=seed,
+            kernel=kernel)
         for fault in detected:
             classifications[fault] = FaultClass.DT
         remaining = [f for f in remaining if f not in detected]
@@ -196,7 +198,8 @@ class StructuralUntestabilityEngine:
                  backend: Optional[str] = None,
                  shards: Optional[int] = None,
                  static_prune: bool = True,
-                 static_learning: bool = True) -> None:
+                 static_learning: bool = True,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
         self.effort = effort
         self.random_patterns = random_patterns
@@ -207,6 +210,7 @@ class StructuralUntestabilityEngine:
         self.shards = shards
         self.static_prune = static_prune
         self.static_learning = static_learning
+        self.kernel = kernel
         self.implication = ImplicationEngine(netlist)
 
     def classify(self, faults: Iterable[Fault]) -> UntestabilityReport:
@@ -222,7 +226,8 @@ class StructuralUntestabilityEngine:
                 random_patterns=self.random_patterns,
                 backtrack_limit=self.backtrack_limit, seed=self.seed,
                 static_prune=self.static_prune,
-                static_learning=self.static_learning)
+                static_learning=self.static_learning,
+                kernel=self.kernel)
         report = UntestabilityReport(effort=self.effort)
         start = time.perf_counter()
 
@@ -239,7 +244,8 @@ class StructuralUntestabilityEngine:
             random_patterns=self.random_patterns,
             backtrack_limit=self.backtrack_limit, seed=self.seed,
             static_prune=self.static_prune,
-            static_learning=self.static_learning)
+            static_learning=self.static_learning,
+            kernel=self.kernel)
         report.classifications.update(classifications)
         report.phase_runtimes.update(phase_runtimes)
         report.stats.update(stats)

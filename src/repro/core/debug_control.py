@@ -56,14 +56,16 @@ def compute_baseline_untestable(netlist: Netlist,
                                 jobs: int = 1,
                                 backend: Optional[str] = None,
                                 static_prune: bool = True,
-                                static_learning: bool = True
+                                static_learning: bool = True,
+                                kernel: Optional[str] = None
                                 ) -> Set[StuckAtFault]:
     """Faults untestable in the unmanipulated netlist (structural baseline)."""
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
     engine = StructuralUntestabilityEngine(netlist, effort=effort, jobs=jobs,
                                            backend=backend,
                                            static_prune=static_prune,
-                                           static_learning=static_learning)
+                                           static_learning=static_learning,
+                                           kernel=kernel)
     report = engine.classify(fault_universe)
     return set(report.untestable)
 
@@ -76,7 +78,8 @@ def identify_debug_control_untestable(netlist: Netlist,
                                       jobs: int = 1,
                                       backend: Optional[str] = None,
                                       static_prune: bool = True,
-                                      static_learning: bool = True
+                                      static_learning: bool = True,
+                                      kernel: Optional[str] = None
                                       ) -> DebugControlResult:
     """Identify the on-line untestable faults caused by mission-constant
     debug control inputs."""
@@ -88,7 +91,8 @@ def identify_debug_control_untestable(netlist: Netlist,
     if baseline_untestable is None:
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
-            static_prune=static_prune, static_learning=static_learning)
+            static_prune=static_prune, static_learning=static_learning,
+            kernel=kernel)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_tied")
     tied: Dict[str, int] = {}
@@ -100,7 +104,8 @@ def identify_debug_control_untestable(netlist: Netlist,
     engine = StructuralUntestabilityEngine(manipulated, effort=effort,
                                            jobs=jobs, backend=backend,
                                            static_prune=static_prune,
-                                           static_learning=static_learning)
+                                           static_learning=static_learning,
+                                           kernel=kernel)
     report = engine.classify(fault_universe)
 
     return DebugControlResult(

@@ -52,7 +52,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                       jobs: int = 1,
                                       backend: Optional[str] = None,
                                       static_prune: bool = True,
-                                      static_learning: bool = True
+                                      static_learning: bool = True,
+                                      kernel: Optional[str] = None
                                       ) -> DebugObserveResult:
     """Identify the on-line untestable faults caused by floating debug outputs."""
     interface = interface or discover_debug_interface(netlist)
@@ -64,7 +65,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
         from repro.core.debug_control import compute_baseline_untestable
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
-            static_prune=static_prune, static_learning=static_learning)
+            static_prune=static_prune, static_learning=static_learning,
+            kernel=kernel)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_floated")
     floated: List[str] = []
@@ -77,7 +79,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
     engine = StructuralUntestabilityEngine(manipulated, effort=effort,
                                            jobs=jobs, backend=backend,
                                            static_prune=static_prune,
-                                           static_learning=static_learning)
+                                           static_learning=static_learning,
+                                           kernel=kernel)
     report = engine.classify(fault_universe)
 
     return DebugObserveResult(

@@ -66,7 +66,8 @@ def identify_memory_map_untestable(netlist: Netlist,
                                    jobs: int = 1,
                                    backend: Optional[str] = None,
                                    static_prune: bool = True,
-                                   static_learning: bool = True
+                                   static_learning: bool = True,
+                                   kernel: Optional[str] = None
                                    ) -> MemoryMapResult:
     """Identify on-line untestable faults caused by frozen address bits.
 
@@ -86,7 +87,8 @@ def identify_memory_map_untestable(netlist: Netlist,
         from repro.core.debug_control import compute_baseline_untestable
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
-            static_prune=static_prune, static_learning=static_learning)
+            static_prune=static_prune, static_learning=static_learning,
+            kernel=kernel)
 
     constants = constant_address_bits(memory_map)
     result = MemoryMapResult(constant_bits=dict(constants),
@@ -127,7 +129,8 @@ def identify_memory_map_untestable(netlist: Netlist,
     engine = StructuralUntestabilityEngine(manipulated, effort=effort,
                                            jobs=jobs, backend=backend,
                                            static_prune=static_prune,
-                                           static_learning=static_learning)
+                                           static_learning=static_learning,
+                                           kernel=kernel)
     report = engine.classify(fault_universe)
 
     result.untestable = set(report.untestable)

@@ -47,6 +47,10 @@ class FlowConfig:
     # verdict, so jobs is deliberately *not* a cache facet.
     jobs: int = 1
     shard_backend: Optional[str] = None
+    # Simulation kernel (repro.simulation.kernels): "auto" (None), "int"
+    # or "numpy".  Kernels are byte-identical by contract, so like ``jobs``
+    # this is a runtime knob, deliberately not a cache facet.
+    kernel: Optional[str] = None
     # Durable artifact store spec (repro.store.resolve_store vocabulary:
     # a directory path or "backend:location").  Like ``jobs`` this is a
     # *runtime* knob, deliberately not a cache facet: where artifacts are

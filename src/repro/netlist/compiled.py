@@ -466,12 +466,21 @@ def get_compiled(netlist: Netlist) -> CompiledNetlist:
     return compiled
 
 
-def compile_stats() -> Dict[str, int]:
-    """Build/hit counters of the compile cache (for tests and reports)."""
+def compile_stats() -> Dict[str, object]:
+    """Build/hit counters of the compile cache (for tests and reports).
+
+    Besides the counters, the record names the active simulation kernel
+    (and the numpy version when that backend is live) so numbers derived
+    from it are attributable to a backend.
+    """
+    # Imported here: repro.simulation.kernels imports this module.
+    from repro.simulation.kernels import kernel_info
+
     with _CACHE_LOCK:
-        stats = dict(_STATS)
+        stats: Dict[str, object] = dict(_STATS)
         stats["cached_signatures"] = len(_SIG_CACHE)
-        return stats
+    stats.update(kernel_info())
+    return stats
 
 
 def reset_compile_stats(clear_cache: bool = False) -> None:

@@ -124,7 +124,8 @@ def baseline_pass(ctx: PipelineContext) -> PassResult:
     baseline = compute_baseline_untestable(
         ctx.netlist, ctx.fault_universe, ctx.effort,
         jobs=ctx.jobs, backend=ctx.shard_backend,
-        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning,
+        kernel=ctx.kernel)
     return PassResult(artifacts={"baseline_untestable": baseline})
 
 
@@ -161,7 +162,8 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
         ctx.netlist, faults=ctx.fault_universe,
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
         jobs=ctx.jobs, backend=ctx.shard_backend,
-        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning,
+        kernel=ctx.kernel)
     return PassResult(artifacts={"debug_control_result": ctrl},
                       identified=ctrl.newly_untestable, details=ctrl)
 
@@ -176,7 +178,8 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
         ctx.netlist, faults=ctx.fault_universe,
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
         jobs=ctx.jobs, backend=ctx.shard_backend,
-        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning,
+        kernel=ctx.kernel)
     return PassResult(artifacts={"debug_observe_result": observe},
                       identified=observe.newly_untestable, details=observe)
 
@@ -195,6 +198,7 @@ def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
         tie_flop_outputs=ctx.config.tie_flop_outputs,
         tie_flop_inputs=ctx.config.tie_flop_inputs,
         jobs=ctx.jobs, backend=ctx.shard_backend,
-        static_prune=ctx.static_prune, static_learning=ctx.static_learning)
+        static_prune=ctx.static_prune, static_learning=ctx.static_learning,
+        kernel=ctx.kernel)
     return PassResult(artifacts={"memory_result": memory},
                       identified=memory.newly_untestable, details=memory)

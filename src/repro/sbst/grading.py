@@ -71,7 +71,8 @@ class FaultGrader:
                  word_size: int = 64, drop_detected: bool = True,
                  jobs: int = 1, backend: Optional[str] = None,
                  shards: Optional[int] = None,
-                 fault_model: "Union[str, FaultModel, None]" = None) -> None:
+                 fault_model: "Union[str, FaultModel, None]" = None,
+                 kernel: Optional[str] = None) -> None:
         # Mission-mode observation: the system-bus outputs plus the values
         # captured into the architectural state (a captured error eventually
         # propagates to memory over the following cycles of the self-test
@@ -101,7 +102,8 @@ class FaultGrader:
         self.simulator = ParallelPatternSimulator(
             netlist, observe_state_inputs=observe_state_inputs,
             exclude_output_ports=exclude,
-            state_input_roles=MISSION_CAPTURE_ROLES)
+            state_input_roles=MISSION_CAPTURE_ROLES,
+            kernel=kernel)
 
     # ------------------------------------------------------------------ #
     def grade(self, patterns: CapturedPatterns,
@@ -122,7 +124,8 @@ class FaultGrader:
                 self.netlist, fault_universe, patterns,
                 observation_nets=self.simulator.observation_nets,
                 word_size=self.word_size, drop_detected=self.drop_detected,
-                jobs=self.jobs, backend=self.backend, shards=self.shards)
+                jobs=self.jobs, backend=self.backend, shards=self.shards,
+                kernel=self.simulator.kernel.name)
         windows = pattern_windows(patterns, self.word_size)
         return self.simulator.run_windows(fault_universe, windows,
                                           drop_detected=self.drop_detected)

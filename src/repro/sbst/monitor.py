@@ -65,9 +65,11 @@ def pattern_windows(patterns: "CapturedPatterns",
 class ToggleMonitor:
     """Runs instruction streams on the gate-level core and records activity."""
 
-    def __init__(self, netlist: Netlist, mission_inputs: Optional[Mapping[str, int]] = None) -> None:
+    def __init__(self, netlist: Netlist,
+                 mission_inputs: Optional[Mapping[str, int]] = None,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
-        self.sim = SequentialSimulator(netlist)
+        self.sim = SequentialSimulator(netlist, kernel=kernel)
         #: Default value of every input port in mission mode (debug/scan
         #: inputs pulled to constants, reset deasserted).
         self.mission_inputs: Dict[str, int] = {p: 0 for p in netlist.input_ports()}

@@ -137,11 +137,13 @@ def pair_allowed_mask(compiled: CompiledNetlist, site: Tuple,
 
 
 def good_planes(compiled: CompiledNetlist, program,
-                window: Sequence[Mapping[str, int]]):
+                window: Sequence[Mapping[str, int]], kernel=None):
     """Pattern-parallel good-machine simulation of a pattern window.
 
     Returns ``(g1, g0, frozen, mask)`` — the two value planes per net, the
-    per-net frozen flags (ties) and the all-ones window mask.
+    per-net frozen flags (ties) and the all-ones window mask.  ``kernel``
+    (a resolved kernel object) routes the levelized pass through that
+    backend; None runs the classic int loop with ``program`` directly.
     """
     n = compiled.n_nets
     g1 = [0] * n
@@ -168,7 +170,10 @@ def good_planes(compiled: CompiledNetlist, program,
                 g1[nid] |= bit
             elif value == LOGIC_0:
                 g0[nid] |= bit
-    run_plane_ops(compiled, program, g1, g0, mask, frozen)
+    if kernel is None:
+        run_plane_ops(compiled, program, g1, g0, mask, frozen)
+    else:
+        kernel.run_plane_ops(compiled, g1, g0, mask, frozen)
     return g1, g0, frozen, mask
 
 
@@ -199,9 +204,11 @@ class FaultSimulator:
     def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
                  state_input_roles: Optional[Sequence[str]] = None,
                  drop_detected: bool = True,
-                 word_size: int = 64) -> None:
+                 word_size: int = 64,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
-        self.sim = CombinationalSimulator(netlist)
+        self.sim = CombinationalSimulator(netlist, kernel=kernel)
+        self.kernel = self.sim.kernel
         self.observe_state_inputs = observe_state_inputs
         self.state_input_roles = (tuple(state_input_roles)
                                   if state_input_roles is not None else None)
@@ -218,6 +225,12 @@ class FaultSimulator:
         return [net_id[name] for name in self._observation_nets
                 if name in net_id]
 
+    def _observation_flags(self, compiled: CompiledNetlist) -> bytearray:
+        flags = bytearray(compiled.n_nets)
+        for nid in self._observation_ids(compiled):
+            flags[nid] = 1
+        return flags
+
     # ------------------------------------------------------------------ #
     # fault-site resolution
     # ------------------------------------------------------------------ #
@@ -231,7 +244,7 @@ class FaultSimulator:
     def _good_planes(self, compiled: CompiledNetlist, program,
                      window: Sequence[Mapping[str, int]]):
         """Pattern-parallel good-machine simulation of a pattern window."""
-        return good_planes(compiled, program, window)
+        return good_planes(compiled, program, window, kernel=self.kernel)
 
     def _planes_from_values(self, compiled: CompiledNetlist,
                             values: Mapping[str, int]):
@@ -315,21 +328,6 @@ class FaultSimulator:
                 overlay[nid] = (out[2 * pos], out[2 * pos + 1])
         return overlay
 
-    def _detect_mask(self, compiled, program, site, fault_value,
-                     g1, g0, frozen, mask, obs_ids) -> int:
-        overlay = self._faulty_overlay(compiled, program, site, fault_value,
-                                       g1, g0, frozen, mask)
-        if not overlay:
-            return 0
-        det = 0
-        for nid in obs_ids:
-            entry = overlay.get(nid)
-            if entry is not None:
-                # Definite on both sides and different: good 1 vs faulty 0,
-                # or good 0 vs faulty 1.
-                det |= (g1[nid] & entry[1]) | (g0[nid] & entry[0])
-        return det & mask
-
     # ------------------------------------------------------------------ #
     # single-pattern primitives
     # ------------------------------------------------------------------ #
@@ -381,9 +379,9 @@ class FaultSimulator:
             g1, g0, frozen, mask = self._planes_from_values(compiled, good)
         spec = resolve_injection(fault)
         site = self._resolve(compiled, fault)
-        obs_ids = self._observation_ids(compiled)
-        det = self._detect_mask(compiled, program, site, spec.stuck_value,
-                                g1, g0, frozen, mask, obs_ids)
+        obs_flags = self._observation_flags(compiled)
+        det = self.kernel.detect_planes(compiled, [(site, spec.stuck_value)],
+                                        g1, g0, frozen, mask, obs_flags)[0]
         if det and spec.frames > 1:
             if prev_pattern is None:
                 return False
@@ -411,7 +409,7 @@ class FaultSimulator:
         drop = self.drop_detected if drop_detected is None else drop_detected
         compiled = self.sim._refresh()
         program, _ = plane_program(compiled)
-        obs_ids = self._observation_ids(compiled)
+        obs_flags = self._observation_flags(compiled)
 
         result = FaultSimResult()
         remaining: List[Fault] = list(faults)
@@ -424,12 +422,13 @@ class FaultSimulator:
         while start < n_patterns and remaining:
             window = patterns[start:start + self.word_size]
             g1, g0, frozen, mask = self._good_planes(compiled, program, window)
+            items = [(sites[fault], specs[fault].stuck_value)
+                     for fault in remaining]
+            dets = self.kernel.detect_planes(compiled, items, g1, g0, frozen,
+                                             mask, obs_flags)
             still_undetected: List[Fault] = []
-            for fault in remaining:
+            for fault, det in zip(remaining, dets):
                 spec = specs[fault]
-                det = self._detect_mask(compiled, program, sites[fault],
-                                        spec.stuck_value, g1, g0, frozen,
-                                        mask, obs_ids)
                 if det and spec.frames > 1:
                     det &= pair_allowed_mask(compiled, sites[fault], spec,
                                              g1, g0, mask, prev=prev_planes)

@@ -181,9 +181,11 @@ class ParallelPatternSimulator:
 
     def __init__(self, netlist: Netlist, observe_state_inputs: bool = True,
                  exclude_output_ports: Optional[Set[str]] = None,
-                 state_input_roles: Optional[Sequence[str]] = None) -> None:
+                 state_input_roles: Optional[Sequence[str]] = None,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
-        self.sim = CombinationalSimulator(netlist)
+        self.sim = CombinationalSimulator(netlist, kernel=kernel)
+        self.kernel = self.sim.kernel
         self.observe_state_inputs = observe_state_inputs
         self.exclude_output_ports = set(exclude_output_ports or ())
         self.state_input_roles = (tuple(state_input_roles)
@@ -205,6 +207,12 @@ class ParallelPatternSimulator:
         net_id = compiled.net_id
         return [net_id[name] for name in self._observation_nets
                 if name in net_id]
+
+    def _observation_flags(self, compiled: CompiledNetlist) -> bytearray:
+        flags = bytearray(compiled.n_nets)
+        for nid in self._observation_ids(compiled):
+            flags[nid] = 1
+        return flags
 
     # ------------------------------------------------------------------ #
     @property
@@ -250,69 +258,6 @@ class ParallelPatternSimulator:
             return ("inert",)
         return ("branch", index, pos)
 
-    def _detects(self, compiled: CompiledNetlist, program, site: Tuple,
-                 fault_value: int, good: List[int], word_mask: int,
-                 obs_ids: List[int], allowed: Optional[int] = None) -> bool:
-        """Does any pattern of the window detect the fault?
-
-        ``allowed`` restricts which patterns may count as the detecting one
-        (the pattern-pair mask of two-pattern models); ``None`` allows the
-        whole window.
-        """
-        if allowed is None:
-            allowed = word_mask
-        fault_word = word_mask if fault_value else 0
-        forced = -1
-        branch_op = -1
-        branch_pos = -1
-        overlay: Dict[int, int] = {}
-
-        if site[0] == "net":
-            forced = site[1]
-            if good[forced] == fault_word:
-                return False
-            overlay[forced] = fault_word
-            cone = compiled.fanout_ops(forced)
-        elif site[0] == "branch":
-            branch_op, branch_pos = site[1], site[2]
-            cone = compiled.branch_cone(branch_op)
-        else:
-            return False
-
-        tied = compiled.tied
-        op_fanout = compiled.op_fanout
-        for op in cone:
-            changed = False
-            args = []
-            for pos, nid in enumerate(compiled.op_fanin[op]):
-                if nid < 0:
-                    args.append(0)
-                    continue
-                if op == branch_op and pos == branch_pos:
-                    args.append(fault_word)
-                    changed = True
-                    continue
-                value = overlay.get(nid)
-                if value is None:
-                    args.append(good[nid])
-                else:
-                    args.append(value)
-                    if value != good[nid]:
-                        changed = True
-            if not changed:
-                continue
-            out = program[op](word_mask, *args)
-            for pos, nid in enumerate(op_fanout[op]):
-                if nid < 0 or tied[nid] is not None or nid == forced:
-                    continue
-                overlay[nid] = out[pos] & word_mask
-
-        for nid in obs_ids:
-            value = overlay.get(nid)
-            if value is not None and (value ^ good[nid]) & allowed:
-                return True
-        return False
-
     def detected_faults(self, faults: Iterable[Fault],
                         patterns: Mapping[str, int],
                         n_patterns: int,
@@ -325,7 +270,6 @@ class ParallelPatternSimulator:
         — every burst is an independent launch-on-capture sequence.
         """
         compiled = self.sim._refresh()
-        program = word_program(compiled)
         word_mask = mask(n_patterns)
         if good is None:
             good_words, _ = self._good_words(compiled, patterns, n_patterns)
@@ -336,9 +280,10 @@ class ParallelPatternSimulator:
                 nid = net_id.get(name)
                 if nid is not None:
                     good_words[nid] = word
-        obs_ids = self._observation_ids(compiled)
+        obs_flags = self._observation_flags(compiled)
 
-        detected: Set[Fault] = set()
+        keys: List[Fault] = []
+        items: List[Tuple[Tuple, int, Optional[int]]] = []
         for fault in faults:
             site = self._resolve(compiled, fault)
             spec = resolve_injection(fault)
@@ -348,10 +293,11 @@ class ParallelPatternSimulator:
                                              good_words, word_mask)
                 if not allowed:
                     continue
-            if self._detects(compiled, program, site, spec.stuck_value,
-                             good_words, word_mask, obs_ids, allowed):
-                detected.add(fault)
-        return detected
+            keys.append(fault)
+            items.append((site, spec.stuck_value, allowed))
+        verdicts = self.kernel.detect_words(compiled, items, good_words,
+                                            word_mask, obs_flags)
+        return {fault for fault, hit in zip(keys, verdicts) if hit}
 
     def run_windows(self, faults: Iterable[Fault],
                     windows: Sequence[Tuple[Mapping[str, int], int]],
@@ -367,8 +313,7 @@ class ParallelPatternSimulator:
         identical to the sharded mission-grading engine by construction.
         """
         compiled = self.sim._refresh()
-        program = word_program(compiled)
-        obs_ids = self._observation_ids(compiled)
+        obs_flags = self._observation_flags(compiled)
         remaining: List[Fault] = list(faults)
         sites = {f: self._resolve(compiled, f) for f in remaining}
         specs = {f: resolve_injection(f) for f in remaining}
@@ -378,7 +323,7 @@ class ParallelPatternSimulator:
             if not remaining:
                 break
             good, word_mask = compute_good_words(compiled, words, n_patterns)
-            still: List[Fault] = []
+            items: List[Tuple[Tuple, int, Optional[int]]] = []
             for fault in remaining:
                 spec = specs[fault]
                 allowed = None
@@ -386,10 +331,11 @@ class ParallelPatternSimulator:
                     allowed = pair_allowed_words(compiled, sites[fault],
                                                  spec, good, word_mask,
                                                  prev=prev)
-                hit = (allowed != 0
-                       and self._detects(compiled, program, sites[fault],
-                                         spec.stuck_value, good, word_mask,
-                                         obs_ids, allowed))
+                items.append((sites[fault], spec.stuck_value, allowed))
+            verdicts = self.kernel.detect_words(compiled, items, good,
+                                                word_mask, obs_flags)
+            still: List[Fault] = []
+            for fault, hit in zip(remaining, verdicts):
                 if hit:
                     detected.add(fault)
                 if not (hit and drop_detected):

@@ -31,13 +31,14 @@ detection frontier (:class:`DetectionFrontier`)
     re-simulated in round *k+1*, a drained shard stops being dispatched,
     and the whole run stops as soon as every fault is detected.
 
-event-driven cone walk
-    Workers re-simulate a faulty machine by propagating *only* the ops
-    whose inputs actually changed (a worklist in topological order seeded
-    at the fault site) instead of sweeping the full precomputed cone.
-    The overlay this produces is exactly the reference simulators' overlay
-    minus entries equal to the good value, so detection verdicts — and the
-    recorded detecting patterns — are **byte-identical** to the serial
+simulation kernels
+    Workers dispatch fault detection through the pluggable kernel layer
+    (:mod:`repro.simulation.kernels`): the int oracle's event-driven cone
+    walk, or the numpy backend's batched multi-fault matrix sweep.  Jobs
+    carry the *resolved* kernel name (the scheduler freezes ``auto`` to a
+    concrete backend before shipping), and every kernel is
+    verdict-identical by contract, so detection results — and the
+    recorded detecting patterns — stay **byte-identical** to the serial
     :class:`~repro.simulation.fault_sim.FaultSimulator` and
     :class:`~repro.sbst.grading.FaultGrader` paths, which the golden
     scenario corpus enforces end-to-end in CI.
@@ -62,6 +63,7 @@ from repro.netlist.module import Netlist
 from repro.simulation.fault_sim import (FaultSimResult, good_planes,
                                         observation_net_names,
                                         pair_allowed_mask, resolve_site)
+from repro.simulation.kernels import get_kernel
 from repro.simulation.parallel import (compute_good_words,
                                        pair_allowed_words, word_program)
 from repro.simulation.simulator import plane_program
@@ -220,167 +222,6 @@ class DetectionFrontier:
 
 
 # --------------------------------------------------------------------- #
-# event-driven faulty-machine kernels
-# --------------------------------------------------------------------- #
-def _detect_mask_planes(compiled: CompiledNetlist, program, site: Tuple,
-                        fault_value: int, g1: List[int], g0: List[int],
-                        frozen, mask: int, obs_flags) -> int:
-    """Three-valued (two-plane) detection mask of one fault over a window.
-
-    Event-driven equivalent of the serial simulator's cone sweep: ops are
-    evaluated in topological order starting from the fault site, but only
-    when one of their inputs actually differs from the good machine, and
-    only differing nets enter the overlay.  Nets equal to the good value
-    contribute nothing to detection, so the returned mask is identical to
-    :meth:`repro.simulation.fault_sim.FaultSimulator._detect_mask`.
-    """
-    f1 = mask if fault_value else 0
-    f0 = 0 if fault_value else mask
-    forced = -1
-    branch_op = -1
-    branch_pos = -1
-    overlay: Dict[int, Tuple[int, int]] = {}
-    heap: List[int] = []
-    scheduled: Set[int] = set()
-    net_load_ops = compiled.net_load_ops
-    op_fanin = compiled.op_fanin
-    op_fanout = compiled.op_fanout
-    det = 0
-
-    if site[0] == "net":
-        forced = site[1]
-        if g1[forced] == f1 and g0[forced] == f0:
-            return 0  # forced value equals the good value everywhere
-        overlay[forced] = (f1, f0)
-        if obs_flags[forced]:
-            det |= (g1[forced] & f0) | (g0[forced] & f1)
-        for op, _pos in net_load_ops[forced]:
-            if op not in scheduled:
-                scheduled.add(op)
-                heapq.heappush(heap, op)
-    elif site[0] == "branch":
-        branch_op, branch_pos = site[1], site[2]
-        scheduled.add(branch_op)
-        heapq.heappush(heap, branch_op)
-    else:
-        return 0
-
-    while heap:
-        op = heapq.heappop(heap)
-        args = []
-        for pos, nid in enumerate(op_fanin[op]):
-            if nid < 0:
-                args.append(0)
-                args.append(0)
-                continue
-            if op == branch_op and pos == branch_pos:
-                args.append(f1)
-                args.append(f0)
-                continue
-            entry = overlay.get(nid)
-            if entry is None:
-                args.append(g1[nid])
-                args.append(g0[nid])
-            else:
-                args.append(entry[0])
-                args.append(entry[1])
-        out = program[op](mask, *args)
-        for pos, nid in enumerate(op_fanout[op]):
-            if nid < 0 or frozen[nid] or nid == forced:
-                continue
-            o1 = out[2 * pos]
-            o0 = out[2 * pos + 1]
-            if o1 == g1[nid] and o0 == g0[nid]:
-                continue
-            overlay[nid] = (o1, o0)
-            if obs_flags[nid]:
-                # Definite on both sides and different: good 1 vs faulty
-                # 0, or good 0 vs faulty 1.
-                det |= (g1[nid] & o0) | (g0[nid] & o1)
-            for lop, _pos in net_load_ops[nid]:
-                if lop not in scheduled:
-                    scheduled.add(lop)
-                    heapq.heappush(heap, lop)
-    return det & mask
-
-
-def _detects_words(compiled: CompiledNetlist, program, site: Tuple,
-                   fault_value: int, good: List[int], word_mask: int,
-                   obs_flags, allowed: Optional[int] = None) -> bool:
-    """Two-valued (word) detection of one fault over a pattern window.
-
-    Same event-driven walk as :func:`_detect_mask_planes`, with one extra
-    liberty the boolean contract allows: return as soon as an observation
-    point differs under an *allowed* pattern (the verdict cannot change
-    once such a difference is observed).  ``allowed`` is the pattern-pair
-    mask of two-pattern models; ``None`` allows the whole window.
-    Verdict-identical to
-    :meth:`repro.simulation.parallel.ParallelPatternSimulator._detects`.
-    """
-    if allowed is None:
-        allowed = word_mask
-    elif not allowed:
-        return False
-    fault_word = word_mask if fault_value else 0
-    forced = -1
-    branch_op = -1
-    branch_pos = -1
-    overlay: Dict[int, int] = {}
-    heap: List[int] = []
-    scheduled: Set[int] = set()
-    net_load_ops = compiled.net_load_ops
-    tied = compiled.tied
-    op_fanin = compiled.op_fanin
-    op_fanout = compiled.op_fanout
-
-    if site[0] == "net":
-        forced = site[1]
-        if good[forced] == fault_word:
-            return False
-        overlay[forced] = fault_word
-        if obs_flags[forced] and (good[forced] ^ fault_word) & allowed:
-            return True
-        for op, _pos in net_load_ops[forced]:
-            if op not in scheduled:
-                scheduled.add(op)
-                heapq.heappush(heap, op)
-    elif site[0] == "branch":
-        branch_op, branch_pos = site[1], site[2]
-        scheduled.add(branch_op)
-        heapq.heappush(heap, branch_op)
-    else:
-        return False
-
-    while heap:
-        op = heapq.heappop(heap)
-        args = []
-        for pos, nid in enumerate(op_fanin[op]):
-            if nid < 0:
-                args.append(0)
-                continue
-            if op == branch_op and pos == branch_pos:
-                args.append(fault_word)
-                continue
-            value = overlay.get(nid)
-            args.append(good[nid] if value is None else value)
-        out = program[op](word_mask, *args)
-        for pos, nid in enumerate(op_fanout[op]):
-            if nid < 0 or tied[nid] is not None or nid == forced:
-                continue
-            value = out[pos] & word_mask
-            if value == good[nid]:
-                continue
-            overlay[nid] = value
-            if obs_flags[nid] and (value ^ good[nid]) & allowed:
-                return True
-            for lop, _pos in net_load_ops[nid]:
-                if lop not in scheduled:
-                    scheduled.add(lop)
-                    heapq.heappush(heap, lop)
-    return False
-
-
-# --------------------------------------------------------------------- #
 # worker-side jobs
 # --------------------------------------------------------------------- #
 class _ShardJob:
@@ -395,14 +236,18 @@ class _ShardJob:
     """
 
     _RUNTIME_ATTRS = ("_prepared", "_compiled", "_program", "_obs_flags",
-                      "_sites", "_specs", "_window_memo")
+                      "_sites", "_specs", "_window_memo", "_kernel")
 
     def __init__(self, netlist: Netlist,
                  shards: Tuple[Tuple[Fault, ...], ...],
-                 observation_nets: frozenset) -> None:
+                 observation_nets: frozenset,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
         self.shards = shards
         self.observation_nets = observation_nets
+        # A picklable kernel *name* (the scheduler resolves "auto" before
+        # shipping); the kernel object itself is runtime state.
+        self.kernel = kernel
         self._prepared = False
 
     def __getstate__(self):
@@ -424,6 +269,7 @@ class _ShardJob:
                 obs_flags[nid] = 1
         self._compiled = compiled
         self._obs_flags = obs_flags
+        self._kernel = get_kernel(self.kernel)
         self._program = self._build_program(compiled)
         self._sites = {
             fault: resolve_site(compiled, fault)
@@ -445,8 +291,8 @@ class _PlaneSimJob(_ShardJob):
 
     def __init__(self, netlist: Netlist, shards, observation_nets,
                  patterns: Sequence[Mapping[str, int]],
-                 word_size: int) -> None:
-        super().__init__(netlist, shards, observation_nets)
+                 word_size: int, kernel: Optional[str] = None) -> None:
+        super().__init__(netlist, shards, observation_nets, kernel)
         self.patterns = list(patterns)
         self.word_size = word_size
 
@@ -458,7 +304,8 @@ class _PlaneSimJob(_ShardJob):
         memo = self._window_memo.get(start)
         if memo is None:
             window = self.patterns[start:start + self.word_size]
-            memo = good_planes(self._compiled, self._program, window)
+            memo = good_planes(self._compiled, self._program, window,
+                               kernel=self._kernel)
             self._window_memo[start] = memo
         return memo
 
@@ -471,14 +318,15 @@ class _PlaneSimJob(_ShardJob):
         shard = self.shards[shard_id]
         sites = self._sites
         specs = self._specs
+        items = [(sites[shard[position]], specs[shard[position]].stuck_value)
+                 for position in positions]
+        dets = self._kernel.detect_planes(self._compiled, items, g1, g0,
+                                          frozen, mask, self._obs_flags)
         prev_planes = None  # previous window's (g1, g0, width), lazily built
         hits = []
-        for position in positions:
+        for position, det in zip(positions, dets):
             fault = shard[position]
             spec = specs[fault]
-            det = _detect_mask_planes(
-                self._compiled, self._program, sites[fault],
-                spec.stuck_value, g1, g0, frozen, mask, self._obs_flags)
             if det and spec.frames > 1:
                 if prev_planes is None and start > 0:
                     p1, p0, _, _ = self._window_planes(
@@ -495,8 +343,9 @@ class _WordGradeJob(_ShardJob):
     """Sharded counterpart of ``FaultGrader.grade`` (two-valued words)."""
 
     def __init__(self, netlist: Netlist, shards, observation_nets,
-                 windows: Sequence[Tuple[Mapping[str, int], int]]) -> None:
-        super().__init__(netlist, shards, observation_nets)
+                 windows: Sequence[Tuple[Mapping[str, int], int]],
+                 kernel: Optional[str] = None) -> None:
+        super().__init__(netlist, shards, observation_nets, kernel)
         self.windows = list(windows)
 
     def _build_program(self, compiled: CompiledNetlist):
@@ -521,7 +370,7 @@ class _WordGradeJob(_ShardJob):
         sites = self._sites
         specs = self._specs
         prev = None  # previous window's (good words, width), lazily built
-        hits = []
+        items = []
         for position in positions:
             fault = shard[position]
             spec = specs[fault]
@@ -533,10 +382,11 @@ class _WordGradeJob(_ShardJob):
                 allowed = pair_allowed_words(self._compiled, sites[fault],
                                              spec, good, word_mask,
                                              prev=prev)
-            if _detects_words(self._compiled, self._program, sites[fault],
-                              spec.stuck_value, good, word_mask,
-                              self._obs_flags, allowed):
-                hits.append(position)
+            items.append((sites[fault], spec.stuck_value, allowed))
+        verdicts = self._kernel.detect_words(self._compiled, items, good,
+                                             word_mask, self._obs_flags)
+        hits = [position for position, hit in zip(positions, verdicts)
+                if hit]
         return shard_id, hits
 
 
@@ -552,7 +402,8 @@ class _DetectClassifyJob:
                  shards: Tuple[Tuple[Fault, ...], ...],
                  effort, random_patterns: int, backtrack_limit: int,
                  seed: int, static_prune: bool = True,
-                 static_learning: bool = True) -> None:
+                 static_learning: bool = True,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
         self.shards = shards
         self.effort = effort
@@ -561,6 +412,7 @@ class _DetectClassifyJob:
         self.seed = seed
         self.static_prune = static_prune
         self.static_learning = static_learning
+        self.kernel = kernel
 
     def prepare(self) -> None:
         # The phases build their own derived state; compiling the netlist
@@ -581,7 +433,8 @@ class _DetectClassifyJob:
             random_patterns=self.random_patterns,
             backtrack_limit=self.backtrack_limit, seed=self.seed,
             static_prune=self.static_prune,
-            static_learning=self.static_learning)
+            static_learning=self.static_learning,
+            kernel=self.kernel)
         return shard_id, classifications, phase_runtimes, stats
 
 
@@ -692,7 +545,8 @@ class ShardedFaultSimulator:
                  drop_detected: bool = True, word_size: int = 64, *,
                  jobs: Optional[int] = None,
                  backend: Optional[str] = None,
-                 shards: Optional[int] = None) -> None:
+                 shards: Optional[int] = None,
+                 kernel: Optional[str] = None) -> None:
         self.netlist = netlist
         self.observe_state_inputs = observe_state_inputs
         self.state_input_roles = (tuple(state_input_roles)
@@ -702,6 +556,7 @@ class ShardedFaultSimulator:
         self.jobs = resolve_jobs(jobs)
         self.backend = resolve_backend(backend, self.jobs)
         self.shards = shards
+        self.kernel = kernel
         self.last_frontier: Optional[DetectionFrontier] = None
 
     def run(self, faults: Iterable[Fault],
@@ -718,7 +573,8 @@ class ShardedFaultSimulator:
             self.netlist, self.observe_state_inputs, self.state_input_roles))
         job = _PlaneSimJob(self.netlist,
                            tuple(shard.faults for shard in shards),
-                           observation_nets, patterns, self.word_size)
+                           observation_nets, patterns, self.word_size,
+                           kernel=get_kernel(self.kernel).name)
 
         frontier = DetectionFrontier()
         self.last_frontier = frontier
@@ -774,8 +630,8 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
                           jobs: Optional[int] = None,
                           backend: Optional[str] = None,
                           shards: Optional[int] = None,
-                          frontier: Optional[DetectionFrontier] = None
-                          ) -> Set[Fault]:
+                          frontier: Optional[DetectionFrontier] = None,
+                          kernel: Optional[str] = None) -> Set[Fault]:
     """Sharded counterpart of :meth:`repro.sbst.grading.FaultGrader.grade`.
 
     ``patterns`` is a :class:`~repro.sbst.monitor.CapturedPatterns`-shaped
@@ -797,7 +653,8 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
     windows = pattern_windows(patterns, word_size)
 
     job = _WordGradeJob(netlist, tuple(shard.faults for shard in fault_shards),
-                        frozenset(observation_nets), windows)
+                        frozenset(observation_nets), windows,
+                        kernel=get_kernel(kernel).name)
     frontier = frontier if frontier is not None else DetectionFrontier()
     detected: Set[Fault] = set()
     remaining: List[List[int]] = [list(range(len(shard.faults)))
@@ -847,7 +704,8 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                      backtrack_limit: int = 200,
                      seed: int = 2013,
                      static_prune: bool = True,
-                     static_learning: bool = True):
+                     static_learning: bool = True,
+                     kernel: Optional[str] = None):
     """Classify a fault population across shard workers.
 
     The netlist-global tied-value fixpoint runs exactly once, in the
@@ -890,7 +748,8 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
     job = _DetectClassifyJob(netlist,
                              tuple(shard.faults for shard in fault_shards),
                              effort, random_patterns, backtrack_limit, seed,
-                             static_prune, static_learning)
+                             static_prune, static_learning,
+                             kernel=get_kernel(kernel).name)
     with _ShardRunner(backend, jobs).start(job) as runner:
         tasks = [(shard.index,) for shard in fault_shards]
         for _shard_id, classifications, phase_runtimes, stats in sorted(
