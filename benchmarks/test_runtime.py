@@ -16,7 +16,11 @@ same quantities for the pure-Python engine on the synthetic core:
 * and — since the kernel PR — the same full grading on the vectorized
   numpy kernel, serial and composed with ``--jobs 4``, with detected-set
   equality against the int kernel enforced
-  (``full_fault_grading_numpy``; skipped when numpy is not installed).
+  (``full_fault_grading_numpy``; skipped when numpy is not installed),
+* since the portfolio PR — serial reference PODEM against the
+  ``podem-restart`` backend fanned over process shards at ``--jobs 4``
+  on a cone-bounded fault sample (``atpg_portfolio``), with verdict
+  agreement outside the abort boundary enforced.
 
 Every stage's wall clock is recorded into ``BENCH_latest.json`` (path
 overridable via ``REPRO_BENCH_OUT``) — a PR-agnostic name so CI can diff
@@ -351,12 +355,12 @@ def test_runtime_static_prune(runtime_soc):
     sample = proven[::pstep][:8] + unproven[::ustep][:8]
 
     start = time.perf_counter()
-    on_cls, _, on_stats = run_detection_phases(
+    on_cls, _, on_stats, _ = run_detection_phases(
         netlist, sample, AtpgEffort.FULL)
     on_seconds = time.perf_counter() - start
 
     start = time.perf_counter()
-    off_cls, _, off_stats = run_detection_phases(
+    off_cls, _, off_stats, _ = run_detection_phases(
         netlist, sample, AtpgEffort.FULL,
         static_prune=False, static_learning=False)
     off_seconds = time.perf_counter() - start
@@ -403,3 +407,98 @@ def test_runtime_static_prune(runtime_soc):
     if RUNTIME_BENCH_CONFIG == "date13":
         # Acceptance pin: >= 20% of the UU population proven statically.
         assert coverage >= 0.20
+
+
+def test_runtime_atpg_portfolio(runtime_soc):
+    """The ATPG portfolio: serial reference PODEM vs ``podem-restart``
+    fanned over process shards at ``--jobs 4``.
+
+    ATPG cost on date13 is dominated by a tail of huge-fanout-cone faults
+    (a single search can run ~150s regardless of the backtrack budget —
+    the cost is decisions x full-netlist implication, which no budget
+    caps), so the stage samples the small-cone half of the searchable
+    population: the portfolio is measured on faults it can iterate on
+    inside a benchmark budget, and the sample is deterministic so runs
+    stay comparable.
+
+    Two pins always run: the restart backend must agree with the
+    reference on every verdict outside the abort boundary (attempt 0 *is*
+    the classic search, so a DT <-> UU contradiction would be a real
+    bug), and the parallel run must detect/abort exactly what its
+    verdicts say.  The >= 2x speedup pin arms on date13 when the machine
+    has at least 4 cores — process sharding cannot beat a GIL-free
+    serial walk on a single-core CI box, which still records honest
+    numbers (and the core count) into ``BENCH_latest.json``.
+    """
+    from repro.atpg.engine import AtpgEffort
+    from repro.faults.categories import FaultClass
+    from repro.netlist.compiled import get_compiled
+    from repro.simulation.sharded import (cone_representative, resolve_site,
+                                          sharded_classify)
+
+    netlist = runtime_soc.cpu
+    population = generate_fault_list(netlist).faults()
+    tie_report = StructuralUntestabilityEngine(netlist).classify(population)
+    searchable = [f for f in population
+                  if f not in tie_report.classifications]
+    assert searchable
+
+    compiled = get_compiled(netlist)
+    sizes = compiled.fanout_cone_sizes()
+
+    def cone_cost(fault):
+        rep = cone_representative(compiled, resolve_site(compiled, fault))
+        return sizes[rep] if rep >= 0 else 0
+
+    costed = sorted((cone_cost(f), i) for i, f in enumerate(searchable))
+    small = [searchable[i] for _, i in costed[:max(1, len(costed) // 2)]]
+    sample = small[::max(1, len(small) // 64)][:64]
+
+    kw = dict(effort=AtpgEffort.FULL, random_patterns=0, backtrack_limit=24)
+
+    start = time.perf_counter()
+    serial_report = sharded_classify(netlist, sample, jobs=1,
+                                     backend="serial", **kw)
+    serial_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel_report = sharded_classify(
+        netlist, sample, jobs=4, backend="process",
+        atpg_backend="podem-restart", atpg_seed=2013, **kw)
+    parallel_seconds = time.perf_counter() - start
+
+    # Soundness across the portfolio: verdicts may only differ where one
+    # side aborted (restart retries can rescue an AU into DT/UU; they can
+    # never flip a completed verdict).
+    for fault, ref_class in serial_report.classifications.items():
+        restart_class = parallel_report.classifications[fault]
+        if ref_class != restart_class:
+            assert FaultClass.AU in (ref_class, restart_class), (
+                f"{fault}: {ref_class.name} -> {restart_class.name}")
+
+    def counts(report):
+        tally: dict = {}
+        for fault_class in report.classifications.values():
+            tally[fault_class.value] = tally.get(fault_class.value, 0) + 1
+        return dict(sorted(tally.items()))
+
+    cpus = os.cpu_count() or 1
+    speedup = (serial_seconds / parallel_seconds
+               if parallel_seconds else float("inf"))
+    print()
+    print(f"ATPG portfolio on {len(sample)} small-cone faults "
+          f"(backtrack limit 24): serial podem {serial_seconds:.2f}s "
+          f"{counts(serial_report)}, podem-restart --jobs 4 "
+          f"{parallel_seconds:.2f}s {counts(parallel_report)} "
+          f"({speedup:.2f}x on {cpus} cpu(s))")
+    _record("atpg_portfolio", parallel_seconds,
+            serial_seconds=round(serial_seconds, 4),
+            jobs=4, backend="podem-restart", cpus=cpus,
+            sample=len(sample), backtrack_limit=24,
+            serial_counts=counts(serial_report),
+            parallel_counts=counts(parallel_report))
+    _BENCH["atpg_portfolio_speedup"] = round(speedup, 2)
+    if RUNTIME_BENCH_CONFIG == "date13" and cpus >= 4:
+        # Portfolio-PR acceptance pin: the restart fan-out must at least
+        # halve the serial reference wall clock when the cores exist.
+        assert parallel_seconds < serial_seconds / 2.0

@@ -129,7 +129,10 @@ def analyze(target,
         "repro.analyze() is deprecated; use repro.Session().analyze(...) "
         "(sessions add artifact-cache reuse, executor backends and "
         "scenario sweeps)", DeprecationWarning, stacklevel=2)
+    from repro.api import RunOptions
+
     session = Session(cache=cache, cache_entries=None)
-    return session.analyze(target, passes=passes, effort=effort,
-                           parallel=parallel, config=config,
-                           memory_map=memory_map, faults=faults)
+    return session.analyze(target, passes=passes, parallel=parallel,
+                           config=config, memory_map=memory_map,
+                           faults=faults,
+                           options=RunOptions(effort=effort))

@@ -82,11 +82,12 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.api import EXECUTORS, ScenarioGrid, Session
+from repro.api import EXECUTORS, RunOptions, ScenarioGrid, Session
 from repro.api.corpus import (DEFAULT_CORPUS_DIR, CorpusError, diff_text,
                               run_corpus)
 from repro.api.sweep import SweepReport
 from repro.atpg.engine import AtpgEffort
+from repro.atpg.portfolio import atpg_backend_names
 from repro.core.report import render_source_details
 from repro.faults.categories import source_label
 from repro.faults.models import fault_model_names
@@ -96,7 +97,7 @@ from repro.simulation.sharded import SHARD_BACKENDS
 from repro.soc.config import SoCConfig
 
 COMMANDS = ("analyze", "sweep", "report", "corpus", "static",
-            "serve", "submit", "jobs", "cache")
+            "serve", "submit", "jobs", "cache", "backends")
 
 #: Default TCP port of the analysis service (``repro serve``).
 DEFAULT_SERVICE_PORT = 7321
@@ -153,6 +154,21 @@ def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
               "numpy when installed, else int)"))
 
 
+def _add_atpg_arguments(parser: argparse.ArgumentParser) -> None:
+    """The ATPG portfolio knobs shared by analyze/sweep/corpus."""
+    parser.add_argument(
+        "--atpg-backend", dest="atpg_backend", default=None,
+        choices=list(atpg_backend_names()),
+        help=("ATPG portfolio backend for the FULL-effort search phase "
+              "(identical verdicts; default: podem)"))
+    parser.add_argument(
+        "--atpg-seed", dest="atpg_seed", type=int, default=None,
+        metavar="N",
+        help=("seed for randomized ATPG backends such as podem-restart "
+              "(identical verdicts under every seed; default: the "
+              "engine seed)"))
+
+
 # --------------------------------------------------------------------- #
 # parser
 # --------------------------------------------------------------------- #
@@ -198,6 +214,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_static_prune_argument(analyze)
     _add_sharding_arguments(analyze)
     _add_kernel_argument(analyze)
+    _add_atpg_arguments(analyze)
     _add_store_argument(analyze)
 
     sweep = sub.add_parser(
@@ -238,6 +255,7 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_static_prune_argument(sweep)
     _add_sharding_arguments(sweep)
     _add_kernel_argument(sweep)
+    _add_atpg_arguments(sweep)
     _add_store_argument(sweep)
 
     static = sub.add_parser(
@@ -281,7 +299,16 @@ def _build_parser() -> argparse.ArgumentParser:
     _add_static_prune_argument(corpus)
     _add_sharding_arguments(corpus)
     _add_kernel_argument(corpus)
+    _add_atpg_arguments(corpus)
     _add_store_argument(corpus)
+
+    backends = sub.add_parser(
+        "backends",
+        help=("list every registered backend: fault models, simulation "
+              "kernels, store backends and ATPG backends"))
+    backends.add_argument(
+        "--json", action="store_true",
+        help="emit the registry listing as JSON")
 
     report = sub.add_parser(
         "report", help="re-render a persisted sweep report")
@@ -447,12 +474,15 @@ def _cmd_analyze(args) -> int:
         return 2
 
     started = time.perf_counter()
-    session = Session(effort=args.effort, parallel_passes=args.parallel,
-                      jobs=args.jobs, shard_backend=args.backend,
-                      kernel=args.kernel,
-                      fault_model=args.fault_model,
-                      static_prune=args.static_prune,
-                      store=args.store)
+    session = Session(parallel_passes=args.parallel,
+                      options=RunOptions(
+                          effort=args.effort, jobs=args.jobs,
+                          shard_backend=args.backend, kernel=args.kernel,
+                          fault_model=args.fault_model,
+                          static_prune=args.static_prune,
+                          store=args.store,
+                          atpg_backend=args.atpg_backend,
+                          atpg_seed=args.atpg_seed))
     try:
         report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
@@ -518,11 +548,14 @@ def _cmd_sweep(args) -> int:
         return 2
 
     session = Session(executor=args.executor, max_workers=args.workers,
-                      jobs=args.jobs, shard_backend=args.backend,
-                      kernel=args.kernel,
-                      fault_model=args.fault_model,
-                      static_prune=args.static_prune,
-                      store=args.store)
+                      options=RunOptions(
+                          jobs=args.jobs, shard_backend=args.backend,
+                          kernel=args.kernel,
+                          fault_model=args.fault_model,
+                          static_prune=args.static_prune,
+                          store=args.store,
+                          atpg_backend=args.atpg_backend,
+                          atpg_seed=args.atpg_seed))
     passes = _split_passes(args.passes)
 
     if not args.quiet:
@@ -566,7 +599,9 @@ def _cmd_corpus(args) -> int:
                               update=args.update, only=args.only or None,
                               fault_model=args.fault_model,
                               static_prune=args.static_prune,
-                              store=args.store)
+                              store=args.store,
+                              atpg_backend=args.atpg_backend,
+                              atpg_seed=args.atpg_seed)
     except CorpusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -881,6 +916,49 @@ def _cmd_cache(args) -> int:
 
 
 # --------------------------------------------------------------------- #
+# backends: one listing of every registry
+# --------------------------------------------------------------------- #
+def _cmd_backends(args) -> int:
+    from repro.atpg.portfolio import ATPG_BACKENDS
+    from repro.faults.models import resolve_fault_model
+    from repro.simulation.kernels import numpy_available
+    from repro.store.base import STORE_BACKENDS
+
+    numpy_note = ("numpy available" if numpy_available()
+                  else "numpy NOT installed — falls back to int")
+    registries = {
+        "fault_models": [
+            {"name": name, "note": resolve_fault_model(name).label}
+            for name in fault_model_names()],
+        "kernels": [
+            {"name": "auto", "note": f"pick the best available ({numpy_note})"},
+            {"name": "int", "note": "pure-Python bit-plane kernel, always available"},
+            {"name": "numpy", "note": numpy_note},
+        ],
+        "store_backends": [
+            {"name": name, "note": "resolves 'name:location' store specs"}
+            for name in sorted(STORE_BACKENDS.names())],
+        "atpg_backends": [
+            {"name": name, "note": ATPG_BACKENDS[name].description}
+            for name in sorted(ATPG_BACKENDS.names())],
+    }
+
+    if args.json:
+        print(json.dumps(registries, indent=2))
+        return 0
+    titles = {"fault_models": "fault models (--fault-model)",
+              "kernels": "simulation kernels (--kernel)",
+              "store_backends": "store backends (--store)",
+              "atpg_backends": "ATPG backends (--atpg-backend)"}
+    for key, entries in registries.items():
+        print(f"{titles[key]}:")
+        for entry in entries:
+            print(f"  {entry['name']:<16} {entry['note']}")
+        print()
+    return 0
+
+
+# --------------------------------------------------------------------- #
 # report
 # --------------------------------------------------------------------- #
 def _cmd_report(args) -> int:
@@ -911,7 +989,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                "serve": _cmd_serve,
                "submit": _cmd_submit,
                "jobs": _cmd_jobs,
-               "cache": _cmd_cache}[args.command]
+               "cache": _cmd_cache,
+               "backends": _cmd_backends}[args.command]
     return handler(args)
 
 

@@ -34,11 +34,17 @@ from repro.api.executors import (EXECUTORS, Executor, ProcessExecutor,
                                  SerialExecutor, ThreadExecutor,
                                  resolve_executor)
 from repro.api.grid import Scenario, ScenarioGrid
+from repro.api.options import (RunOptions, fold_legacy_kwargs,
+                               reset_legacy_keyword_warnings, resolve_effort)
 from repro.api.session import DEFAULT_CACHE_ENTRIES, Session
 from repro.api.sweep import SweepReport, SweepResult
 
 __all__ = [
     "Design",
+    "RunOptions",
+    "resolve_effort",
+    "fold_legacy_kwargs",
+    "reset_legacy_keyword_warnings",
     "Session",
     "Scenario",
     "ScenarioGrid",

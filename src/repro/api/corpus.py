@@ -154,12 +154,14 @@ def load_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR
 
 def render_entry(entry: CorpusEntry, session=None) -> str:
     """Run the identification flow for one entry; rendered Table I + '\\n'."""
+    from repro.api.options import RunOptions
     from repro.api.session import Session
 
     session = session if session is not None else Session()
-    report = session.analyze(entry.build_config(), effort=entry.effort,
-                             fault_model=entry.fault_model,
-                             kernel=entry.kernel)
+    report = session.analyze(entry.build_config(),
+                             options=RunOptions(effort=entry.effort,
+                                                fault_model=entry.fault_model,
+                                                kernel=entry.kernel))
     return report.to_table() + "\n"
 
 
@@ -172,7 +174,9 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                only: Optional[Sequence[str]] = None,
                fault_model: Optional[str] = None,
                static_prune: Optional[bool] = None,
-               store=None) -> List[CorpusOutcome]:
+               store=None,
+               atpg_backend: Optional[str] = None,
+               atpg_seed: Optional[int] = None) -> List[CorpusOutcome]:
     """Run (or refresh) the corpus; one outcome per entry, sorted by name.
 
     ``jobs``/``shard_backend``/``kernel`` configure fault-population
@@ -187,8 +191,13 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
     so both settings must reproduce every capture byte-for-byte.
     ``store`` attaches a durable artifact store (:mod:`repro.store`) to
     the run's session — warm artifacts replay across corpus runs, and
-    the captures must still not move a byte.
+    the captures must still not move a byte.  ``atpg_backend`` /
+    ``atpg_seed`` select the ATPG portfolio backend
+    (:mod:`repro.atpg.portfolio`) — classification verdicts are
+    backend- and seed-independent by contract, so these must not move a
+    byte either.
     """
+    from repro.api.options import RunOptions
     from repro.api.session import Session
 
     entries = load_corpus(directory)
@@ -214,11 +223,10 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                 f"no corpus entries use fault model {wanted_model!r}{detail}")
 
     if session is None:
-        session = Session(jobs=jobs, shard_backend=shard_backend,
-                          kernel=kernel,
-                          static_prune=static_prune,
-                          static_learning=static_prune,
-                          store=store)
+        session = Session(options=RunOptions(
+            jobs=jobs, shard_backend=shard_backend, kernel=kernel,
+            static_prune=static_prune, static_learning=static_prune,
+            store=store, atpg_backend=atpg_backend, atpg_seed=atpg_seed))
 
     outcomes: List[CorpusOutcome] = []
     for entry in entries:

@@ -33,10 +33,11 @@ from repro.faults.models import resolve_fault_model
 from repro.soc.config import SoCConfig, axis_value_label, expand_axes
 
 #: The axes expanded at run level rather than into the SoC configuration:
-#: the ATPG effort, the fault model, the static-prune knob and the
-#: simulation kernel select *how* a scenario is analyzed without changing
-#: the generated SoC.
-RUN_AXES = ("effort", "fault_model", "static_prune", "kernel")
+#: the ATPG effort, the fault model, the static-prune knob, the simulation
+#: kernel and the ATPG portfolio backend select *how* a scenario is
+#: analyzed without changing the generated SoC.
+RUN_AXES = ("effort", "fault_model", "static_prune", "kernel",
+            "atpg_backend")
 
 
 def _resolve_flag(name: str, value: object) -> bool:
@@ -83,6 +84,10 @@ class Scenario:
     #: Simulation kernel ("auto"/"int"/"numpy"); None keeps the
     #: session/flow default.  Appended last for the same reason.
     kernel: Optional[str] = None
+    #: ATPG portfolio backend registry name ("podem", "podem-restart",
+    #: "dalg"); None keeps the session/flow default.  Appended last for
+    #: the same reason.
+    atpg_backend: Optional[str] = None
 
     def build_design(self):
         from repro.api.design import Design
@@ -127,6 +132,9 @@ class ScenarioGrid:
         elif name == "kernel":
             from repro.simulation.kernels import normalize_kernel
             values = [normalize_kernel(v) for v in values]
+        elif name == "atpg_backend":
+            from repro.atpg.portfolio import resolve_atpg_backend
+            values = [resolve_atpg_backend(v).name for v in values]
         else:
             # Validate config axes eagerly — a typo should fail at grid
             # construction, not halfway through a long sweep.
@@ -163,6 +171,8 @@ class ScenarioGrid:
             self._axes.get("static_prune") or [None])
         kernels: Sequence[Optional[str]] = (
             self._axes.get("kernel") or [None])
+        atpg_backends: Sequence[Optional[str]] = (
+            self._axes.get("atpg_backend") or [None])
 
         points: List[Scenario] = []
         for config_label, config in expand_axes(self.base, config_axes):
@@ -170,27 +180,34 @@ class ScenarioGrid:
                 for fault_model in fault_models:
                     for static_prune in static_prunes:
                         for kernel in kernels:
-                            parts = [part for part in (config_label,) if part]
-                            if effort is not None:
-                                parts.append(
-                                    f"effort={axis_value_label(effort)}")
-                            if fault_model is not None:
-                                parts.append(f"fault_model={fault_model}")
-                            if static_prune is not None:
-                                parts.append(
-                                    f"static_prune={int(static_prune)}")
-                            if kernel is not None:
-                                parts.append(f"kernel={kernel}")
-                            label = (f"{self.base_name}" if not parts
-                                     else
-                                     f"{self.base_name}[{','.join(parts)}]")
-                            points.append(
-                                Scenario(label=label, config=config,
-                                         effort=effort,
-                                         fault_model=fault_model,
-                                         static_prune=static_prune,
-                                         kernel=kernel,
-                                         index=len(points)))
+                            for atpg_backend in atpg_backends:
+                                parts = [part for part in (config_label,)
+                                         if part]
+                                if effort is not None:
+                                    parts.append(
+                                        f"effort={axis_value_label(effort)}")
+                                if fault_model is not None:
+                                    parts.append(
+                                        f"fault_model={fault_model}")
+                                if static_prune is not None:
+                                    parts.append(
+                                        f"static_prune={int(static_prune)}")
+                                if kernel is not None:
+                                    parts.append(f"kernel={kernel}")
+                                if atpg_backend is not None:
+                                    parts.append(
+                                        f"atpg_backend={atpg_backend}")
+                                label = (f"{self.base_name}" if not parts
+                                         else f"{self.base_name}"
+                                              f"[{','.join(parts)}]")
+                                points.append(
+                                    Scenario(label=label, config=config,
+                                             effort=effort,
+                                             fault_model=fault_model,
+                                             static_prune=static_prune,
+                                             kernel=kernel,
+                                             atpg_backend=atpg_backend,
+                                             index=len(points)))
         return points
 
     def __repr__(self) -> str:

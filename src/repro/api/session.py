@@ -23,15 +23,16 @@ from dataclasses import dataclass, replace as _replace
 from typing import (Callable, Dict, Iterable, Iterator, List, Optional,
                     Sequence, Tuple, Union)
 
-from repro.atpg.engine import AtpgEffort, resolve_effort
+from repro.atpg.engine import AtpgEffort
 from repro.core.results import FlowConfig, OnlineUntestableReport
-from repro.faults.models import FaultModel, resolve_fault_model
+from repro.faults.models import FaultModel
 from repro.api.design import Design
 from repro.api.executors import Executor, resolve_executor
 from repro.api.grid import Scenario, ScenarioGrid
+from repro.api.options import (RunOptions, fold_legacy_kwargs,
+                               resolve_effort)
 from repro.api.sweep import SweepReport, SweepResult
 from repro.pipeline import (ArtifactCache, Pipeline, default_pass_names)
-from repro.simulation.kernels import normalize_kernel
 
 #: Default LRU bound of a session's artifact cache — large enough for every
 #: pass of a few hundred scenarios, small enough to bound long sweeps.
@@ -47,16 +48,13 @@ class _ProcessJob:
     flow_config: Optional[FlowConfig]
     effort: Optional[AtpgEffort]
     parallel_passes: Union[bool, int]
-    #: Simulation-kernel spec ("auto"/"int"/"numpy") — a plain string, so
-    #: it crosses the process boundary untouched; the worker session
-    #: resolves it to a kernel object locally (the worker environment may
-    #: lack numpy even when the parent has it, and vice versa).
-    kernel: Optional[str] = None
-    #: Durable artifact-store spec (a path / "backend:location" string).
-    #: Workers cannot share the parent's in-memory LRU, but they *can*
-    #: share the on-disk store — so a process-backend sweep still reuses
-    #: warm artifacts across scenarios and with every earlier run.
-    store: Optional[str] = None
+    #: The parent session's run options reduced to one picklable bundle
+    #: (:meth:`RunOptions.with_store_spec`): the kernel spec crosses as a
+    #: plain string the worker resolves locally, and the durable store
+    #: crosses as its location — workers cannot share the parent's
+    #: in-memory LRU, but they *can* share the on-disk store, so a
+    #: process-backend sweep still reuses warm artifacts.
+    options: Optional[RunOptions] = None
 
 
 def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
@@ -67,18 +65,24 @@ def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
     travels back as its serializable core (detail objects stay behind).
     """
     started = time.perf_counter()
+    opts = job.options or RunOptions()
     # Fresh, unshared worker session — but attached to the shared durable
     # store when the parent session has one.
-    session = Session(cache_entries=None, store=job.store)
+    session = Session(cache_entries=None,
+                      options=RunOptions(store=opts.store))
     design = job.scenario.build_design()
     report = session.analyze(design,
                              passes=list(job.passes) if job.passes else None,
-                             effort=job.scenario.effort or job.effort,
                              parallel=job.parallel_passes,
                              config=job.flow_config,
-                             fault_model=job.scenario.fault_model,
-                             static_prune=job.scenario.static_prune,
-                             kernel=job.scenario.kernel or job.kernel)
+                             options=RunOptions(
+                                 effort=job.scenario.effort or job.effort,
+                                 fault_model=job.scenario.fault_model,
+                                 static_prune=job.scenario.static_prune,
+                                 kernel=job.scenario.kernel or opts.kernel,
+                                 atpg_backend=(job.scenario.atpg_backend
+                                               or opts.atpg_backend),
+                                 atpg_seed=opts.atpg_seed))
     return {
         "label": job.scenario.label,
         "signature": design.signature,
@@ -98,6 +102,7 @@ class Session:
                  max_workers: Optional[int] = None,
                  cache: Optional[ArtifactCache] = None,
                  cache_entries: Optional[int] = DEFAULT_CACHE_ENTRIES,
+                 options: Optional[RunOptions] = None,
                  store=None,
                  passes: Optional[Sequence] = None,
                  effort: Union[AtpgEffort, str, None] = None,
@@ -109,10 +114,22 @@ class Session:
                  fault_model: Union[str, FaultModel, None] = None,
                  static_prune: Optional[bool] = None,
                  static_learning: Optional[bool] = None) -> None:
+        #: The session-default run knobs as one normalized bundle.  The
+        #: scattered keywords (``store``, ``effort``, ``jobs``, ...) are a
+        #: deprecated spelling of the same thing: they warn once per
+        #: process and fold into ``options`` (an explicit ``options=``
+        #: field wins over its legacy twin).
+        self.options = fold_legacy_kwargs(
+            "Session", options,
+            store=store, effort=effort, jobs=jobs,
+            shard_backend=shard_backend, kernel=kernel,
+            fault_model=fault_model, static_prune=static_prune,
+            static_learning=static_learning)
         self.executor = resolve_executor(executor, max_workers)
         self.max_workers = max_workers
         if cache is not None:
-            if store is not None and cache.store is not store:
+            if self.options.store is not None and (
+                    cache.store is not self.options.store):
                 raise ValueError(
                     "pass either an explicit cache or a store spec, not "
                     "both (attach the store when building the cache: "
@@ -123,29 +140,50 @@ class Session:
             #: "backend:location" spec, or ArtifactStore instance) under
             #: which pass results persist across processes and machines —
             #: see :mod:`repro.store`.
-            self.cache = ArtifactCache(max_entries=cache_entries, store=store)
+            self.cache = ArtifactCache(max_entries=cache_entries,
+                                       store=self.options.store)
         self.passes = list(passes) if passes is not None else None
-        self.effort = resolve_effort(effort)
         self.flow_config = flow_config
         self.parallel_passes = parallel_passes
-        #: Fault-population sharding defaults (repro.simulation.sharded):
-        #: worker count and backend the classification engines use.  The
-        #: results are knob-independent, so sharded and serial analyses
-        #: share cache entries.
-        self.jobs = jobs
-        self.shard_backend = shard_backend
-        #: Default simulation kernel ("auto"/"int"/"numpy"); like the
-        #: sharding knobs it never changes a verdict, only speed.
-        self.kernel = (normalize_kernel(kernel) if kernel is not None
-                       else None)
-        #: Default fault model applied when a call / scenario does not pick
-        #: one (None keeps the FlowConfig default, i.e. stuck-at).
-        self.fault_model = (resolve_fault_model(fault_model).name
-                            if fault_model is not None else None)
-        #: Session defaults for the static-analysis knobs (None keeps the
-        #: FlowConfig defaults — both on at FULL effort).
-        self.static_prune = static_prune
-        self.static_learning = static_learning
+
+    # Back-compat views of the options bundle: pre-redesign code read the
+    # knobs as plain session attributes (``session.jobs`` etc.), so each
+    # stays readable — they are one bundle field now.
+    @property
+    def effort(self) -> Optional[AtpgEffort]:
+        return self.options.effort
+
+    @property
+    def jobs(self) -> Optional[int]:
+        return self.options.jobs
+
+    @property
+    def shard_backend(self) -> Optional[str]:
+        return self.options.shard_backend
+
+    @property
+    def kernel(self) -> Optional[str]:
+        return self.options.kernel
+
+    @property
+    def fault_model(self) -> Optional[str]:
+        return self.options.fault_model
+
+    @property
+    def static_prune(self) -> Optional[bool]:
+        return self.options.static_prune
+
+    @property
+    def static_learning(self) -> Optional[bool]:
+        return self.options.static_learning
+
+    @property
+    def atpg_backend(self) -> Optional[str]:
+        return self.options.atpg_backend
+
+    @property
+    def atpg_seed(self) -> Optional[int]:
+        return self.options.atpg_seed
 
     # ------------------------------------------------------------------ #
     # single-design analysis
@@ -162,6 +200,7 @@ class Session:
                 config: Optional[FlowConfig] = None,
                 memory_map=None,
                 faults: Optional[Iterable] = None,
+                options: Optional[RunOptions] = None,
                 jobs: Optional[int] = None,
                 kernel: Optional[str] = None,
                 fault_model: Union[str, FaultModel, None] = None,
@@ -170,17 +209,28 @@ class Session:
                 ) -> OnlineUntestableReport:
         """Analyze one design, applying session defaults where not overridden.
 
-        ``target`` is anything :meth:`design` accepts.  Results are memoised
-        per pass in the session cache, so re-analyzing the same design (or a
-        structural clone, or a variant that only changes facets a pass does
-        not read) replays instead of recomputing.  ``jobs`` > 1 shards the
-        fault population across workers (identical results, see
+        ``target`` is anything :meth:`design` accepts.  Per-call knobs
+        travel in ``options`` (a :class:`RunOptions`); the scattered
+        keywords (``effort``, ``jobs``, ...) are the deprecated spelling
+        and fold into it.  Results are memoised per pass in the session
+        cache, so re-analyzing the same design (or a structural clone, or
+        a variant that only changes facets a pass does not read) replays
+        instead of recomputing.  ``jobs`` > 1 shards the fault population
+        across workers (identical results, see
         :mod:`repro.simulation.sharded`).
         """
+        call = fold_legacy_kwargs(
+            "Session.analyze", options,
+            effort=effort, jobs=jobs, kernel=kernel,
+            fault_model=fault_model, static_prune=static_prune,
+            static_learning=static_learning)
+        if call.store is not None:
+            raise ValueError(
+                "store is a session-level knob: build the session with "
+                "Session(options=RunOptions(store=...)) instead of "
+                "passing it per analyze() call")
         design = self.design(target, memory_map=memory_map)
-        flow_config = self._effective_flow_config(config, effort, jobs,
-                                                  fault_model, static_prune,
-                                                  static_learning, kernel)
+        flow_config = self._effective_flow_config(config, call)
         pipeline = self._pipeline(passes, flow_config, parallel)
         result = pipeline.run(design.netlist, config=flow_config,
                               memory_map=design.memory_map, faults=faults)
@@ -313,64 +363,72 @@ class Session:
                 for i, s in enumerate(scenarios)]
 
     def _effective_flow_config(self, config: Optional[FlowConfig],
-                               effort,
-                               jobs: Optional[int] = None,
-                               fault_model=None,
-                               static_prune: Optional[bool] = None,
-                               static_learning: Optional[bool] = None,
-                               kernel: Optional[str] = None
+                               call: Optional[RunOptions] = None
                                ) -> FlowConfig:
+        call = call if call is not None else RunOptions()
         flow_config = config if config is not None else self.flow_config
         flow_config = flow_config if flow_config is not None else FlowConfig()
-        resolved = resolve_effort(effort, self.effort if config is None
+        resolved = resolve_effort(call.effort, self.effort if config is None
                                   else None)
         if resolved is not None:
             flow_config = _replace(flow_config, effort=resolved)
-        if jobs is not None:
+        if call.jobs is not None:
             # Explicit per-call jobs wins over both the session default
             # and whatever the flow config carries (so jobs=1 can force a
             # serial run of a sharded config).
-            flow_config = _replace(flow_config, jobs=jobs)
+            flow_config = _replace(flow_config, jobs=call.jobs)
         elif self.jobs is not None and flow_config.jobs == 1:
             flow_config = _replace(flow_config, jobs=self.jobs)
-        if (self.shard_backend is not None
+        # Shard backend / simulation kernel: explicit per-call wins, the
+        # session default fills in only when the config carries none
+        # (runtime knobs, never cache facets).
+        if call.shard_backend is not None:
+            flow_config = _replace(flow_config,
+                                   shard_backend=call.shard_backend)
+        elif (self.shard_backend is not None
                 and flow_config.shard_backend is None):
             flow_config = _replace(flow_config,
                                    shard_backend=self.shard_backend)
-        # Simulation kernel: explicit per-call wins, the session default
-        # fills in only when the config carries none (same rule as the
-        # shard backend — a runtime knob, never a cache facet).
-        if kernel is not None:
-            flow_config = _replace(flow_config,
-                                   kernel=normalize_kernel(kernel))
+        if call.kernel is not None:
+            flow_config = _replace(flow_config, kernel=call.kernel)
         elif (self.kernel is not None
                 and getattr(flow_config, "kernel", None) is None):
             flow_config = _replace(flow_config, kernel=self.kernel)
-        if fault_model is not None:
+        if call.fault_model is not None:
             # Explicit per-call model wins over the session default and the
             # flow config.
-            flow_config = _replace(
-                flow_config,
-                fault_model=resolve_fault_model(fault_model).name)
+            flow_config = _replace(flow_config,
+                                   fault_model=call.fault_model)
         elif self.fault_model is not None and config is None:
             # Like the effort default: the session model applies only when
             # no explicit config was handed in — FlowConfig(fault_model=
             # "stuck_at") passed by the caller must stay stuck-at.
             flow_config = _replace(flow_config, fault_model=self.fault_model)
-        # Static-analysis knobs: explicit per-call wins; the session default
-        # applies only when no explicit config was handed in (same rule as
-        # the fault model above).
-        if static_prune is not None:
-            flow_config = _replace(flow_config, static_prune=static_prune)
+        # Static-analysis and ATPG-portfolio knobs: explicit per-call wins;
+        # the session default applies only when no explicit config was
+        # handed in (same rule as the fault model above).
+        if call.static_prune is not None:
+            flow_config = _replace(flow_config,
+                                   static_prune=call.static_prune)
         elif self.static_prune is not None and config is None:
             flow_config = _replace(flow_config,
                                    static_prune=self.static_prune)
-        if static_learning is not None:
+        if call.static_learning is not None:
             flow_config = _replace(flow_config,
-                                   static_learning=static_learning)
+                                   static_learning=call.static_learning)
         elif self.static_learning is not None and config is None:
             flow_config = _replace(flow_config,
                                    static_learning=self.static_learning)
+        if call.atpg_backend is not None:
+            flow_config = _replace(flow_config,
+                                   atpg_backend=call.atpg_backend)
+        elif self.atpg_backend is not None and config is None:
+            flow_config = _replace(flow_config,
+                                   atpg_backend=self.atpg_backend)
+        if call.atpg_seed is not None:
+            flow_config = _replace(flow_config, atpg_seed=call.atpg_seed)
+        elif self.atpg_seed is not None and config is None:
+            flow_config = _replace(flow_config, atpg_seed=self.atpg_seed)
         return flow_config
 
     def _pipeline(self, passes: Optional[Sequence],
@@ -392,12 +450,13 @@ class Session:
                       effort_default: Optional[AtpgEffort]) -> SweepResult:
         started = time.perf_counter()
         design = scenario.build_design()
-        report = self.analyze(design, passes=passes,
-                              effort=scenario.effort or effort_default,
-                              config=config,
-                              fault_model=scenario.fault_model,
-                              static_prune=scenario.static_prune,
-                              kernel=scenario.kernel)
+        report = self.analyze(design, passes=passes, config=config,
+                              options=RunOptions(
+                                  effort=scenario.effort or effort_default,
+                                  fault_model=scenario.fault_model,
+                                  static_prune=scenario.static_prune,
+                                  kernel=scenario.kernel,
+                                  atpg_backend=scenario.atpg_backend))
         return SweepResult(
             index=scenario.index, label=scenario.label,
             design_signature=design.signature,
@@ -430,22 +489,22 @@ class Session:
         # Ship the *effective* flow config so session-level defaults —
         # including the fault-population sharding knobs — survive the
         # process boundary (worker sessions are built bare).
-        flow_config = (self._effective_flow_config(config, None)
-                       if (self.jobs is not None
-                           or self.shard_backend is not None
-                           or self.kernel is not None
-                           or self.fault_model is not None
-                           or self.static_prune is not None
-                           or self.static_learning is not None
+        defaults_set = any(
+            getattr(self.options, name) is not None
+            for name in ("jobs", "shard_backend", "kernel", "fault_model",
+                         "static_prune", "static_learning", "atpg_backend",
+                         "atpg_seed"))
+        flow_config = (self._effective_flow_config(config)
+                       if (defaults_set
                            or config is not None
                            or self.flow_config is not None)
                        else None)
+        options = _replace(self.options, store=self._store_spec())
         return _ProcessJob(scenario=scenario, passes=names,
                            flow_config=flow_config,
                            effort=effort_default,
                            parallel_passes=self.parallel_passes,
-                           store=self._store_spec(),
-                           kernel=self.kernel)
+                           options=options)
 
     def __repr__(self) -> str:
         return (f"Session(executor={self.executor.name!r}, "

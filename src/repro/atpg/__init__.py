@@ -15,9 +15,20 @@ from repro.atpg.implication import (
     sequential_implied_constants,
 )
 from repro.atpg.podem import Podem, PodemResult, PodemStatus
+from repro.atpg.dalg import DAlg
 from repro.atpg.tie_analysis import TieAnalysis, TieAnalysisResult
 from repro.atpg.random_patterns import random_pattern_detection
 from repro.atpg.engine import AtpgEffort, StructuralUntestabilityEngine, UntestabilityReport
+from repro.atpg.portfolio import (
+    ATPG_BACKENDS,
+    AtpgBackend,
+    DEFAULT_ATPG_BACKEND,
+    RestartPodem,
+    atpg_backend_names,
+    compact_patterns,
+    register_atpg_backend,
+    resolve_atpg_backend,
+)
 
 __all__ = [
     "DValue",
@@ -32,10 +43,19 @@ __all__ = [
     "Podem",
     "PodemResult",
     "PodemStatus",
+    "DAlg",
+    "RestartPodem",
     "TieAnalysis",
     "TieAnalysisResult",
     "random_pattern_detection",
     "AtpgEffort",
     "StructuralUntestabilityEngine",
     "UntestabilityReport",
+    "ATPG_BACKENDS",
+    "AtpgBackend",
+    "DEFAULT_ATPG_BACKEND",
+    "atpg_backend_names",
+    "compact_patterns",
+    "register_atpg_backend",
+    "resolve_atpg_backend",
 ]

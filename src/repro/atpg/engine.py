@@ -20,7 +20,7 @@ from enum import Enum
 from typing import Dict, Iterable, List, Optional
 
 from repro.atpg.implication import ImplicationEngine
-from repro.atpg.podem import Podem, PodemStatus
+from repro.atpg.podem import PodemStatus
 from repro.atpg.random_patterns import random_pattern_detection
 from repro.atpg.tie_analysis import TieAnalysis
 from repro.faults.categories import FaultClass
@@ -39,24 +39,18 @@ class AtpgEffort(str, Enum):
 
 def resolve_effort(effort: object,
                    default: Optional[AtpgEffort] = None) -> Optional[AtpgEffort]:
-    """Coerce an effort spec (enum member, string or None) to an enum member.
+    """Coerce an effort spec to an enum member.
 
-    The single effort parser shared by :func:`repro.analyze`, the
-    :class:`repro.api.Session` defaults, the scenario-grid expansion and the
-    CLI.  ``None`` resolves to ``default``; strings are matched
-    case-insensitively against the enum values.
+    .. deprecated::
+        The implementation moved to :func:`repro.api.options.resolve_effort`
+        (the parser is consumed by the API layer, not by the engine); this
+        delegating re-export keeps every ``from repro.atpg.engine import
+        resolve_effort`` caller working.  The import is deferred because
+        ``repro.api`` initializes through this module.
     """
-    if effort is None:
-        return default
-    if isinstance(effort, AtpgEffort):
-        return effort
-    try:
-        return AtpgEffort(str(effort).strip().lower())
-    except ValueError:
-        names = ", ".join(e.value for e in AtpgEffort)
-        raise ValueError(
-            f"unknown ATPG effort {effort!r}; expected one of: {names}"
-        ) from None
+    from repro.api.options import resolve_effort as _resolve_effort
+
+    return _resolve_effort(effort, default)
 
 
 @dataclass
@@ -70,6 +64,14 @@ class UntestabilityReport:
     #: Search statistics: faults proven statically (total and per proof
     #: category), PODEM invocations, backtracks, learned-implication skips.
     stats: Dict[str, int] = field(default_factory=dict)
+    #: Compacted test patterns (FULL effort only): each entry carries the
+    #: cube(s), the faults it is credited with and its detection count, in
+    #: steepest-coverage-first order.  See
+    #: :func:`repro.atpg.portfolio.compact_patterns`.
+    patterns: List[Dict[str, object]] = field(default_factory=list)
+    #: The dynamic-compaction trace (generated / kept / merged / dropped
+    #: counts plus capped per-pattern events).
+    compaction: Dict[str, object] = field(default_factory=dict)
 
     def with_class(self, *classes: FaultClass) -> List[Fault]:
         wanted = set(classes)
@@ -97,27 +99,37 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
                          seed: int = 2013,
                          static_prune: bool = True,
                          static_learning: bool = True,
-                         kernel: Optional[str] = None):
-    """Phases 2-3 of the engine: random-pattern detection, then PODEM.
+                         kernel: Optional[str] = None,
+                         atpg_backend: Optional[str] = None,
+                         atpg_seed: Optional[int] = None):
+    """Phases 2-3 of the engine: random-pattern detection, then ATPG.
 
     Operates on faults the tied-value analysis left unclassified.  Every
     verdict is per-fault (the random phase replays one seeded pattern
-    burst, PODEM searches per fault), so the result is independent of how
-    the fault list is batched — which is what lets the sharded classifier
-    (:func:`repro.simulation.sharded.sharded_classify`) run the tie
-    fixpoint once and farm only these phases out to workers.
+    burst, the ATPG backend searches per fault), so the result is
+    independent of how the fault list is batched — which is what lets the
+    sharded classifier (:func:`repro.simulation.sharded.sharded_classify`)
+    run the tie fixpoint once and farm only these phases out to workers.
 
     At FULL effort the static-analysis layer (:mod:`repro.analysis`) joins
     in: with ``static_prune`` the prover classifies faults UU *before* any
-    PODEM call; with ``static_learning`` the remaining searches consult the
+    search; with ``static_learning`` the remaining searches consult the
     learned implications and SCOAP guidance.  Both default on; turning both
     off reproduces the plain search bit-for-bit (the oracle path).
 
-    Returns ``(classifications, phase_runtimes, stats)``.
+    ``atpg_backend`` selects the portfolio strategy for the search phase
+    (:mod:`repro.atpg.portfolio`; ``None`` is the classic ``podem``) and
+    ``atpg_seed`` overrides the seed its randomized members derive their
+    per-fault streams from (``None`` reuses ``seed``).
+
+    Returns ``(classifications, phase_runtimes, stats, patterns)`` where
+    ``patterns`` is the canonical-order list of ``(fault, pattern,
+    init_pattern)`` triples for the faults the search detected.
     """
     classifications: Dict[Fault, FaultClass] = {}
     phase_runtimes: Dict[str, float] = {}
     stats: Dict[str, int] = {}
+    patterns: List[tuple] = []
     remaining = list(faults)
 
     if effort in (AtpgEffort.RANDOM, AtpgEffort.FULL) and remaining:
@@ -155,14 +167,20 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
             phase_runtimes["static_prune"] = time.perf_counter() - phase_start
 
         phase_start = time.perf_counter()
-        podem = Podem(netlist, backtrack_limit=backtrack_limit,
-                      static=static if static_learning else None)
+        from repro.atpg.portfolio import resolve_atpg_backend
+
+        backend = resolve_atpg_backend(atpg_backend)
+        run = backend.start(
+            netlist, backtrack_limit=backtrack_limit,
+            static=static if static_learning else None,
+            seed=seed if atpg_seed is None else atpg_seed)
         backtracks = 0
         for fault in remaining:
-            result = podem.generate(fault)
+            result = run.generate(fault)
             backtracks += result.backtracks
             if result.status is PodemStatus.DETECTED:
                 classifications[fault] = FaultClass.DT
+                patterns.append((fault, result.pattern, result.init_pattern))
             elif result.status is PodemStatus.UNTESTABLE:
                 classifications[fault] = FaultClass.UU
             else:
@@ -173,9 +191,64 @@ def run_detection_phases(netlist: Netlist, faults: List[Fault],
                                      + backtracks)
         if static is not None and static_learning:
             stats["learned_skips"] = (stats.get("learned_skips", 0)
-                                      + podem.learned_skips)
+                                      + run.learned_skips)
 
-    return classifications, phase_runtimes, stats
+    return classifications, phase_runtimes, stats, patterns
+
+
+def run_escalation_phase(netlist: Netlist, faults: List[Fault], *,
+                         backtrack_limit: int = 200,
+                         seed: int = 2013,
+                         static_learning: bool = True,
+                         atpg_backend: Optional[str] = None,
+                         atpg_seed: Optional[int] = None):
+    """Re-attack aborted (AU) faults with the backend's escalation tier.
+
+    A no-op for backends without one (``escalates`` false).  Like the
+    primary phases every verdict is per-fault, so the serial engine and the
+    sharded classifier — which runs this over the *merged* abort frontier
+    in a second fan-out round — produce identical improvements.
+
+    Returns ``(improvements, patterns, phase_runtimes, stats)`` where
+    ``improvements`` maps escalated faults to their new class (DT or UU)
+    and ``patterns`` carries the ``(fault, pattern, init_pattern)`` triples
+    of newly detected faults.
+    """
+    from repro.atpg.portfolio import resolve_atpg_backend
+
+    improvements: Dict[Fault, FaultClass] = {}
+    patterns: List[tuple] = []
+    phase_runtimes: Dict[str, float] = {}
+    stats: Dict[str, int] = {}
+    backend = resolve_atpg_backend(atpg_backend)
+    if not backend.escalates or not faults:
+        return improvements, patterns, phase_runtimes, stats
+
+    phase_start = time.perf_counter()
+    static = None
+    if static_learning:
+        from repro.analysis import get_static_analysis
+
+        static = get_static_analysis(netlist)
+    run = backend.start(netlist, backtrack_limit=backtrack_limit,
+                        static=static,
+                        seed=seed if atpg_seed is None else atpg_seed)
+    for fault in faults:
+        result = run.escalate(fault)
+        if result is None:
+            continue
+        if result.status is PodemStatus.DETECTED:
+            improvements[fault] = FaultClass.DT
+            patterns.append((fault, result.pattern, result.init_pattern))
+            stats["escalation_detected"] = (
+                stats.get("escalation_detected", 0) + 1)
+        elif result.status is PodemStatus.UNTESTABLE:
+            improvements[fault] = FaultClass.UU
+            stats["escalation_proved_uu"] = (
+                stats.get("escalation_proved_uu", 0) + 1)
+    stats["escalated"] = len(faults)
+    phase_runtimes["escalation"] = time.perf_counter() - phase_start
+    return improvements, patterns, phase_runtimes, stats
 
 
 class StructuralUntestabilityEngine:
@@ -199,7 +272,9 @@ class StructuralUntestabilityEngine:
                  shards: Optional[int] = None,
                  static_prune: bool = True,
                  static_learning: bool = True,
-                 kernel: Optional[str] = None) -> None:
+                 kernel: Optional[str] = None,
+                 atpg_backend: Optional[str] = None,
+                 atpg_seed: Optional[int] = None) -> None:
         self.netlist = netlist
         self.effort = effort
         self.random_patterns = random_patterns
@@ -211,6 +286,8 @@ class StructuralUntestabilityEngine:
         self.static_prune = static_prune
         self.static_learning = static_learning
         self.kernel = kernel
+        self.atpg_backend = atpg_backend
+        self.atpg_seed = atpg_seed
         self.implication = ImplicationEngine(netlist)
 
     def classify(self, faults: Iterable[Fault]) -> UntestabilityReport:
@@ -227,7 +304,8 @@ class StructuralUntestabilityEngine:
                 backtrack_limit=self.backtrack_limit, seed=self.seed,
                 static_prune=self.static_prune,
                 static_learning=self.static_learning,
-                kernel=self.kernel)
+                kernel=self.kernel,
+                atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
         report = UntestabilityReport(effort=self.effort)
         start = time.perf_counter()
 
@@ -239,16 +317,44 @@ class StructuralUntestabilityEngine:
         report.phase_runtimes["tie"] = time.perf_counter() - phase_start
 
         remaining = [f for f in fault_list if f not in report.classifications]
-        classifications, phase_runtimes, stats = run_detection_phases(
+        classifications, phase_runtimes, stats, patterns = run_detection_phases(
             self.netlist, remaining, self.effort,
             random_patterns=self.random_patterns,
             backtrack_limit=self.backtrack_limit, seed=self.seed,
             static_prune=self.static_prune,
             static_learning=self.static_learning,
-            kernel=self.kernel)
+            kernel=self.kernel,
+            atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
         report.classifications.update(classifications)
         report.phase_runtimes.update(phase_runtimes)
         report.stats.update(stats)
+
+        if self.effort is AtpgEffort.FULL:
+            frontier = [f for f in remaining
+                        if report.classifications.get(f) is FaultClass.AU]
+            improvements, esc_patterns, esc_runtimes, esc_stats = \
+                run_escalation_phase(
+                    self.netlist, frontier,
+                    backtrack_limit=self.backtrack_limit, seed=self.seed,
+                    static_learning=self.static_learning,
+                    atpg_backend=self.atpg_backend,
+                    atpg_seed=self.atpg_seed)
+            report.classifications.update(improvements)
+            report.phase_runtimes.update(esc_runtimes)
+            for key, value in esc_stats.items():
+                report.stats[key] = report.stats.get(key, 0) + value
+            patterns = patterns + esc_patterns
+
+        if self.effort is AtpgEffort.FULL and patterns:
+            from repro.atpg.portfolio import compact_patterns
+
+            phase_start = time.perf_counter()
+            order = {fault: i for i, fault in enumerate(remaining)}
+            patterns.sort(key=lambda entry: order[entry[0]])
+            report.patterns, report.compaction = compact_patterns(
+                self.netlist, patterns, kernel=self.kernel)
+            report.phase_runtimes["compaction"] = (time.perf_counter()
+                                                   - phase_start)
 
         report.runtime_seconds = time.perf_counter() - start
         return report

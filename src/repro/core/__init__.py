@@ -14,32 +14,50 @@ The flow mirrors §3 of the paper:
    (§3.3);
 5. :mod:`repro.core.flow` — orchestrate the above and produce the Table-I
    style summary.
+
+Exports are resolved lazily (PEP 562): :mod:`repro.core.registry` is the
+dependency-free substrate every pluggable layer (fault models, simulation
+kernels, store backends, ATPG backends) imports at definition time, so this
+package must be importable without dragging in the flow modules — which
+themselves import those layers.
 """
 
-from repro.core.classification import FaultUniverse, build_fault_universe
-from repro.core.scan_analysis import ScanAnalysisResult, identify_scan_untestable
-from repro.core.debug_control import DebugControlResult, identify_debug_control_untestable
-from repro.core.debug_observe import DebugObserveResult, identify_debug_observe_untestable
-from repro.core.memory_analysis import MemoryMapResult, identify_memory_map_untestable
-from repro.core.flow import FlowConfig, OnlineUntestableFlow, OnlineUntestableReport
-from repro.core.results import SourceSummary
-from repro.core.report import render_summary_table, render_source_details
+import importlib
 
-__all__ = [
-    "SourceSummary",
-    "FaultUniverse",
-    "build_fault_universe",
-    "ScanAnalysisResult",
-    "identify_scan_untestable",
-    "DebugControlResult",
-    "identify_debug_control_untestable",
-    "DebugObserveResult",
-    "identify_debug_observe_untestable",
-    "MemoryMapResult",
-    "identify_memory_map_untestable",
-    "FlowConfig",
-    "OnlineUntestableFlow",
-    "OnlineUntestableReport",
-    "render_summary_table",
-    "render_source_details",
-]
+#: Public name -> defining module, imported on first attribute access.
+_EXPORTS = {
+    "FaultUniverse": "repro.core.classification",
+    "build_fault_universe": "repro.core.classification",
+    "ScanAnalysisResult": "repro.core.scan_analysis",
+    "identify_scan_untestable": "repro.core.scan_analysis",
+    "DebugControlResult": "repro.core.debug_control",
+    "identify_debug_control_untestable": "repro.core.debug_control",
+    "DebugObserveResult": "repro.core.debug_observe",
+    "identify_debug_observe_untestable": "repro.core.debug_observe",
+    "MemoryMapResult": "repro.core.memory_analysis",
+    "identify_memory_map_untestable": "repro.core.memory_analysis",
+    "FlowConfig": "repro.core.flow",
+    "OnlineUntestableFlow": "repro.core.flow",
+    "OnlineUntestableReport": "repro.core.flow",
+    "SourceSummary": "repro.core.results",
+    "render_summary_table": "repro.core.report",
+    "render_source_details": "repro.core.report",
+    "Registry": "repro.core.registry",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name):
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -57,7 +57,9 @@ def compute_baseline_untestable(netlist: Netlist,
                                 backend: Optional[str] = None,
                                 static_prune: bool = True,
                                 static_learning: bool = True,
-                                kernel: Optional[str] = None
+                                kernel: Optional[str] = None,
+                                atpg_backend: Optional[str] = None,
+                                atpg_seed: Optional[int] = None
                                 ) -> Set[StuckAtFault]:
     """Faults untestable in the unmanipulated netlist (structural baseline)."""
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
@@ -65,7 +67,9 @@ def compute_baseline_untestable(netlist: Netlist,
                                            backend=backend,
                                            static_prune=static_prune,
                                            static_learning=static_learning,
-                                           kernel=kernel)
+                                           kernel=kernel,
+                                           atpg_backend=atpg_backend,
+                                           atpg_seed=atpg_seed)
     report = engine.classify(fault_universe)
     return set(report.untestable)
 
@@ -79,7 +83,9 @@ def identify_debug_control_untestable(netlist: Netlist,
                                       backend: Optional[str] = None,
                                       static_prune: bool = True,
                                       static_learning: bool = True,
-                                      kernel: Optional[str] = None
+                                      kernel: Optional[str] = None,
+                                      atpg_backend: Optional[str] = None,
+                                      atpg_seed: Optional[int] = None
                                       ) -> DebugControlResult:
     """Identify the on-line untestable faults caused by mission-constant
     debug control inputs."""
@@ -92,7 +98,7 @@ def identify_debug_control_untestable(netlist: Netlist,
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
             static_prune=static_prune, static_learning=static_learning,
-            kernel=kernel)
+            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_tied")
     tied: Dict[str, int] = {}
@@ -105,7 +111,9 @@ def identify_debug_control_untestable(netlist: Netlist,
                                            jobs=jobs, backend=backend,
                                            static_prune=static_prune,
                                            static_learning=static_learning,
-                                           kernel=kernel)
+                                           kernel=kernel,
+                                           atpg_backend=atpg_backend,
+                                           atpg_seed=atpg_seed)
     report = engine.classify(fault_universe)
 
     return DebugControlResult(

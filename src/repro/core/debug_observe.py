@@ -53,7 +53,9 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                       backend: Optional[str] = None,
                                       static_prune: bool = True,
                                       static_learning: bool = True,
-                                      kernel: Optional[str] = None
+                                      kernel: Optional[str] = None,
+                                      atpg_backend: Optional[str] = None,
+                                      atpg_seed: Optional[int] = None
                                       ) -> DebugObserveResult:
     """Identify the on-line untestable faults caused by floating debug outputs."""
     interface = interface or discover_debug_interface(netlist)
@@ -66,7 +68,7 @@ def identify_debug_observe_untestable(netlist: Netlist,
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
             static_prune=static_prune, static_learning=static_learning,
-            kernel=kernel)
+            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_floated")
     floated: List[str] = []
@@ -80,7 +82,9 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                            jobs=jobs, backend=backend,
                                            static_prune=static_prune,
                                            static_learning=static_learning,
-                                           kernel=kernel)
+                                           kernel=kernel,
+                                           atpg_backend=atpg_backend,
+                                           atpg_seed=atpg_seed)
     report = engine.classify(fault_universe)
 
     return DebugObserveResult(

@@ -67,7 +67,9 @@ def identify_memory_map_untestable(netlist: Netlist,
                                    backend: Optional[str] = None,
                                    static_prune: bool = True,
                                    static_learning: bool = True,
-                                   kernel: Optional[str] = None
+                                   kernel: Optional[str] = None,
+                                   atpg_backend: Optional[str] = None,
+                                   atpg_seed: Optional[int] = None
                                    ) -> MemoryMapResult:
     """Identify on-line untestable faults caused by frozen address bits.
 
@@ -88,7 +90,7 @@ def identify_memory_map_untestable(netlist: Netlist,
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
             static_prune=static_prune, static_learning=static_learning,
-            kernel=kernel)
+            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed)
 
     constants = constant_address_bits(memory_map)
     result = MemoryMapResult(constant_bits=dict(constants),
@@ -130,7 +132,9 @@ def identify_memory_map_untestable(netlist: Netlist,
                                            jobs=jobs, backend=backend,
                                            static_prune=static_prune,
                                            static_learning=static_learning,
-                                           kernel=kernel)
+                                           kernel=kernel,
+                                           atpg_backend=atpg_backend,
+                                           atpg_seed=atpg_seed)
     report = engine.classify(fault_universe)
 
     result.untestable = set(report.untestable)

@@ -66,6 +66,13 @@ class FlowConfig:
     # so results may legitimately differ across settings.
     static_prune: bool = True
     static_learning: bool = True
+    # ATPG portfolio backend (repro.atpg.portfolio) used by the FULL-effort
+    # search phase, and the seed its randomized members derive per-fault
+    # streams from (None reuses the engine seed).  A cache facet ("atpg"):
+    # backends agree wherever their searches complete, but abort-limit
+    # boundary cases (AU vs a definite verdict) may legitimately differ.
+    atpg_backend: Optional[str] = None
+    atpg_seed: Optional[int] = None
 
 
 @dataclass

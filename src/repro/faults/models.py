@@ -30,6 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.core.registry import Registry
 from repro.faults.fault import (SA0, SA1, StuckAtFault, site_instance_name,
                                 site_is_port, site_pin_name)
 from repro.netlist.module import Netlist
@@ -331,7 +332,7 @@ class TransitionDelayModel(FaultModel):
 # --------------------------------------------------------------------- #
 # registry
 # --------------------------------------------------------------------- #
-_MODELS: Dict[str, FaultModel] = {}
+_MODELS: Registry = Registry("fault model")
 #: Fast dispatch table for :func:`model_of` (fault type -> owning model).
 _MODELS_BY_TYPE: Dict[type, FaultModel] = {}
 
@@ -340,7 +341,7 @@ def register_fault_model(model: FaultModel) -> FaultModel:
     """Register a model under its :attr:`~FaultModel.name`; returns it."""
     if not model.name:
         raise ValueError("fault model must define a non-empty name")
-    _MODELS[model.name] = model
+    _MODELS.register(model.name, model)
     if isinstance(model.fault_type, type) and model.fault_type is not object:
         _MODELS_BY_TYPE[model.fault_type] = model
     return model
@@ -355,17 +356,11 @@ DEFAULT_FAULT_MODEL = STUCK_AT.name
 
 def fault_model_names() -> Tuple[str, ...]:
     """Registered model names, registration order."""
-    return tuple(_MODELS)
+    return _MODELS.names()
 
 
 def get_fault_model(name: str) -> FaultModel:
-    try:
-        return _MODELS[name]
-    except KeyError:
-        known = ", ".join(_MODELS)
-        raise ValueError(
-            f"unknown fault model {name!r}; expected one of: {known}"
-        ) from None
+    return _MODELS.resolve(name)
 
 
 def resolve_fault_model(spec: Union[str, FaultModel, None],

@@ -45,7 +45,8 @@ SEED_ARTIFACTS = ("netlist", "memory_map", "config")
 #: variants that only change the ATPG effort or the memory map.  ``model``
 #: is the fault model: every pass that touches the fault universe keys on
 #: it, so stuck-at and transition runs of one netlist never share results.
-CONFIG_FACETS = ("model", "effort", "ties", "memmap", "faults", "static")
+CONFIG_FACETS = ("model", "effort", "ties", "memmap", "faults", "static",
+                 "atpg")
 
 
 class PipelineContext:
@@ -139,6 +140,16 @@ class PipelineContext:
         return bool(getattr(self.config, "static_learning", True))
 
     @property
+    def atpg_backend(self):
+        """ATPG portfolio backend name (``None`` = the classic ``podem``)."""
+        return getattr(self.config, "atpg_backend", None)
+
+    @property
+    def atpg_seed(self):
+        """Seed override for randomized ATPG backends (``None`` = engine seed)."""
+        return getattr(self.config, "atpg_seed", None)
+
+    @property
     def fault_universe(self) -> List[Fault]:
         return self.require("fault_universe")
 
@@ -185,6 +196,8 @@ class PipelineContext:
                 "faults": f"faults={fault_restriction_key(self.initial_faults)}",
                 "static": (f"static=prune{int(self.static_prune)}:"
                            f"learn{int(self.static_learning)}"),
+                "atpg": (f"atpg={self.atpg_backend or 'podem'}:"
+                         f"{self.atpg_seed if self.atpg_seed is not None else 'engine'}"),
             }
         return self._facet_fragments
 

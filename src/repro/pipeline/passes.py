@@ -118,14 +118,15 @@ def static_analysis_pass(ctx: PipelineContext) -> PassResult:
 
 @analysis_pass("baseline", requires=("fault_universe",),
                provides=("baseline_untestable",),
-               cache_facets=("model", "effort", "faults", "static"))
+               cache_facets=("model", "effort", "faults", "static", "atpg"))
 def baseline_pass(ctx: PipelineContext) -> PassResult:
     """Faults untestable before manipulation — Table I's "Original" row."""
     baseline = compute_baseline_untestable(
         ctx.netlist, ctx.fault_universe, ctx.effort,
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
-        kernel=ctx.kernel)
+        kernel=ctx.kernel,
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
     return PassResult(artifacts={"baseline_untestable": baseline})
 
 
@@ -155,7 +156,7 @@ def scan_analysis_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("debug_control", source=OnlineUntestableSource.DEBUG_CONTROL,
                requires=("fault_universe", "baseline_untestable"),
                provides=("debug_control_result",),
-               cache_facets=("model", "effort", "faults", "static"))
+               cache_facets=("model", "effort", "faults", "static", "atpg"))
 def debug_control_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.1 — tie the debug control inputs to their mission constants."""
     ctrl = identify_debug_control_untestable(
@@ -163,7 +164,8 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
-        kernel=ctx.kernel)
+        kernel=ctx.kernel,
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
     return PassResult(artifacts={"debug_control_result": ctrl},
                       identified=ctrl.newly_untestable, details=ctrl)
 
@@ -171,7 +173,7 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
 @analysis_pass("debug_observe", source=OnlineUntestableSource.DEBUG_OBSERVE,
                requires=("fault_universe", "baseline_untestable"),
                provides=("debug_observe_result",),
-               cache_facets=("model", "effort", "faults", "static"))
+               cache_facets=("model", "effort", "faults", "static", "atpg"))
 def debug_observe_pass(ctx: PipelineContext) -> PassResult:
     """§3.2.2 — float the debug-only observation buses."""
     observe = identify_debug_observe_untestable(
@@ -179,7 +181,8 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
         baseline_untestable=ctx.baseline_untestable, effort=ctx.effort,
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
-        kernel=ctx.kernel)
+        kernel=ctx.kernel,
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
     return PassResult(artifacts={"debug_observe_result": observe},
                       identified=observe.newly_untestable, details=observe)
 
@@ -189,7 +192,7 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
                provides=("memory_result",),
                when=lambda ctx: ctx.memory_map is not None,
                cache_facets=("model", "effort", "ties", "memmap", "faults",
-                             "static"))
+                             "static", "atpg"))
 def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
     """§3.3 — freeze the address bits the mission memory map never toggles."""
     memory = identify_memory_map_untestable(
@@ -199,6 +202,7 @@ def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
         tie_flop_inputs=ctx.config.tie_flop_inputs,
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
-        kernel=ctx.kernel)
+        kernel=ctx.kernel,
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
     return PassResult(artifacts={"memory_result": memory},
                       identified=memory.newly_untestable, details=memory)

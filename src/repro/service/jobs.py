@@ -363,13 +363,18 @@ class JobManager:
         return self._run_sweep(job, emit)
 
     def _run_analyze(self, job: Job) -> Dict[str, Any]:
+        from repro.api import RunOptions
+
         spec = job.spec
         report = self.session.analyze(
             spec.get("design", "date13"),
-            effort=spec.get("effort"),
-            fault_model=spec.get("fault_model"),
-            static_prune=spec.get("static_prune"),
-            jobs=spec.get("jobs"))
+            options=RunOptions(
+                effort=spec.get("effort"),
+                fault_model=spec.get("fault_model"),
+                static_prune=spec.get("static_prune"),
+                jobs=spec.get("jobs"),
+                atpg_backend=spec.get("atpg_backend"),
+                atpg_seed=spec.get("atpg_seed")))
         return {"table": report.to_table(), "report": report.to_json_dict()}
 
     def _run_sweep(self, job: Job,

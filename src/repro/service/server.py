@@ -40,8 +40,8 @@ class AnalysisService:
                  workers: int = 1,
                  runner=None) -> None:
         if session is None and runner is None:
-            from repro.api import Session
-            session = Session(store=store)
+            from repro.api import RunOptions, Session
+            session = Session(options=RunOptions(store=store))
         self.host = host
         self.port = port  # rebound to the kernel-chosen port after start()
         self.manager = JobManager(session, max_queue=max_queue,

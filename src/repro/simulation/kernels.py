@@ -39,7 +39,12 @@ import threading
 import warnings
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.core.registry import Registry
 from repro.netlist.compiled import NO_NET, CompiledNetlist
+
+#: Registered kernels, keyed by choice name.  ``auto`` is a routing alias
+#: resolved by :func:`get_kernel`, not an entry here.
+KERNELS: Registry = Registry("simulation kernel")
 
 #: Kernel names accepted everywhere a ``kernel=`` knob exists.
 KERNEL_CHOICES = ("auto", "int", "numpy")
@@ -114,9 +119,11 @@ def normalize_kernel(spec: Optional[str]) -> str:
         return "auto"
     name = str(spec).strip().lower()
     if name not in KERNEL_CHOICES:
+        # Same uniform message as Registry.resolve, with the "auto" routing
+        # alias folded into the accepted names.
         known = ", ".join(KERNEL_CHOICES)
         raise ValueError(
-            f"unknown simulation kernel {spec!r}; expected one of: {known}")
+            f"unknown {KERNELS.kind} {spec!r}; expected one of: {known}")
     return name
 
 
@@ -885,5 +892,5 @@ class NumpyKernel(IntKernel):
         return results
 
 
-_INT_KERNEL = IntKernel()
-_NUMPY_KERNEL = NumpyKernel()
+_INT_KERNEL = KERNELS.register("int", IntKernel())
+_NUMPY_KERNEL = KERNELS.register("numpy", NumpyKernel())

@@ -403,7 +403,9 @@ class _DetectClassifyJob:
                  effort, random_patterns: int, backtrack_limit: int,
                  seed: int, static_prune: bool = True,
                  static_learning: bool = True,
-                 kernel: Optional[str] = None) -> None:
+                 kernel: Optional[str] = None,
+                 atpg_backend: Optional[str] = None,
+                 atpg_seed: Optional[int] = None) -> None:
         self.netlist = netlist
         self.shards = shards
         self.effort = effort
@@ -413,6 +415,8 @@ class _DetectClassifyJob:
         self.static_prune = static_prune
         self.static_learning = static_learning
         self.kernel = kernel
+        self.atpg_backend = atpg_backend
+        self.atpg_seed = atpg_seed
 
     def prepare(self) -> None:
         # The phases build their own derived state; compiling the netlist
@@ -424,18 +428,33 @@ class _DetectClassifyJob:
 
     def run_shard(self, task):
         """task = (shard id,) -> (shard id, classifications, phase
-        runtimes, stats)."""
+        runtimes, stats, patterns)."""
         from repro.atpg.engine import run_detection_phases
 
         (shard_id,) = task
-        classifications, phase_runtimes, stats = run_detection_phases(
-            self.netlist, list(self.shards[shard_id]), self.effort,
-            random_patterns=self.random_patterns,
+        classifications, phase_runtimes, stats, patterns = \
+            run_detection_phases(
+                self.netlist, list(self.shards[shard_id]), self.effort,
+                random_patterns=self.random_patterns,
+                backtrack_limit=self.backtrack_limit, seed=self.seed,
+                static_prune=self.static_prune,
+                static_learning=self.static_learning,
+                kernel=self.kernel,
+                atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
+        return shard_id, classifications, phase_runtimes, stats, patterns
+
+    def run_escalation(self, task):
+        """task = (shard id, fault tuple) — one slice of the merged abort
+        frontier -> (shard id, improvements, patterns, runtimes, stats)."""
+        from repro.atpg.engine import run_escalation_phase
+
+        shard_id, shard_faults = task
+        improvements, patterns, phase_runtimes, stats = run_escalation_phase(
+            self.netlist, list(shard_faults),
             backtrack_limit=self.backtrack_limit, seed=self.seed,
-            static_prune=self.static_prune,
             static_learning=self.static_learning,
-            kernel=self.kernel)
-        return shard_id, classifications, phase_runtimes, stats
+            atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
+        return shard_id, improvements, patterns, phase_runtimes, stats
 
 
 # --------------------------------------------------------------------- #
@@ -705,7 +724,9 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                      seed: int = 2013,
                      static_prune: bool = True,
                      static_learning: bool = True,
-                     kernel: Optional[str] = None):
+                     kernel: Optional[str] = None,
+                     atpg_backend: Optional[str] = None,
+                     atpg_seed: Optional[int] = None):
     """Classify a fault population across shard workers.
 
     The netlist-global tied-value fixpoint runs exactly once, in the
@@ -713,16 +734,24 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
     shard for no benefit — at TIE effort this function therefore costs
     the same as the serial engine and spawns no workers at all).  The
     faults it leaves unclassified go through the per-fault detection
-    phases (seeded random patterns, PODEM) on cone-aware shards across
-    the worker backend.  Every verdict is batch-independent, so the
-    merged report carries exactly the serial engine's classifications.
-    ``runtime_seconds`` is wall clock; per-phase runtimes are summed
-    across shards (CPU seconds).
+    phases (seeded random patterns, the selected ATPG portfolio backend)
+    on cone-aware shards across the worker backend.  Every verdict is
+    batch-independent, so the merged report carries exactly the serial
+    engine's classifications.  ``runtime_seconds`` is wall clock;
+    per-phase runtimes are summed across shards (CPU seconds).
+
+    For a backend with an escalation tier (``dalg``) the scheduler merges
+    the per-shard abort frontiers after the primary round, re-partitions
+    the merged frontier and fans out a second escalation round over the
+    same installed job — so a fault aborted in one shard is escalated
+    exactly once, no matter how the primary faults were sliced.
     """
     from repro.atpg.engine import (AtpgEffort, UntestabilityReport,
                                    resolve_effort)
     from repro.atpg.implication import ImplicationEngine
+    from repro.atpg.portfolio import compact_patterns, resolve_atpg_backend
     from repro.atpg.tie_analysis import TieAnalysis
+    from repro.faults.categories import FaultClass
 
     fault_list = list(faults)
     jobs = resolve_jobs(jobs)
@@ -749,16 +778,55 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                              tuple(shard.faults for shard in fault_shards),
                              effort, random_patterns, backtrack_limit, seed,
                              static_prune, static_learning,
-                             kernel=get_kernel(kernel).name)
+                             kernel=get_kernel(kernel).name,
+                             atpg_backend=atpg_backend, atpg_seed=atpg_seed)
+    patterns: List[tuple] = []
     with _ShardRunner(backend, jobs).start(job) as runner:
         tasks = [(shard.index,) for shard in fault_shards]
-        for _shard_id, classifications, phase_runtimes, stats in sorted(
-                runner.map("run_shard", tasks), key=lambda item: item[0]):
+        for (_shard_id, classifications, phase_runtimes, stats,
+             shard_patterns) in sorted(runner.map("run_shard", tasks),
+                                       key=lambda item: item[0]):
             report.classifications.update(classifications)
+            patterns.extend(shard_patterns)
             for phase, seconds in phase_runtimes.items():
                 report.phase_runtimes[phase] = (
                     report.phase_runtimes.get(phase, 0.0) + seconds)
             for key, count in stats.items():
                 report.stats[key] = report.stats.get(key, 0) + count
+
+        # Second round: merged abort frontier -> escalation tier.  The
+        # frontier is collected in canonical (input) fault order and
+        # re-partitioned, so the load balance adapts to where the aborts
+        # actually landed.
+        if (effort is AtpgEffort.FULL
+                and resolve_atpg_backend(atpg_backend).escalates):
+            frontier = [f for f in remaining
+                        if report.classifications.get(f) is FaultClass.AU]
+            if frontier:
+                esc_shards = partition_faults(
+                    netlist, frontier,
+                    default_shard_count(jobs, len(frontier)))
+                esc_tasks = [(shard.index, shard.faults)
+                             for shard in esc_shards]
+                for (_shard_id, improvements, esc_patterns, esc_runtimes,
+                     esc_stats) in sorted(
+                        runner.map("run_escalation", esc_tasks),
+                        key=lambda item: item[0]):
+                    report.classifications.update(improvements)
+                    patterns.extend(esc_patterns)
+                    for phase, seconds in esc_runtimes.items():
+                        report.phase_runtimes[phase] = (
+                            report.phase_runtimes.get(phase, 0.0) + seconds)
+                    for key, count in esc_stats.items():
+                        report.stats[key] = report.stats.get(key, 0) + count
+
+    if effort is AtpgEffort.FULL and patterns:
+        phase_start = time.perf_counter()
+        order = {fault: i for i, fault in enumerate(remaining)}
+        patterns.sort(key=lambda entry: order[entry[0]])
+        report.patterns, report.compaction = compact_patterns(
+            netlist, patterns, kernel=kernel)
+        report.phase_runtimes["compaction"] = (time.perf_counter()
+                                               - phase_start)
     report.runtime_seconds = time.perf_counter() - start
     return report

@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Protocol,
                     Tuple, runtime_checkable)
 
+from repro.core.registry import Registry
+
 #: The cache-key tuple shared with the in-memory tier:
 #: (netlist signature, facet-restricted config key, pass name).
 StoreKey = Tuple[str, str, str]
@@ -119,7 +121,7 @@ class ArtifactStore(Protocol):
 #: looks up the part before the first ``:`` of a spec here, so a remote
 #: backend registers as e.g. ``STORE_BACKENDS["http"] = HttpStore`` and
 #: ``--store http://cache.example`` just works.
-STORE_BACKENDS: Dict[str, Callable[[str], ArtifactStore]] = {}
+STORE_BACKENDS: Registry = Registry("store backend")
 
 
 def register_store_backend(name: str,

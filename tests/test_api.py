@@ -329,15 +329,16 @@ class TestProcessSweep:
 
 class TestPerCallJobsPrecedence:
     def test_call_jobs_overrides_session_and_config(self):
+        from repro.api import RunOptions
         from repro.core.results import FlowConfig
 
-        session = Session(jobs=4, shard_backend="thread")
+        session = Session(options=RunOptions(jobs=4, shard_backend="thread"))
         # per-call jobs beats the session default
-        config = session._effective_flow_config(None, None, jobs=2)
+        config = session._effective_flow_config(None, RunOptions(jobs=2))
         assert config.jobs == 2
         # per-call jobs=1 forces a serial run of a sharded flow config
-        config = session._effective_flow_config(FlowConfig(jobs=8), None,
-                                                jobs=1)
+        config = session._effective_flow_config(FlowConfig(jobs=8),
+                                                RunOptions(jobs=1))
         assert config.jobs == 1
         # no per-call value: session default fills the serial default only
         assert session._effective_flow_config(None, None).jobs == 4

@@ -39,6 +39,7 @@ DEFAULT_TARGETS = (
     "src/repro/core/results.py",
     "src/repro/core/classification.py",
     "src/repro/faults/collapse.py",
+    "src/repro/atpg/portfolio.py",
 )
 
 #: Attributes documented as ``Set[Fault]`` on the report / universe objects
