@@ -145,6 +145,16 @@ def _add_sharding_arguments(parser: argparse.ArgumentParser) -> None:
         "--backend", default=None, choices=list(SHARD_BACKENDS),
         help=("worker backend for --jobs (default: process where fork is "
               "available, else thread)"))
+    parser.add_argument(
+        "--pool", default=None, choices=["persistent", "ephemeral"],
+        help=("worker-pool lifecycle for --jobs: 'persistent' keeps one "
+              "warm pool (with installed netlists and job state) across "
+              "calls, 'ephemeral' spins workers per call (identical "
+              "results; default: ephemeral)"))
+    parser.add_argument(
+        "--chunk", type=int, default=None, metavar="N",
+        help=("work-stealing chunk size (faults per stolen task) for the "
+              "persistent pool (identical results; default: auto)"))
 
 
 def _add_kernel_argument(parser: argparse.ArgumentParser) -> None:
@@ -482,7 +492,8 @@ def _cmd_analyze(args) -> int:
                           static_prune=args.static_prune,
                           store=args.store,
                           atpg_backend=args.atpg_backend,
-                          atpg_seed=args.atpg_seed))
+                          atpg_seed=args.atpg_seed,
+                          pool=args.pool, chunk=args.chunk))
     try:
         report = session.analyze(args.config, passes=passes)
     except KeyError as exc:
@@ -555,7 +566,8 @@ def _cmd_sweep(args) -> int:
                           static_prune=args.static_prune,
                           store=args.store,
                           atpg_backend=args.atpg_backend,
-                          atpg_seed=args.atpg_seed))
+                          atpg_seed=args.atpg_seed,
+                          pool=args.pool, chunk=args.chunk))
     passes = _split_passes(args.passes)
 
     if not args.quiet:
@@ -601,7 +613,8 @@ def _cmd_corpus(args) -> int:
                               static_prune=args.static_prune,
                               store=args.store,
                               atpg_backend=args.atpg_backend,
-                              atpg_seed=args.atpg_seed)
+                              atpg_seed=args.atpg_seed,
+                              pool=args.pool, chunk=args.chunk)
     except CorpusError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2

@@ -62,6 +62,10 @@ class CorpusEntry:
     #: contract, so this never changes a capture — it only pins which
     #: engine a CI leg exercises.
     kernel: Optional[str] = None
+    #: Worker-pool mode pinned by the spec ("persistent"/"ephemeral");
+    #: None defers to the run's session default.  Pool lifecycle never
+    #: changes a capture — it only pins which runtime a CI leg exercises.
+    pool: Optional[str] = None
 
     @property
     def golden_path(self) -> Path:
@@ -82,6 +86,8 @@ class CorpusEntry:
             parts.append(f"fault_model={self.fault_model}")
         if self.kernel is not None:
             parts.append(f"kernel={self.kernel}")
+        if self.pool is not None:
+            parts.append(f"pool={self.pool}")
         return ",".join(parts)
 
 
@@ -127,6 +133,13 @@ def _parse_entry(path: Path) -> CorpusEntry:
             kernel = normalize_kernel(kernel)
         except ValueError as exc:
             raise CorpusError(f"corpus spec {path}: {exc}") from exc
+    pool = data.get("pool")
+    if pool is not None:
+        from repro.runtime.pool import resolve_pool_mode
+        try:
+            pool = resolve_pool_mode(pool)
+        except ValueError as exc:
+            raise CorpusError(f"corpus spec {path}: {exc}") from exc
     return CorpusEntry(
         name=path.stem,
         base=base,
@@ -136,6 +149,7 @@ def _parse_entry(path: Path) -> CorpusEntry:
         description=str(data.get("description", "")),
         path=path,
         kernel=kernel,
+        pool=pool,
     )
 
 
@@ -161,7 +175,8 @@ def render_entry(entry: CorpusEntry, session=None) -> str:
     report = session.analyze(entry.build_config(),
                              options=RunOptions(effort=entry.effort,
                                                 fault_model=entry.fault_model,
-                                                kernel=entry.kernel))
+                                                kernel=entry.kernel,
+                                                pool=entry.pool))
     return report.to_table() + "\n"
 
 
@@ -176,7 +191,9 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
                static_prune: Optional[bool] = None,
                store=None,
                atpg_backend: Optional[str] = None,
-               atpg_seed: Optional[int] = None) -> List[CorpusOutcome]:
+               atpg_seed: Optional[int] = None,
+               pool: Optional[str] = None,
+               chunk: Optional[int] = None) -> List[CorpusOutcome]:
     """Run (or refresh) the corpus; one outcome per entry, sorted by name.
 
     ``jobs``/``shard_backend``/``kernel`` configure fault-population
@@ -226,7 +243,8 @@ def run_corpus(directory: Union[str, Path] = DEFAULT_CORPUS_DIR, *,
         session = Session(options=RunOptions(
             jobs=jobs, shard_backend=shard_backend, kernel=kernel,
             static_prune=static_prune, static_learning=static_prune,
-            store=store, atpg_backend=atpg_backend, atpg_seed=atpg_seed))
+            store=store, atpg_backend=atpg_backend, atpg_seed=atpg_seed,
+            pool=pool, chunk=chunk))
 
     outcomes: List[CorpusOutcome] = []
     for entry in entries:

@@ -37,7 +37,7 @@ from repro.soc.config import SoCConfig, axis_value_label, expand_axes
 #: kernel and the ATPG portfolio backend select *how* a scenario is
 #: analyzed without changing the generated SoC.
 RUN_AXES = ("effort", "fault_model", "static_prune", "kernel",
-            "atpg_backend")
+            "atpg_backend", "pool")
 
 
 def _resolve_flag(name: str, value: object) -> bool:
@@ -88,6 +88,9 @@ class Scenario:
     #: "dalg"); None keeps the session/flow default.  Appended last for
     #: the same reason.
     atpg_backend: Optional[str] = None
+    #: Worker-pool mode ("persistent"/"ephemeral"); None keeps the
+    #: session/flow default.  Appended last for the same reason.
+    pool: Optional[str] = None
 
     def build_design(self):
         from repro.api.design import Design
@@ -135,6 +138,9 @@ class ScenarioGrid:
         elif name == "atpg_backend":
             from repro.atpg.portfolio import resolve_atpg_backend
             values = [resolve_atpg_backend(v).name for v in values]
+        elif name == "pool":
+            from repro.runtime.pool import resolve_pool_mode
+            values = [resolve_pool_mode(v) for v in values]
         else:
             # Validate config axes eagerly — a typo should fail at grid
             # construction, not halfway through a long sweep.
@@ -173,6 +179,8 @@ class ScenarioGrid:
             self._axes.get("kernel") or [None])
         atpg_backends: Sequence[Optional[str]] = (
             self._axes.get("atpg_backend") or [None])
+        pools: Sequence[Optional[str]] = (
+            self._axes.get("pool") or [None])
 
         points: List[Scenario] = []
         for config_label, config in expand_axes(self.base, config_axes):
@@ -181,33 +189,41 @@ class ScenarioGrid:
                     for static_prune in static_prunes:
                         for kernel in kernels:
                             for atpg_backend in atpg_backends:
-                                parts = [part for part in (config_label,)
-                                         if part]
-                                if effort is not None:
-                                    parts.append(
-                                        f"effort={axis_value_label(effort)}")
-                                if fault_model is not None:
-                                    parts.append(
-                                        f"fault_model={fault_model}")
-                                if static_prune is not None:
-                                    parts.append(
-                                        f"static_prune={int(static_prune)}")
-                                if kernel is not None:
-                                    parts.append(f"kernel={kernel}")
-                                if atpg_backend is not None:
-                                    parts.append(
-                                        f"atpg_backend={atpg_backend}")
-                                label = (f"{self.base_name}" if not parts
-                                         else f"{self.base_name}"
-                                              f"[{','.join(parts)}]")
-                                points.append(
-                                    Scenario(label=label, config=config,
-                                             effort=effort,
-                                             fault_model=fault_model,
-                                             static_prune=static_prune,
-                                             kernel=kernel,
-                                             atpg_backend=atpg_backend,
-                                             index=len(points)))
+                                for pool in pools:
+                                    parts = [part
+                                             for part in (config_label,)
+                                             if part]
+                                    if effort is not None:
+                                        parts.append(
+                                            "effort="
+                                            f"{axis_value_label(effort)}")
+                                    if fault_model is not None:
+                                        parts.append(
+                                            f"fault_model={fault_model}")
+                                    if static_prune is not None:
+                                        parts.append(
+                                            "static_prune="
+                                            f"{int(static_prune)}")
+                                    if kernel is not None:
+                                        parts.append(f"kernel={kernel}")
+                                    if atpg_backend is not None:
+                                        parts.append(
+                                            f"atpg_backend={atpg_backend}")
+                                    if pool is not None:
+                                        parts.append(f"pool={pool}")
+                                    label = (f"{self.base_name}"
+                                             if not parts
+                                             else f"{self.base_name}"
+                                                  f"[{','.join(parts)}]")
+                                    points.append(
+                                        Scenario(label=label, config=config,
+                                                 effort=effort,
+                                                 fault_model=fault_model,
+                                                 static_prune=static_prune,
+                                                 kernel=kernel,
+                                                 atpg_backend=atpg_backend,
+                                                 pool=pool,
+                                                 index=len(points)))
         return points
 
     def __repr__(self) -> str:

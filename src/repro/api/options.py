@@ -75,6 +75,8 @@ class RunOptions:
     store: Any = None
     atpg_backend: Optional[str] = None
     atpg_seed: Optional[int] = None
+    pool: Optional[str] = None
+    chunk: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.effort is not None:
@@ -110,6 +112,15 @@ class RunOptions:
                 resolve_atpg_backend(self.atpg_backend).name)
         if self.atpg_seed is not None:
             object.__setattr__(self, "atpg_seed", int(self.atpg_seed))
+        if self.pool is not None:
+            from repro.runtime.pool import resolve_pool_mode
+
+            object.__setattr__(self, "pool", resolve_pool_mode(self.pool))
+        if self.chunk is not None:
+            chunk = int(self.chunk)
+            if chunk < 1:
+                raise ValueError(f"chunk must be >= 1, got {chunk}")
+            object.__setattr__(self, "chunk", chunk)
 
     # ------------------------------------------------------------------ #
     def merged_with(self, other: Optional["RunOptions"]) -> "RunOptions":

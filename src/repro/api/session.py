@@ -82,7 +82,9 @@ def _run_process_job(job: _ProcessJob) -> Dict[str, object]:
                                  kernel=job.scenario.kernel or opts.kernel,
                                  atpg_backend=(job.scenario.atpg_backend
                                                or opts.atpg_backend),
-                                 atpg_seed=opts.atpg_seed))
+                                 atpg_seed=opts.atpg_seed,
+                                 pool=job.scenario.pool or opts.pool,
+                                 chunk=opts.chunk))
     return {
         "label": job.scenario.label,
         "signature": design.signature,
@@ -125,7 +127,12 @@ class Session:
             shard_backend=shard_backend, kernel=kernel,
             fault_model=fault_model, static_prune=static_prune,
             static_learning=static_learning)
-        self.executor = resolve_executor(executor, max_workers)
+        # A persistent pool mode keeps the sweep executor's process pool
+        # warm too: one Session then owns one long-lived set of workers
+        # for both the sharded engines and the scenario sweeps.
+        self.executor = resolve_executor(
+            executor, max_workers,
+            persistent=(self.options.pool == "persistent"))
         self.max_workers = max_workers
         if cache is not None:
             if self.options.store is not None and (
@@ -164,6 +171,14 @@ class Session:
     @property
     def kernel(self) -> Optional[str]:
         return self.options.kernel
+
+    @property
+    def pool(self) -> Optional[str]:
+        return self.options.pool
+
+    @property
+    def chunk(self) -> Optional[int]:
+        return self.options.chunk
 
     @property
     def fault_model(self) -> Optional[str]:
@@ -394,6 +409,16 @@ class Session:
         elif (self.kernel is not None
                 and getattr(flow_config, "kernel", None) is None):
             flow_config = _replace(flow_config, kernel=self.kernel)
+        if call.pool is not None:
+            flow_config = _replace(flow_config, pool=call.pool)
+        elif (self.pool is not None
+                and getattr(flow_config, "pool", None) is None):
+            flow_config = _replace(flow_config, pool=self.pool)
+        if call.chunk is not None:
+            flow_config = _replace(flow_config, chunk=call.chunk)
+        elif (self.chunk is not None
+                and getattr(flow_config, "chunk", None) is None):
+            flow_config = _replace(flow_config, chunk=self.chunk)
         if call.fault_model is not None:
             # Explicit per-call model wins over the session default and the
             # flow config.
@@ -456,7 +481,8 @@ class Session:
                                   fault_model=scenario.fault_model,
                                   static_prune=scenario.static_prune,
                                   kernel=scenario.kernel,
-                                  atpg_backend=scenario.atpg_backend))
+                                  atpg_backend=scenario.atpg_backend,
+                                  pool=scenario.pool))
         return SweepResult(
             index=scenario.index, label=scenario.label,
             design_signature=design.signature,
@@ -493,7 +519,7 @@ class Session:
             getattr(self.options, name) is not None
             for name in ("jobs", "shard_backend", "kernel", "fault_model",
                          "static_prune", "static_learning", "atpg_backend",
-                         "atpg_seed"))
+                         "atpg_seed", "pool", "chunk"))
         flow_config = (self._effective_flow_config(config)
                        if (defaults_set
                            or config is not None
@@ -505,6 +531,54 @@ class Session:
                            effort=effort_default,
                            parallel_passes=self.parallel_passes,
                            options=options)
+
+    # ------------------------------------------------------------------ #
+    # parallel-runtime lifecycle
+    # ------------------------------------------------------------------ #
+    def worker_pool(self):
+        """The warm :class:`~repro.runtime.WorkerPool` of this session.
+
+        Resolved from the process-global pool registry for the session's
+        configured worker count, so every analysis the session runs — and
+        every other session configured identically — shares one set of
+        warm workers with their installed netlists and job state.  Returns
+        ``None`` unless the session was built with ``pool="persistent"``.
+        """
+        if self.options.pool != "persistent":
+            return None
+        from repro.runtime import get_pool
+        from repro.simulation.sharded import resolve_jobs
+
+        import os
+        return get_pool(resolve_jobs(self.options.jobs),
+                        os.environ.get("REPRO_POOL_START_METHOD") or None)
+
+    def pool_stats(self) -> List[Dict[str, object]]:
+        """Stats snapshots of every live warm worker pool (may be empty)."""
+        from repro.runtime import pool_stats
+        return pool_stats()
+
+    def close(self, *, shutdown_pools: bool = False) -> None:
+        """Release session-held parallel resources.
+
+        Closes a persistent sweep-executor process pool if one exists.
+        The sharded engines' warm worker pools are process-global (shared
+        across sessions) and survive by default; ``shutdown_pools=True``
+        tears them down too — what the analysis service does on drain.
+        """
+        closer = getattr(self.executor, "close", None)
+        if callable(closer):
+            closer()
+        if shutdown_pools:
+            from repro.runtime import shutdown_pools as _shutdown
+            _shutdown()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
 
     def __repr__(self) -> str:
         return (f"Session(executor={self.executor.name!r}, "

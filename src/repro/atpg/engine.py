@@ -274,7 +274,9 @@ class StructuralUntestabilityEngine:
                  static_learning: bool = True,
                  kernel: Optional[str] = None,
                  atpg_backend: Optional[str] = None,
-                 atpg_seed: Optional[int] = None) -> None:
+                 atpg_seed: Optional[int] = None,
+                 pool=None,
+                 chunk: Optional[int] = None) -> None:
         self.netlist = netlist
         self.effort = effort
         self.random_patterns = random_patterns
@@ -288,13 +290,15 @@ class StructuralUntestabilityEngine:
         self.kernel = kernel
         self.atpg_backend = atpg_backend
         self.atpg_seed = atpg_seed
+        self.pool = pool
+        self.chunk = chunk
         self.implication = ImplicationEngine(netlist)
 
     def classify(self, faults: Iterable[Fault]) -> UntestabilityReport:
         """Classify the given faults; unclassified faults are omitted from the
         report at TIE effort and reported NC/AU/DT at higher efforts."""
         fault_list = list(faults)
-        if self.jobs > 1 and len(fault_list) > 1:
+        if (self.jobs > 1 or self.pool is not None) and len(fault_list) > 1:
             from repro.simulation.sharded import sharded_classify
 
             return sharded_classify(
@@ -305,7 +309,8 @@ class StructuralUntestabilityEngine:
                 static_prune=self.static_prune,
                 static_learning=self.static_learning,
                 kernel=self.kernel,
-                atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
+                atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed,
+                pool=self.pool, chunk=self.chunk)
         report = UntestabilityReport(effort=self.effort)
         start = time.perf_counter()
 

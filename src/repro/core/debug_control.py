@@ -59,7 +59,9 @@ def compute_baseline_untestable(netlist: Netlist,
                                 static_learning: bool = True,
                                 kernel: Optional[str] = None,
                                 atpg_backend: Optional[str] = None,
-                                atpg_seed: Optional[int] = None
+                                atpg_seed: Optional[int] = None,
+                                pool=None,
+                                chunk: Optional[int] = None
                                 ) -> Set[StuckAtFault]:
     """Faults untestable in the unmanipulated netlist (structural baseline)."""
     fault_universe = list(faults) if faults is not None else generate_fault_list(netlist).faults()
@@ -69,7 +71,8 @@ def compute_baseline_untestable(netlist: Netlist,
                                            static_learning=static_learning,
                                            kernel=kernel,
                                            atpg_backend=atpg_backend,
-                                           atpg_seed=atpg_seed)
+                                           atpg_seed=atpg_seed,
+                                           pool=pool, chunk=chunk)
     report = engine.classify(fault_universe)
     return set(report.untestable)
 
@@ -85,7 +88,9 @@ def identify_debug_control_untestable(netlist: Netlist,
                                       static_learning: bool = True,
                                       kernel: Optional[str] = None,
                                       atpg_backend: Optional[str] = None,
-                                      atpg_seed: Optional[int] = None
+                                      atpg_seed: Optional[int] = None,
+                                      pool=None,
+                                      chunk: Optional[int] = None
                                       ) -> DebugControlResult:
     """Identify the on-line untestable faults caused by mission-constant
     debug control inputs."""
@@ -98,7 +103,8 @@ def identify_debug_control_untestable(netlist: Netlist,
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
             static_prune=static_prune, static_learning=static_learning,
-            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed)
+            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed,
+            pool=pool, chunk=chunk)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_tied")
     tied: Dict[str, int] = {}
@@ -113,7 +119,8 @@ def identify_debug_control_untestable(netlist: Netlist,
                                            static_learning=static_learning,
                                            kernel=kernel,
                                            atpg_backend=atpg_backend,
-                                           atpg_seed=atpg_seed)
+                                           atpg_seed=atpg_seed,
+                                           pool=pool, chunk=chunk)
     report = engine.classify(fault_universe)
 
     return DebugControlResult(

@@ -55,7 +55,9 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                       static_learning: bool = True,
                                       kernel: Optional[str] = None,
                                       atpg_backend: Optional[str] = None,
-                                      atpg_seed: Optional[int] = None
+                                      atpg_seed: Optional[int] = None,
+                                      pool=None,
+                                      chunk: Optional[int] = None
                                       ) -> DebugObserveResult:
     """Identify the on-line untestable faults caused by floating debug outputs."""
     interface = interface or discover_debug_interface(netlist)
@@ -68,7 +70,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
             static_prune=static_prune, static_learning=static_learning,
-            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed)
+            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed,
+            pool=pool, chunk=chunk)
 
     manipulated = netlist.clone(f"{netlist.name}_debug_floated")
     floated: List[str] = []
@@ -84,7 +87,8 @@ def identify_debug_observe_untestable(netlist: Netlist,
                                            static_learning=static_learning,
                                            kernel=kernel,
                                            atpg_backend=atpg_backend,
-                                           atpg_seed=atpg_seed)
+                                           atpg_seed=atpg_seed,
+                                           pool=pool, chunk=chunk)
     report = engine.classify(fault_universe)
 
     return DebugObserveResult(

@@ -69,7 +69,9 @@ def identify_memory_map_untestable(netlist: Netlist,
                                    static_learning: bool = True,
                                    kernel: Optional[str] = None,
                                    atpg_backend: Optional[str] = None,
-                                   atpg_seed: Optional[int] = None
+                                   atpg_seed: Optional[int] = None,
+                                   pool=None,
+                                   chunk: Optional[int] = None
                                    ) -> MemoryMapResult:
     """Identify on-line untestable faults caused by frozen address bits.
 
@@ -90,7 +92,8 @@ def identify_memory_map_untestable(netlist: Netlist,
         baseline_untestable = compute_baseline_untestable(
             netlist, fault_universe, effort, jobs=jobs, backend=backend,
             static_prune=static_prune, static_learning=static_learning,
-            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed)
+            kernel=kernel, atpg_backend=atpg_backend, atpg_seed=atpg_seed,
+            pool=pool, chunk=chunk)
 
     constants = constant_address_bits(memory_map)
     result = MemoryMapResult(constant_bits=dict(constants),
@@ -134,7 +137,8 @@ def identify_memory_map_untestable(netlist: Netlist,
                                            static_learning=static_learning,
                                            kernel=kernel,
                                            atpg_backend=atpg_backend,
-                                           atpg_seed=atpg_seed)
+                                           atpg_seed=atpg_seed,
+                                           pool=pool, chunk=chunk)
     report = engine.classify(fault_universe)
 
     result.untestable = set(report.untestable)

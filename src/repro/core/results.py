@@ -73,6 +73,14 @@ class FlowConfig:
     # boundary cases (AU vs a definite verdict) may legitimately differ.
     atpg_backend: Optional[str] = None
     atpg_seed: Optional[int] = None
+    # Parallel runtime (repro.runtime): pool lifecycle for the sharded
+    # engines ("persistent" reuses one warm worker pool across calls,
+    # None/"ephemeral" keeps the per-call runner) and the work-stealing
+    # chunk granularity (None = auto).  Like ``jobs``/``kernel`` these are
+    # runtime knobs, deliberately *not* cache facets: they can never
+    # change what an analysis computes, only how fast.
+    pool: Optional[str] = None
+    chunk: Optional[int] = None
 
 
 @dataclass

@@ -150,6 +150,16 @@ class PipelineContext:
         return getattr(self.config, "atpg_seed", None)
 
     @property
+    def pool(self):
+        """Worker-pool mode for the sharded engines (``None`` = ephemeral)."""
+        return getattr(self.config, "pool", None)
+
+    @property
+    def chunk(self):
+        """Work-stealing chunk granularity (``None`` = auto)."""
+        return getattr(self.config, "chunk", None)
+
+    @property
     def fault_universe(self) -> List[Fault]:
         return self.require("fault_universe")
 

@@ -126,7 +126,8 @@ def baseline_pass(ctx: PipelineContext) -> PassResult:
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
         kernel=ctx.kernel,
-        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed,
+        pool=ctx.pool, chunk=ctx.chunk)
     return PassResult(artifacts={"baseline_untestable": baseline})
 
 
@@ -165,7 +166,8 @@ def debug_control_pass(ctx: PipelineContext) -> PassResult:
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
         kernel=ctx.kernel,
-        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed,
+        pool=ctx.pool, chunk=ctx.chunk)
     return PassResult(artifacts={"debug_control_result": ctrl},
                       identified=ctrl.newly_untestable, details=ctrl)
 
@@ -182,7 +184,8 @@ def debug_observe_pass(ctx: PipelineContext) -> PassResult:
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
         kernel=ctx.kernel,
-        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed,
+        pool=ctx.pool, chunk=ctx.chunk)
     return PassResult(artifacts={"debug_observe_result": observe},
                       identified=observe.newly_untestable, details=observe)
 
@@ -203,6 +206,7 @@ def memory_analysis_pass(ctx: PipelineContext) -> PassResult:
         jobs=ctx.jobs, backend=ctx.shard_backend,
         static_prune=ctx.static_prune, static_learning=ctx.static_learning,
         kernel=ctx.kernel,
-        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed)
+        atpg_backend=ctx.atpg_backend, atpg_seed=ctx.atpg_seed,
+        pool=ctx.pool, chunk=ctx.chunk)
     return PassResult(artifacts={"memory_result": memory},
                       identified=memory.newly_untestable, details=memory)

@@ -1,0 +1,238 @@
+"""Zero-copy shared-memory transport for bulky worker-pool payloads.
+
+The persistent pool (:mod:`repro.runtime.pool`) installs job state into
+workers once per content key.  For the numpy kernel the dominant payload
+is the pattern data — mission-pattern planes
+(:attr:`repro.simulation.sharded._PlaneSimJob.patterns`, lists of
+``{net: logic value}`` mappings) or packed word windows
+(:attr:`repro.simulation.sharded._WordGradeJob.windows`, ``(words,
+n_patterns)`` pairs).  This module packs either shape into one
+``multiprocessing.shared_memory`` segment as a dense matrix; only the
+segment descriptor (name, shape, column names) crosses the pipe.  The
+worker attaches lazily and rebuilds per-window mappings on demand, so a
+multi-megabyte pattern set is shipped to N workers with one copy total
+instead of N pickled copies.
+
+Everything degrades gracefully: if numpy is unavailable, the pattern
+shapes are ragged (per-pattern key sets differ), or a platform has no
+shared memory, the callers fall back to plain pickling — the verdicts are
+identical either way, only the transport differs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+
+def _numpy():
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - exercised on no-numpy CI legs
+        return None
+    return numpy
+
+
+def shared_memory_available() -> bool:
+    """True when ``multiprocessing.shared_memory`` and numpy are usable."""
+    if _numpy() is None:
+        return False
+    try:
+        from multiprocessing import shared_memory  # noqa: F401
+    except ImportError:  # pragma: no cover - all supported pythons have it
+        return False
+    return True
+
+
+def _attach(name: str):
+    """Attach to an existing segment without adopting its lifetime.
+
+    The parent created (and will unlink) the segment; the attaching worker
+    must not register it with a resource tracker at all — a spawn worker's
+    own tracker would unlink it when the worker dies, and a fork worker
+    shares the parent's tracker, where an extra register/unregister pair
+    corrupts the parent's bookkeeping.  Registration is suppressed for the
+    duration of the attach (Python 3.13's ``track=False`` is not available
+    on 3.10–3.12).
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+
+    def _skip_shared_memory(name_, rtype):
+        if rtype != "shared_memory":
+            original(name_, rtype)
+
+    resource_tracker.register = _skip_shared_memory
+    try:
+        return shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original
+
+
+class _SharedMatrix:
+    """One owned-or-attached shared-memory matrix with named columns.
+
+    Pickles as its descriptor only.  The creating side owns the segment
+    and unlinks it when released (or garbage-collected); attached sides
+    just close their mapping.
+    """
+
+    def __init__(self, array, names: Tuple[str, ...], dtype: str) -> None:
+        from multiprocessing import shared_memory
+
+        self.names = names
+        self.shape = tuple(array.shape)
+        self.dtype = dtype
+        self._segment = shared_memory.SharedMemory(create=True,
+                                                   size=max(1, array.nbytes))
+        self._owner = True
+        np = _numpy()
+        view = np.ndarray(self.shape, dtype=dtype, buffer=self._segment.buf)
+        view[...] = array
+        self._view = view
+
+    # -- pickling: descriptor only ------------------------------------- #
+    def __getstate__(self):
+        return {"names": self.names, "shape": self.shape,
+                "dtype": self.dtype, "segment_name": self._segment.name}
+
+    def __setstate__(self, state):
+        self.names = state["names"]
+        self.shape = state["shape"]
+        self.dtype = state["dtype"]
+        self._segment_name = state["segment_name"]
+        self._segment = None
+        self._view = None
+        self._owner = False
+
+    def rows(self):
+        if self._view is None:
+            np = _numpy()
+            if np is None:
+                raise RuntimeError(
+                    "shared-memory payload needs numpy on the worker side")
+            self._segment = _attach(self._segment_name)
+            self._view = np.ndarray(self.shape, dtype=self.dtype,
+                                    buffer=self._segment.buf)
+        return self._view
+
+    def release(self) -> None:
+        segment, self._segment, self._view = self._segment, None, None
+        if segment is None:
+            return
+        try:
+            segment.close()
+            if self._owner:
+                segment.unlink()
+        except Exception:  # noqa: BLE001 - already gone is fine
+            pass
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        self.release()
+
+
+class ShmPatterns:
+    """Shared-memory view of a pattern-plane list (``_PlaneSimJob.patterns``).
+
+    Behaves like the original ``List[Mapping[str, int]]`` for the accesses
+    the job performs: ``len()``, integer indexing and slicing, each access
+    rebuilding plain dicts from the dense matrix.
+    """
+
+    def __init__(self, matrix: _SharedMatrix, length: int) -> None:
+        self._matrix = matrix
+        self._length = length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def _row(self, index: int) -> Mapping[str, int]:
+        rows = self._matrix.rows()
+        return dict(zip(self._matrix.names, rows[index].tolist()))
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._row(i)
+                    for i in range(*index.indices(self._length))]
+        return self._row(index)
+
+    def release(self) -> None:
+        self._matrix.release()
+
+
+class ShmWindows:
+    """Shared-memory view of packed word windows (``_WordGradeJob.windows``).
+
+    Mirrors the original ``List[Tuple[Mapping[str, int], int]]`` accesses:
+    ``len()`` and ``windows[i] -> (words, n_patterns)``.
+    """
+
+    def __init__(self, matrix: _SharedMatrix,
+                 counts: Tuple[int, ...]) -> None:
+        self._matrix = matrix
+        self.counts = counts
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __getitem__(self, index: int):
+        if isinstance(index, slice):
+            return [self[i] for i in range(*index.indices(len(self.counts)))]
+        rows = self._matrix.rows()
+        words = dict(zip(self._matrix.names, rows[index].tolist()))
+        return words, self.counts[index]
+
+    def release(self) -> None:
+        self._matrix.release()
+
+
+def share_patterns(patterns: Sequence[Mapping[str, int]]
+                   ) -> Optional[ShmPatterns]:
+    """Pack pattern planes into one shared segment; None -> pickle fallback.
+
+    Requires numpy, a non-empty pattern list and one uniform key set (the
+    generators produce exactly that; a ragged list falls back).  Logic
+    values are the plain ints 0/1/2 (X), so an int8 matrix is lossless.
+    """
+    np = _numpy()
+    if np is None or not patterns:
+        return None
+    names = tuple(patterns[0])
+    name_set = frozenset(names)
+    rows: List[List[int]] = []
+    try:
+        for pattern in patterns:
+            if frozenset(pattern) != name_set:
+                return None
+            rows.append([pattern[name] for name in names])
+        matrix = _SharedMatrix(np.array(rows, dtype="int8"), names, "int8")
+    except (OSError, ValueError, TypeError, OverflowError):
+        return None
+    return ShmPatterns(matrix, len(patterns))
+
+
+def share_windows(windows: Sequence[Tuple[Mapping[str, int], int]]
+                  ) -> Optional[ShmWindows]:
+    """Pack word windows into one shared segment; None -> pickle fallback.
+
+    Packed words are at most 64 bits wide (the engines' word size), so a
+    uint64 matrix is lossless; ragged key sets fall back to pickling.
+    """
+    np = _numpy()
+    if np is None or not windows:
+        return None
+    names = tuple(windows[0][0])
+    name_set = frozenset(names)
+    rows = []
+    counts = []
+    try:
+        for words, n_patterns in windows:
+            if frozenset(words) != name_set:
+                return None
+            rows.append([words[name] for name in names])
+            counts.append(int(n_patterns))
+        matrix = _SharedMatrix(np.array(rows, dtype="uint64"), names,
+                               "uint64")
+    except (OSError, ValueError, TypeError, OverflowError):
+        return None
+    return ShmWindows(matrix, tuple(counts))

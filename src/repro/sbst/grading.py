@@ -72,7 +72,9 @@ class FaultGrader:
                  jobs: int = 1, backend: Optional[str] = None,
                  shards: Optional[int] = None,
                  fault_model: "Union[str, FaultModel, None]" = None,
-                 kernel: Optional[str] = None) -> None:
+                 kernel: Optional[str] = None,
+                 pool=None,
+                 chunk: Optional[int] = None) -> None:
         # Mission-mode observation: the system-bus outputs plus the values
         # captured into the architectural state (a captured error eventually
         # propagates to memory over the following cycles of the self-test
@@ -85,6 +87,8 @@ class FaultGrader:
         self.jobs = max(1, jobs if jobs is not None else 1)
         self.backend = backend
         self.shards = shards
+        self.pool = pool
+        self.chunk = chunk
         #: Model used to enumerate the default fault universe when a grade
         #: call does not bring its own fault list.
         self.fault_model = resolve_fault_model(fault_model)
@@ -117,7 +121,7 @@ class FaultGrader:
         fault_universe = (list(faults) if faults is not None
                           else generate_fault_list(
                               self.netlist, model=self.fault_model).faults())
-        if self.jobs > 1:
+        if self.jobs > 1 or self.pool is not None:
             from repro.simulation.sharded import sharded_mission_grade
 
             return sharded_mission_grade(
@@ -125,7 +129,8 @@ class FaultGrader:
                 observation_nets=self.simulator.observation_nets,
                 word_size=self.word_size, drop_detected=self.drop_detected,
                 jobs=self.jobs, backend=self.backend, shards=self.shards,
-                kernel=self.simulator.kernel.name)
+                kernel=self.simulator.kernel.name,
+                pool=self.pool, chunk=self.chunk)
         windows = pattern_windows(patterns, self.word_size)
         return self.simulator.run_windows(fault_universe, windows,
                                           drop_detected=self.drop_detected)

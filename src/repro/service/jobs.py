@@ -178,6 +178,13 @@ class JobManager:
             # Land every write-behind store publication before the process
             # that asked us to shut down inspects the store.
             await self._loop.run_in_executor(None, self.session.cache.flush)
+            # Release the parallel runtime: the session's persistent sweep
+            # executor and every warm sharded-engine worker pool.  Jobs
+            # re-warm lazily if the service is ever restarted in-process.
+            closer = getattr(self.session, "close", None)
+            if callable(closer):
+                await self._loop.run_in_executor(
+                    None, lambda: closer(shutdown_pools=True))
 
     # ------------------------------------------------------------------ #
     # admission
@@ -279,6 +286,10 @@ class JobManager:
         }
         if self.session is not None:
             payload["cache"] = dict(self.session.cache_stats)
+        from repro.runtime import pool_stats
+        pools = pool_stats()
+        if pools:
+            payload["pools"] = pools
         return payload
 
     # ------------------------------------------------------------------ #

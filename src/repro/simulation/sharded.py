@@ -52,6 +52,7 @@ import time
 import multiprocessing
 import os
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import (Dict, Iterable, List, Mapping, Optional, Sequence, Set,
@@ -72,14 +73,41 @@ from repro.utils.bitvec import mask as bitmask
 #: Backend names accepted by every sharded entry point.
 SHARD_BACKENDS = ("serial", "thread", "process")
 
+_oversubscribe_warned = False
 
-def resolve_jobs(jobs: Optional[int]) -> int:
-    """Coerce a worker-count spec: ``None`` means one per CPU, minimum 1."""
+
+def resolve_jobs(jobs: Optional[int], *, cap: bool = True) -> int:
+    """Coerce a worker-count spec: ``None`` means one per CPU, minimum 1.
+
+    Requests beyond ``os.cpu_count()`` used to silently oversubscribe the
+    machine (and let single-core CI boxes publish "parallel is slower"
+    benchmark numbers with no attribution); they are now capped at the CPU
+    count with a one-time warning.  ``cap=False`` returns the raw request
+    — routing decisions that only care whether parallelism was *asked for*
+    want that, not the capped worker count.
+    """
+    cpus = max(1, os.cpu_count() or 1)
     if jobs is None:
-        return max(1, os.cpu_count() or 1)
+        return cpus
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
-    return int(jobs)
+    jobs = int(jobs)
+    if cap and jobs > cpus:
+        global _oversubscribe_warned
+        if not _oversubscribe_warned:
+            _oversubscribe_warned = True
+            warnings.warn(
+                f"jobs={jobs} exceeds os.cpu_count()={cpus}; capping the "
+                f"worker count at {cpus} (extra workers would only contend)",
+                RuntimeWarning, stacklevel=2)
+        return cpus
+    return jobs
+
+
+def _reset_oversubscription_warning() -> None:
+    """Re-arm the one-time oversubscription warning (test hook)."""
+    global _oversubscribe_warned
+    _oversubscribe_warned = False
 
 
 def resolve_backend(backend: Optional[str], jobs: int) -> str:
@@ -96,6 +124,27 @@ def resolve_backend(backend: Optional[str], jobs: int) -> str:
         raise ValueError(
             f"unknown shard backend {backend!r}; expected one of: {known}")
     return name
+
+
+def _resolve_pool(pool, jobs: int):
+    """Map the ``pool`` knob onto a live worker pool, or ``None``.
+
+    ``None``/``"ephemeral"`` select the legacy per-call :class:`_ShardRunner`;
+    ``"persistent"`` resolves to the process-global registry pool for this
+    worker count (honouring ``REPRO_POOL_START_METHOD`` so CI can force
+    ``spawn``); a :class:`~repro.runtime.pool.WorkerPool` instance is used
+    as-is.  When a pool is selected it *is* the execution backend — the
+    ``backend`` knob only governs the ephemeral path.
+    """
+    from repro.runtime.pool import WorkerPool, get_pool, resolve_pool_mode
+
+    if isinstance(pool, WorkerPool):
+        return pool
+    mode = resolve_pool_mode(pool)
+    if mode == "persistent":
+        return get_pool(jobs,
+                        os.environ.get("REPRO_POOL_START_METHOD") or None)
+    return None
 
 
 # --------------------------------------------------------------------- #
@@ -256,6 +305,12 @@ class _ShardJob:
             state.pop(attr, None)
         state["_prepared"] = False
         return state
+
+    def release_shared(self) -> None:
+        """Release an attached shared-memory payload (pool eviction hook)."""
+        shared = self.__dict__.get("shared_payload")
+        if shared is not None:
+            shared.release()
 
     def prepare(self) -> None:
         if self._prepared:
@@ -443,6 +498,28 @@ class _DetectClassifyJob:
                 atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
         return shard_id, classifications, phase_runtimes, stats, patterns
 
+    def run_faults(self, task):
+        """task = (chunk id, fault tuple) -> same shape as :meth:`run_shard`.
+
+        The work-stealing pool ships fault chunks inside the task instead
+        of baking shard slices into the installed job, so one installed
+        job (keyed by configuration only) serves every fault subset of the
+        same netlist — warm re-use across calls.
+        """
+        from repro.atpg.engine import run_detection_phases
+
+        chunk_id, chunk_faults = task
+        classifications, phase_runtimes, stats, patterns = \
+            run_detection_phases(
+                self.netlist, list(chunk_faults), self.effort,
+                random_patterns=self.random_patterns,
+                backtrack_limit=self.backtrack_limit, seed=self.seed,
+                static_prune=self.static_prune,
+                static_learning=self.static_learning,
+                kernel=self.kernel,
+                atpg_backend=self.atpg_backend, atpg_seed=self.atpg_seed)
+        return chunk_id, classifications, phase_runtimes, stats, patterns
+
     def run_escalation(self, task):
         """task = (shard id, fault tuple) — one slice of the merged abort
         frontier -> (shard id, improvements, patterns, runtimes, stats)."""
@@ -565,7 +642,9 @@ class ShardedFaultSimulator:
                  jobs: Optional[int] = None,
                  backend: Optional[str] = None,
                  shards: Optional[int] = None,
-                 kernel: Optional[str] = None) -> None:
+                 kernel: Optional[str] = None,
+                 pool=None,
+                 chunk: Optional[int] = None) -> None:
         self.netlist = netlist
         self.observe_state_inputs = observe_state_inputs
         self.state_input_roles = (tuple(state_input_roles)
@@ -576,6 +655,8 @@ class ShardedFaultSimulator:
         self.backend = resolve_backend(backend, self.jobs)
         self.shards = shards
         self.kernel = kernel
+        self.pool = pool
+        self.chunk = chunk
         self.last_frontier: Optional[DetectionFrontier] = None
 
     def run(self, faults: Iterable[Fault],
@@ -584,16 +665,21 @@ class ShardedFaultSimulator:
         drop = self.drop_detected if drop_detected is None else drop_detected
         fault_list = list(faults)
         compiled = get_compiled(self.netlist)
+        observation_nets = frozenset(observation_net_names(
+            self.netlist, self.observe_state_inputs, self.state_input_roles))
+        kernel_name = get_kernel(self.kernel).name
+        pool_obj = _resolve_pool(self.pool, self.jobs)
+        if pool_obj is not None:
+            return self._run_pooled(pool_obj, fault_list, patterns, drop,
+                                    compiled, observation_nets, kernel_name)
         n_shards = (self.shards if self.shards is not None
                     else default_shard_count(self.jobs, len(fault_list)))
         shards = partition_faults(self.netlist, fault_list, n_shards,
                                   compiled=compiled)
-        observation_nets = frozenset(observation_net_names(
-            self.netlist, self.observe_state_inputs, self.state_input_roles))
         job = _PlaneSimJob(self.netlist,
                            tuple(shard.faults for shard in shards),
                            observation_nets, patterns, self.word_size,
-                           kernel=get_kernel(self.kernel).name)
+                           kernel=kernel_name)
 
         frontier = DetectionFrontier()
         self.last_frontier = frontier
@@ -640,6 +726,85 @@ class ShardedFaultSimulator:
                                      for position in remaining[shard.index])
         return result
 
+    def _run_pooled(self, pool, fault_list, patterns, drop, compiled,
+                    observation_nets, kernel_name) -> FaultSimResult:
+        """Work-stealing run over a persistent pool.
+
+        One job (the full fault tuple as a single shard) is installed once
+        per content key; cone-affine chunks pull pattern windows through
+        the pool's deque, and each chunk advances to its next window as
+        soon as its current one merges — fault dropping propagates
+        mid-round instead of at a round barrier.  Each fault lives in
+        exactly one chunk and every chunk walks the windows in order, so
+        verdicts and detecting-pattern indices are byte-identical to
+        serial whatever order workers steal chunks in.
+        """
+        from repro.runtime import (build_chunks, content_key,
+                                   default_chunk_size, share_patterns)
+
+        fault_tuple = tuple(fault_list)
+        chunk_size = (self.chunk if self.chunk is not None
+                      else default_chunk_size(pool.workers, len(fault_tuple)))
+        chunks = build_chunks(self.netlist, fault_list, chunk_size,
+                              compiled=compiled)
+        key = content_key("planesim", self.netlist, kernel_name,
+                          self.word_size, tuple(sorted(observation_nets)),
+                          fault_tuple, list(patterns))
+
+        def build():
+            job = _PlaneSimJob(self.netlist, (fault_tuple,),
+                               observation_nets, patterns, self.word_size,
+                               kernel=kernel_name)
+            if kernel_name == "numpy":
+                shared = share_patterns(job.patterns)
+                if shared is not None:
+                    job.patterns = shared
+                    job.shared_payload = shared
+            return job
+
+        pool.ensure_job(key, build)
+        frontier = DetectionFrontier()
+        self.last_frontier = frontier
+        result = FaultSimResult()
+        n_patterns = len(patterns)
+        remaining = {cid: list(positions)
+                     for cid, positions in enumerate(chunks)}
+        with pool.session(key) as run:
+            for cid, positions in enumerate(chunks):
+                if positions and n_patterns:
+                    run.submit("run_window", (0, tuple(positions), 0),
+                               tag=cid)
+            for cid, task, outcome in run.results():
+                start = task[2]
+                _shard_id, hits = outcome
+                dropped = set()
+                for position, det in hits:
+                    fault = fault_tuple[position]
+                    result.detected.add(fault)
+                    if drop:
+                        # First detecting pattern of the window.
+                        pattern_index = start + (det & -det).bit_length() - 1
+                        dropped.add(position)
+                    else:
+                        # Keep simulating; later windows overwrite with the
+                        # *last* detecting pattern, like the serial engine.
+                        pattern_index = start + det.bit_length() - 1
+                    result.detecting_pattern[fault] = pattern_index
+                    frontier.publish(fault, pattern_index)
+                todo = remaining[cid]
+                if dropped:
+                    todo = [position for position in todo
+                            if position not in dropped]
+                    remaining[cid] = todo
+                next_start = start + self.word_size
+                if todo and next_start < n_patterns:
+                    run.submit("run_window", (0, tuple(todo), next_start),
+                               tag=cid)
+        for todo in remaining.values():
+            result.undetected.update(fault_tuple[position]
+                                     for position in todo)
+        return result
+
 
 def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
                           patterns, *,
@@ -650,7 +815,9 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
                           backend: Optional[str] = None,
                           shards: Optional[int] = None,
                           frontier: Optional[DetectionFrontier] = None,
-                          kernel: Optional[str] = None) -> Set[Fault]:
+                          kernel: Optional[str] = None,
+                          pool=None,
+                          chunk: Optional[int] = None) -> Set[Fault]:
     """Sharded counterpart of :meth:`repro.sbst.grading.FaultGrader.grade`.
 
     ``patterns`` is a :class:`~repro.sbst.monitor.CapturedPatterns`-shaped
@@ -662,18 +829,29 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
     jobs = resolve_jobs(jobs)
     backend = resolve_backend(backend, jobs)
     compiled = get_compiled(netlist)
+
+    from repro.sbst.monitor import pattern_windows
+
+    windows = pattern_windows(patterns, word_size)
+    kernel_name = get_kernel(kernel).name
+
+    pool_obj = _resolve_pool(pool, jobs)
+    if pool_obj is not None:
+        return _pooled_mission_grade(
+            netlist, fault_list, windows,
+            observation_nets=frozenset(observation_nets),
+            word_size=word_size, drop_detected=drop_detected,
+            frontier=frontier, kernel_name=kernel_name, pool=pool_obj,
+            chunk=chunk, compiled=compiled)
+
     n_shards = (shards if shards is not None
                 else default_shard_count(jobs, len(fault_list)))
     fault_shards = partition_faults(netlist, fault_list, n_shards,
                                     compiled=compiled)
 
-    from repro.sbst.monitor import pattern_windows
-
-    windows = pattern_windows(patterns, word_size)
-
     job = _WordGradeJob(netlist, tuple(shard.faults for shard in fault_shards),
                         frozenset(observation_nets), windows,
-                        kernel=get_kernel(kernel).name)
+                        kernel=kernel_name)
     frontier = frontier if frontier is not None else DetectionFrontier()
     detected: Set[Fault] = set()
     remaining: List[List[int]] = [list(range(len(shard.faults)))
@@ -715,6 +893,77 @@ def sharded_mission_grade(netlist: Netlist, faults: Iterable[Fault],
     return detected
 
 
+def _pooled_mission_grade(netlist: Netlist, fault_list: List[Fault],
+                          windows, *, observation_nets: frozenset,
+                          word_size: int, drop_detected: bool,
+                          frontier: Optional[DetectionFrontier],
+                          kernel_name: str, pool, chunk: Optional[int],
+                          compiled: CompiledNetlist) -> Set[Fault]:
+    """Work-stealing mission grading over a persistent pool.
+
+    Same chunked-window pipeline as the pooled fault simulator; detections
+    publish ``(fault, window start)`` into the frontier exactly like the
+    sharded path, and a caller-seeded frontier prunes before the first
+    window, so verdicts match the serial grader byte for byte.
+    """
+    from repro.runtime import (build_chunks, content_key,
+                               default_chunk_size, share_windows)
+
+    fault_tuple = tuple(fault_list)
+    chunk_size = (chunk if chunk is not None
+                  else default_chunk_size(pool.workers, len(fault_tuple)))
+    chunks = build_chunks(netlist, fault_list, chunk_size, compiled=compiled)
+    key = content_key("wordgrade", netlist, kernel_name,
+                      tuple(sorted(observation_nets)), fault_tuple,
+                      list(windows))
+
+    def build():
+        job = _WordGradeJob(netlist, (fault_tuple,), observation_nets,
+                            windows, kernel=kernel_name)
+        if kernel_name == "numpy":
+            shared = share_windows(job.windows)
+            if shared is not None:
+                job.windows = shared
+                job.shared_payload = shared
+        return job
+
+    pool.ensure_job(key, build)
+    frontier = frontier if frontier is not None else DetectionFrontier()
+    detected: Set[Fault] = set()
+    n_windows = len(windows)
+    published = (frontier.detected()
+                 if drop_detected and len(frontier) else {})
+    remaining: Dict[int, List[int]] = {}
+    with pool.session(key) as run:
+        for cid, positions in enumerate(chunks):
+            todo = [position for position in positions
+                    if fault_tuple[position] not in published] \
+                if published else list(positions)
+            remaining[cid] = todo
+            if todo and n_windows:
+                run.submit("run_window", (0, tuple(todo), 0), tag=cid)
+        for cid, task, outcome in run.results():
+            window_index = task[2]
+            _shard_id, hits = outcome
+            todo = remaining[cid]
+            if hits:
+                start = window_index * word_size
+                hit_faults = [fault_tuple[position] for position in hits]
+                detected.update(hit_faults)
+                frontier.publish_many((fault, start)
+                                      for fault in hit_faults)
+                if drop_detected:
+                    hit_set = set(hits)
+                    todo = [position for position in todo
+                            if position not in hit_set]
+                    remaining[cid] = todo
+            next_window = window_index + 1
+            if todo and next_window < n_windows:
+                run.submit("run_window", (0, tuple(todo), next_window),
+                           tag=cid)
+    return detected
+
+
 def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                      effort, jobs: Optional[int] = None,
                      backend: Optional[str] = None,
@@ -726,7 +975,9 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                      static_learning: bool = True,
                      kernel: Optional[str] = None,
                      atpg_backend: Optional[str] = None,
-                     atpg_seed: Optional[int] = None):
+                     atpg_seed: Optional[int] = None,
+                     pool=None,
+                     chunk: Optional[int] = None):
     """Classify a fault population across shard workers.
 
     The netlist-global tied-value fixpoint runs exactly once, in the
@@ -768,6 +1019,28 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
 
     remaining = [f for f in fault_list if f not in report.classifications]
     if effort is AtpgEffort.TIE or not remaining:
+        report.runtime_seconds = time.perf_counter() - start
+        return report
+
+    pool_obj = _resolve_pool(pool, jobs)
+    if pool_obj is not None:
+        patterns = _pooled_classify_rounds(
+            netlist, remaining, report, effort=effort,
+            random_patterns=random_patterns,
+            backtrack_limit=backtrack_limit, seed=seed,
+            static_prune=static_prune, static_learning=static_learning,
+            kernel_name=get_kernel(kernel).name,
+            atpg_backend=atpg_backend, atpg_seed=atpg_seed,
+            pool=pool_obj, chunk=chunk)
+        report.stats["jobs_resolved"] = jobs
+        if effort is AtpgEffort.FULL and patterns:
+            phase_start = time.perf_counter()
+            order = {fault: i for i, fault in enumerate(remaining)}
+            patterns.sort(key=lambda entry: order[entry[0]])
+            report.patterns, report.compaction = compact_patterns(
+                netlist, patterns, kernel=kernel)
+            report.phase_runtimes["compaction"] = (time.perf_counter()
+                                                   - phase_start)
         report.runtime_seconds = time.perf_counter() - start
         return report
 
@@ -820,6 +1093,7 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                     for key, count in esc_stats.items():
                         report.stats[key] = report.stats.get(key, 0) + count
 
+    report.stats["jobs_resolved"] = jobs
     if effort is AtpgEffort.FULL and patterns:
         phase_start = time.perf_counter()
         order = {fault: i for i, fault in enumerate(remaining)}
@@ -830,3 +1104,90 @@ def sharded_classify(netlist: Netlist, faults: Iterable[Fault], *,
                                                - phase_start)
     report.runtime_seconds = time.perf_counter() - start
     return report
+
+
+def _pooled_classify_rounds(netlist: Netlist, remaining: List[Fault],
+                            report, *, effort, random_patterns: int,
+                            backtrack_limit: int, seed: int,
+                            static_prune: bool, static_learning: bool,
+                            kernel_name: str,
+                            atpg_backend: Optional[str],
+                            atpg_seed: Optional[int],
+                            pool, chunk: Optional[int]) -> List[tuple]:
+    """Primary + escalation classification rounds over a persistent pool.
+
+    The installed job is keyed by *configuration only* — fault chunks ride
+    inside each task (:meth:`_DetectClassifyJob.run_faults`), so a warm
+    pool re-uses the installed netlist and job across any fault subset.
+    Results are collected completely and merged in chunk order, which
+    keeps the report byte-identical to the static sharded path no matter
+    which worker finished first.  Escalation re-fans the merged abort
+    frontier out over the same installed job.
+    """
+    from repro.atpg.engine import AtpgEffort
+    from repro.atpg.portfolio import resolve_atpg_backend
+    from repro.faults.categories import FaultClass
+    from repro.runtime import build_chunks, content_key, default_chunk_size
+
+    key = content_key("classify", netlist, effort.name, random_patterns,
+                      backtrack_limit, seed, static_prune, static_learning,
+                      kernel_name, atpg_backend, atpg_seed)
+
+    def build():
+        return _DetectClassifyJob(
+            netlist, (), effort, random_patterns, backtrack_limit, seed,
+            static_prune, static_learning, kernel=kernel_name,
+            atpg_backend=atpg_backend, atpg_seed=atpg_seed)
+
+    pool.ensure_job(key, build)
+    restarts_before = pool.stats["worker_restarts"]
+
+    def fan_out(method: str, faults: List[Fault]) -> List[tuple]:
+        chunk_size = (chunk if chunk is not None
+                      else default_chunk_size(pool.workers, len(faults)))
+        chunks = build_chunks(netlist, faults, chunk_size)
+        outcomes = []
+        with pool.session(key) as run:
+            for cid, positions in enumerate(chunks):
+                run.submit(method,
+                           (cid, tuple(faults[position]
+                                       for position in positions)),
+                           tag=cid)
+            for _tag, _task, outcome in run.results():
+                outcomes.append(outcome)
+        outcomes.sort(key=lambda item: item[0])
+        return outcomes
+
+    patterns: List[tuple] = []
+    for (_cid, classifications, phase_runtimes, stats,
+         chunk_patterns) in fan_out("run_faults", remaining):
+        report.classifications.update(classifications)
+        patterns.extend(chunk_patterns)
+        for phase, seconds in phase_runtimes.items():
+            report.phase_runtimes[phase] = (
+                report.phase_runtimes.get(phase, 0.0) + seconds)
+        for stat, count in stats.items():
+            report.stats[stat] = report.stats.get(stat, 0) + count
+
+    # Escalation round: the merged abort frontier, in canonical fault
+    # order, re-fanned over the same warm job.
+    if (effort is AtpgEffort.FULL
+            and resolve_atpg_backend(atpg_backend).escalates):
+        frontier = [f for f in remaining
+                    if report.classifications.get(f) is FaultClass.AU]
+        if frontier:
+            for (_cid, improvements, esc_patterns, esc_runtimes,
+                 esc_stats) in fan_out("run_escalation", frontier):
+                report.classifications.update(improvements)
+                patterns.extend(esc_patterns)
+                for phase, seconds in esc_runtimes.items():
+                    report.phase_runtimes[phase] = (
+                        report.phase_runtimes.get(phase, 0.0) + seconds)
+                for stat, count in esc_stats.items():
+                    report.stats[stat] = report.stats.get(stat, 0) + count
+
+    restarts = pool.stats["worker_restarts"] - restarts_before
+    if restarts:
+        report.stats["worker_restarts"] = (
+            report.stats.get("worker_restarts", 0) + restarts)
+    return patterns

@@ -58,11 +58,34 @@ def tiny_patterns(tiny_cpu):
 # --------------------------------------------------------------------- #
 class TestKnobs:
     def test_resolve_jobs(self):
+        import os
+        cpus = os.cpu_count() or 1
         assert resolve_jobs(1) == 1
-        assert resolve_jobs(4) == 4
         assert resolve_jobs(None) >= 1
+        # Oversubscription is capped at the machine (extra workers only
+        # contend); cap=False returns the raw request for routing checks.
+        assert resolve_jobs(4, cap=False) == 4
+        assert resolve_jobs(4) == min(4, cpus)
+        assert resolve_jobs(cpus + 1) == cpus
         with pytest.raises(ValueError, match="jobs must be >= 1"):
             resolve_jobs(0)
+
+    def test_resolve_jobs_warns_once_on_oversubscription(self):
+        import os
+        import warnings
+        from repro.simulation.sharded import (
+            _reset_oversubscription_warning)
+        cpus = os.cpu_count() or 1
+        _reset_oversubscription_warning()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            resolve_jobs(cpus + 3)
+            resolve_jobs(cpus + 3)
+        oversub = [w for w in caught
+                   if issubclass(w.category, RuntimeWarning)
+                   and "exceeds os.cpu_count()" in str(w.message)]
+        assert len(oversub) == 1
+        _reset_oversubscription_warning()
 
     def test_resolve_backend(self):
         assert resolve_backend(None, 1) == "serial"
